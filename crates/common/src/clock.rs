@@ -1,0 +1,162 @@
+//! Pluggable time.
+//!
+//! Failure drills (short-term vs long-term failures, gossip intervals, flush
+//! timeouts) must be reproducible, so every component that consults time does
+//! so through a [`Clock`]. Production-style runs use [`SystemClock`]; tests
+//! use [`ManualClock`] and advance time explicitly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of monotonic microsecond time plus the ability to wait.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Monotonic time in microseconds since an arbitrary epoch.
+    fn now_us(&self) -> u64;
+
+    /// Block the calling thread for `us` microseconds of this clock's time.
+    /// On a [`ManualClock`] this advances virtual time instead of blocking.
+    fn sleep_us(&self, us: u64);
+}
+
+/// Shared handle to a clock.
+pub type ClockRef = Arc<dyn Clock>;
+
+/// Real wall-clock time.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Convenience constructor returning a shared handle.
+    pub fn shared() -> ClockRef {
+        Arc::new(SystemClock::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn sleep_us(&self, us: u64) {
+        if us == 0 {
+            return;
+        }
+        // Short waits spin: on coarse-timer kernels thread::sleep costs
+        // ~1ms regardless of the requested duration, which would flatten
+        // every simulated latency ratio (e.g. the 20µs-append vs
+        // 70µs-random-write asymmetry the benchmarks rely on). Spinning
+        // under CPU oversubscription stretches all waits by a similar
+        // factor, preserving ratios.
+        if us < 200 {
+            let deadline = self.origin.elapsed() + Duration::from_micros(us);
+            while self.origin.elapsed() < deadline {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+}
+
+/// Virtual time under test control. `sleep_us` advances the clock itself, so
+/// single-threaded deterministic tests can express timeouts without waiting;
+/// multi-threaded tests advance time from the driver thread via `advance`.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn shared() -> Arc<ManualClock> {
+        Arc::new(ManualClock::new())
+    }
+
+    /// Advance virtual time by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Set virtual time to an absolute value (must not move backwards).
+    pub fn set(&self, us: u64) {
+        let prev = self.now.swap(us, Ordering::SeqCst);
+        debug_assert!(prev <= us, "ManualClock moved backwards");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    fn sleep_us(&self, us: u64) {
+        self.advance(us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn system_clock_sleep_waits_at_least_requested() {
+        let c = SystemClock::new();
+        let start = c.now_us();
+        c.sleep_us(200);
+        assert!(c.now_us() - start >= 200);
+    }
+
+    #[test]
+    fn system_clock_short_sleep_spins_accurately() {
+        let c = SystemClock::new();
+        let start = c.now_us();
+        c.sleep_us(50);
+        let elapsed = c.now_us() - start;
+        assert!(elapsed >= 50);
+    }
+
+    #[test]
+    fn manual_clock_is_fully_controlled() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance(100);
+        assert_eq!(c.now_us(), 100);
+        c.sleep_us(50);
+        assert_eq!(c.now_us(), 150);
+        c.set(1000);
+        assert_eq!(c.now_us(), 1000);
+    }
+
+    #[test]
+    fn clock_trait_object_is_usable() {
+        let clock: ClockRef = Arc::new(ManualClock::new());
+        clock.sleep_us(42);
+        assert_eq!(clock.now_us(), 42);
+    }
+}

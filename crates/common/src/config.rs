@@ -1,0 +1,232 @@
+//! Central configuration for a Taurus deployment.
+//!
+//! The paper's production values (10 GB slices, 64 MB PLogs, 15-minute
+//! long-term failure threshold, 30-minute gossip interval) are scaled down by
+//! default so that laptop-scale runs exercise multi-slice, multi-PLog,
+//! multi-failure behaviour; every value is overridable.
+
+use serde::{Deserialize, Serialize};
+
+/// Device cost model used by the simulated storage substrate.
+///
+/// The paper (§7, citing F2FS) reports append-only writes being 2–5× faster
+/// than random in-place writes on flash. The fabric charges these latencies
+/// on top of real file I/O so that architectural comparisons (append-only
+/// Page Stores vs write-in-place baselines) reproduce the published gap.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct StorageProfile {
+    /// Latency charged per sequential-append I/O, microseconds.
+    pub append_us: u64,
+    /// Latency charged per random (in-place) write I/O, microseconds.
+    pub random_write_us: u64,
+    /// Latency charged per random read I/O, microseconds.
+    pub read_us: u64,
+}
+
+impl Default for StorageProfile {
+    fn default() -> Self {
+        // ~NVMe flash: 20µs appends, 3.5x penalty for random writes
+        // (mid-range of the paper's 2-5x), 60µs random reads.
+        StorageProfile {
+            append_us: 20,
+            random_write_us: 70,
+            read_us: 60,
+        }
+    }
+}
+
+impl StorageProfile {
+    /// An idealized instant device: no charged latency. Used by unit tests
+    /// that assert logic rather than performance.
+    pub fn instant() -> Self {
+        StorageProfile {
+            append_us: 0,
+            random_write_us: 0,
+            read_us: 0,
+        }
+    }
+}
+
+/// Network cost model: one-way latency per hop between fabric nodes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct NetworkProfile {
+    /// Mean one-way hop latency in microseconds.
+    pub hop_us: u64,
+    /// Jitter added uniformly in `0..=jitter_us`.
+    pub jitter_us: u64,
+    /// Outbound bandwidth cap of a compute node NIC in bytes/sec (0 = uncapped).
+    /// Used to model the master NIC bottleneck of the streaming-replica
+    /// baseline (paper §6: 15 replicas × 100 MB/s would need >12 Gbps).
+    pub master_nic_bytes_per_sec: u64,
+}
+
+impl Default for NetworkProfile {
+    fn default() -> Self {
+        NetworkProfile {
+            hop_us: 50,
+            jitter_us: 20,
+            master_nic_bytes_per_sec: 0,
+        }
+    }
+}
+
+impl NetworkProfile {
+    /// Zero-latency network for deterministic logic tests.
+    pub fn instant() -> Self {
+        NetworkProfile {
+            hop_us: 0,
+            jitter_us: 0,
+            master_nic_bytes_per_sec: 0,
+        }
+    }
+}
+
+/// All tunables of a Taurus cluster.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaurusConfig {
+    /// Pages per slice (production: 10 GB / 16 KiB = 655,360 pages; default
+    /// here is small so tests span many slices).
+    pub pages_per_slice: u64,
+    /// Replication factor for PLogs on Log Stores (paper: 3).
+    pub log_replicas: usize,
+    /// Replication factor for slices on Page Stores (paper: 3).
+    pub page_replicas: usize,
+    /// PLog size limit in bytes after which it is sealed and a new PLog is
+    /// created (paper: 64 MB; scaled down by default).
+    pub plog_size_limit: usize,
+    /// Database log buffer capacity in bytes: log records accumulate here
+    /// before a group flush to the Log Stores (paper §3.5).
+    pub log_buffer_bytes: usize,
+    /// Per-slice buffer capacity in bytes (flushed to Page Stores when full
+    /// or on timeout).
+    pub slice_buffer_bytes: usize,
+    /// Per-slice buffer flush timeout, microseconds.
+    pub slice_flush_timeout_us: u64,
+    /// Log Store FIFO write-through cache capacity, bytes (serves replica
+    /// log reads without disk I/O, paper §3.3/§6).
+    pub logstore_cache_bytes: usize,
+    /// Page Store global log cache capacity, bytes (paper §7).
+    pub pagestore_log_cache_bytes: usize,
+    /// Page Store global buffer pool capacity, pages (paper §7; LFU).
+    pub pagestore_buffer_pool_pages: usize,
+    /// Short-term failure window: below this a node is expected back and no
+    /// data is re-replicated (paper §5: 15 minutes). Microseconds.
+    pub short_term_failure_us: u64,
+    /// Automatic gossip interval between slice replicas (paper §5.2:
+    /// 30 minutes in production). Microseconds.
+    pub gossip_interval_us: u64,
+    /// How long the SAL waits for a lagging slice replica to catch up before
+    /// triggering targeted gossip for that slice (paper §5.2).
+    pub lag_repair_timeout_us: u64,
+    /// Storage device cost model for storage-layer nodes.
+    pub storage: StorageProfile,
+    /// Network cost model for the fabric.
+    pub network: NetworkProfile,
+    /// Maximum unconsolidated log bytes per Page Store before the SAL
+    /// throttles master writes (paper §7: "the SAL throttles log writes on
+    /// the master" to bound Log Directory growth).
+    pub consolidation_backlog_limit: usize,
+    /// Engine buffer pool capacity in pages.
+    pub engine_buffer_pool_pages: usize,
+}
+
+impl Default for TaurusConfig {
+    fn default() -> Self {
+        TaurusConfig {
+            pages_per_slice: 2048,
+            log_replicas: 3,
+            page_replicas: 3,
+            plog_size_limit: 4 << 20,
+            log_buffer_bytes: 256 << 10,
+            slice_buffer_bytes: 64 << 10,
+            slice_flush_timeout_us: 2_000,
+            logstore_cache_bytes: 8 << 20,
+            pagestore_log_cache_bytes: 16 << 20,
+            pagestore_buffer_pool_pages: 4096,
+            short_term_failure_us: 2_000_000,
+            gossip_interval_us: 5_000_000,
+            lag_repair_timeout_us: 500_000,
+            storage: StorageProfile::default(),
+            network: NetworkProfile::default(),
+            consolidation_backlog_limit: 64 << 20,
+            engine_buffer_pool_pages: 16384,
+        }
+    }
+}
+
+impl TaurusConfig {
+    /// Configuration for deterministic functional tests: instant devices and
+    /// network, small buffers so flush/seal paths trigger quickly.
+    pub fn test() -> Self {
+        TaurusConfig {
+            pages_per_slice: 64,
+            plog_size_limit: 64 << 10,
+            log_buffer_bytes: 8 << 10,
+            slice_buffer_bytes: 4 << 10,
+            slice_flush_timeout_us: 0,
+            logstore_cache_bytes: 1 << 20,
+            pagestore_log_cache_bytes: 4 << 20,
+            pagestore_buffer_pool_pages: 512,
+            short_term_failure_us: 100_000,
+            gossip_interval_us: 1_000_000,
+            lag_repair_timeout_us: 10_000,
+            storage: StorageProfile::instant(),
+            network: NetworkProfile::instant(),
+            engine_buffer_pool_pages: 1024,
+            ..TaurusConfig::default()
+        }
+    }
+
+    /// Validates internal consistency of the configuration.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.pages_per_slice == 0 {
+            return Err(crate::TaurusError::Internal(
+                "pages_per_slice must be > 0".into(),
+            ));
+        }
+        if self.log_replicas == 0 || self.page_replicas == 0 {
+            return Err(crate::TaurusError::Internal(
+                "replication factors must be > 0".into(),
+            ));
+        }
+        if self.plog_size_limit < self.log_buffer_bytes {
+            return Err(crate::TaurusError::Internal(
+                "plog_size_limit must be >= log_buffer_bytes".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        TaurusConfig::default().validate().unwrap();
+        TaurusConfig::test().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = TaurusConfig::default();
+        c.pages_per_slice = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TaurusConfig::default();
+        c.log_replicas = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = TaurusConfig::default();
+        c.plog_size_limit = 10;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn storage_profile_matches_paper_penalty_band() {
+        let p = StorageProfile::default();
+        let ratio = p.random_write_us as f64 / p.append_us as f64;
+        assert!((2.0..=5.0).contains(&ratio), "ratio {ratio} outside 2-5x");
+    }
+}

@@ -1,0 +1,162 @@
+//! Error types shared across the Taurus stack.
+
+use std::fmt;
+use std::io;
+
+use crate::ids::{NodeId, PLogId, PageId, SliceKey};
+use crate::lsn::Lsn;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, TaurusError>;
+
+/// Unified error type for all Taurus layers.
+///
+/// Several variants are *protocol signals* rather than faults — e.g.
+/// [`TaurusError::PageStoreBehind`] tells the SAL to try the next Page Store
+/// replica (paper §4.2), and [`TaurusError::PLogSealed`] tells a writer to
+/// allocate a fresh PLog (paper §3.3).
+#[derive(Debug)]
+pub enum TaurusError {
+    /// RPC target node is down or unreachable within the timeout.
+    NodeUnavailable(NodeId),
+    /// A write to a PLog failed because the PLog has been sealed; the caller
+    /// must create a new PLog on a different set of Log Stores.
+    PLogSealed(PLogId),
+    /// A PLog id was not found on the contacted Log Store.
+    PLogNotFound(PLogId),
+    /// The Page Store replica has not yet received all log records up to the
+    /// requested LSN and therefore cannot serve this versioned read.
+    PageStoreBehind {
+        slice: SliceKey,
+        requested: Lsn,
+        persistent: Lsn,
+    },
+    /// The requested page version has been purged (below the recycle LSN).
+    VersionRecycled { page: PageId, requested: Lsn },
+    /// The slice is unknown on the contacted Page Store.
+    SliceNotFound(SliceKey),
+    /// No replica of a slice could serve a request (all behind or down).
+    AllReplicasFailed(SliceKey),
+    /// Transaction aborted due to a write-write conflict.
+    WriteConflict { page: PageId },
+    /// A transaction handle was used after commit/abort.
+    TxnFinished,
+    /// The engine key was not found.
+    KeyNotFound,
+    /// A page-level structural invariant was violated (slot out of range,
+    /// record too large for a page, corrupt header...).
+    PageCorrupt(&'static str),
+    /// Log record decode failure.
+    Codec(&'static str),
+    /// Underlying storage device / file error.
+    Io(io::Error),
+    /// The cluster manager could not find enough healthy hosts.
+    InsufficientHealthyNodes { needed: usize, available: usize },
+    /// Operation attempted on a read-only replica front end.
+    ReadOnlyReplica,
+    /// Catch-all for invariant violations with context.
+    Internal(String),
+}
+
+impl fmt::Display for TaurusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TaurusError::*;
+        match self {
+            NodeUnavailable(n) => write!(f, "node {n} unavailable"),
+            PLogSealed(id) => write!(f, "{id} is sealed"),
+            PLogNotFound(id) => write!(f, "{id} not found"),
+            PageStoreBehind {
+                slice,
+                requested,
+                persistent,
+            } => write!(
+                f,
+                "page store behind for {slice}: requested lsn {requested}, persistent {persistent}"
+            ),
+            VersionRecycled { page, requested } => {
+                write!(f, "version {requested} of {page} has been recycled")
+            }
+            SliceNotFound(s) => write!(f, "slice {s} not found"),
+            AllReplicasFailed(s) => write!(f, "all replicas of {s} failed"),
+            WriteConflict { page } => write!(f, "write-write conflict on {page}"),
+            TxnFinished => write!(f, "transaction already finished"),
+            KeyNotFound => write!(f, "key not found"),
+            PageCorrupt(msg) => write!(f, "page corrupt: {msg}"),
+            Codec(msg) => write!(f, "codec error: {msg}"),
+            Io(e) => write!(f, "io error: {e}"),
+            InsufficientHealthyNodes { needed, available } => write!(
+                f,
+                "insufficient healthy nodes: need {needed}, have {available}"
+            ),
+            ReadOnlyReplica => write!(f, "write attempted on a read-only replica"),
+            Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TaurusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TaurusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TaurusError {
+    fn from(e: io::Error) -> Self {
+        TaurusError::Io(e)
+    }
+}
+
+impl TaurusError {
+    /// Whether the SAL should retry this error against another replica
+    /// (transient/protocol errors) rather than surface it.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TaurusError::NodeUnavailable(_)
+                | TaurusError::PageStoreBehind { .. }
+                | TaurusError::PLogSealed(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DbId;
+    use crate::ids::SliceId;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(TaurusError::NodeUnavailable(NodeId(3)).is_retryable());
+        assert!(TaurusError::PageStoreBehind {
+            slice: SliceKey::new(DbId(1), SliceId(0)),
+            requested: Lsn(10),
+            persistent: Lsn(5),
+        }
+        .is_retryable());
+        assert!(!TaurusError::KeyNotFound.is_retryable());
+        assert!(!TaurusError::WriteConflict { page: PageId(1) }.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TaurusError::PageStoreBehind {
+            slice: SliceKey::new(DbId(1), SliceId(2)),
+            requested: Lsn(100),
+            persistent: Lsn(40),
+        };
+        let s = e.to_string();
+        assert!(s.contains("db:1/slice:2"));
+        assert!(s.contains("100"));
+        assert!(s.contains("40"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        let e: TaurusError = io::Error::new(io::ErrorKind::Other, "disk on fire").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! Identifiers for the entities of a Taurus cluster.
+//!
+//! * [`PageId`] — a database page; pages are partitioned into slices.
+//! * [`SliceId`] / [`SliceKey`] — a slice is a fixed-size set of pages, the
+//!   unit of placement and replication on Page Stores (paper §3.2: 10 GB in
+//!   production, configurable here).
+//! * [`PLogId`] — a PLog, the append-only replicated storage object of the
+//!   Log Store layer (paper §3.3; 24-byte identifiers in production).
+//! * [`NodeId`] — a storage or compute node in the cluster fabric.
+//! * [`DbId`] — a database; Page/Log Stores are multi-tenant and host slices
+//!   and PLogs from many databases.
+//! * [`TxnId`] — a front-end transaction.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+                 serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub u64);
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, ":{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, ":{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self { $name(v) }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a database page. Page 0 of every database is the control
+    /// page; transaction control records (commit/abort) are addressed to it.
+    PageId,
+    "page"
+);
+id_type!(
+    /// Identifier of a slice within one database. Slice membership is
+    /// deterministic: `slice = page / pages_per_slice`.
+    SliceId,
+    "slice"
+);
+id_type!(
+    /// Identifier of a database. Storage nodes are multi-tenant.
+    DbId,
+    "db"
+);
+id_type!(
+    /// Identifier of a node (host) in the cluster: a Log Store server, a Page
+    /// Store server, or a compute node.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// Identifier of a front-end transaction.
+    TxnId,
+    "txn"
+);
+
+impl PageId {
+    /// The control page of a database. It never stores user data; commit and
+    /// abort records are routed to its slice so they reach the Page Stores
+    /// and read replicas in LSN order.
+    pub const CONTROL: PageId = PageId(0);
+
+    /// The slice this page belongs to, given the configured slice geometry.
+    #[inline]
+    pub fn slice(self, pages_per_slice: u64) -> SliceId {
+        SliceId(self.0 / pages_per_slice)
+    }
+}
+
+/// Globally unique identifier of a slice: a slice id qualified by its
+/// database. Page Stores host slices from many databases (paper §3.4), so all
+/// Page Store APIs take a `SliceKey`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SliceKey {
+    pub db: DbId,
+    pub slice: SliceId,
+}
+
+impl SliceKey {
+    pub fn new(db: DbId, slice: SliceId) -> Self {
+        SliceKey { db, slice }
+    }
+}
+
+impl fmt::Display for SliceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.db, self.slice)
+    }
+}
+
+/// Identifier of a PLog. The production system uses an opaque 24-byte id
+/// assigned by the cluster manager; we reproduce the same width as three
+/// 64-bit words: the database it belongs to, a per-database sequence number,
+/// and an incarnation counter that distinguishes re-created PLogs.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct PLogId {
+    /// Owning database.
+    pub db: DbId,
+    /// Sequence number within the database's PLog stream (0 is reserved for
+    /// metadata PLogs).
+    pub seq: u64,
+    /// Incarnation: bumped each time the cluster manager has to re-create a
+    /// PLog after a failed write so ids never collide.
+    pub incarnation: u64,
+}
+
+impl PLogId {
+    pub fn new(db: DbId, seq: u64, incarnation: u64) -> Self {
+        PLogId {
+            db,
+            seq,
+            incarnation,
+        }
+    }
+
+    /// Byte width of the identifier (matches the paper's 24-byte ids).
+    pub const WIDTH: usize = 24;
+
+    /// Serializes the id to its fixed 24-byte wire form.
+    pub fn to_bytes(self) -> [u8; Self::WIDTH] {
+        let mut out = [0u8; Self::WIDTH];
+        out[0..8].copy_from_slice(&self.db.0.to_le_bytes());
+        out[8..16].copy_from_slice(&self.seq.to_le_bytes());
+        out[16..24].copy_from_slice(&self.incarnation.to_le_bytes());
+        out
+    }
+
+    /// Parses the fixed 24-byte wire form.
+    pub fn from_bytes(b: &[u8; Self::WIDTH]) -> Self {
+        let word = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        PLogId {
+            db: DbId(word(0)),
+            seq: word(8),
+            incarnation: word(16),
+        }
+    }
+}
+
+impl fmt::Display for PLogId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plog:{}.{}.{}", self.db.0, self.seq, self.incarnation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_to_slice_mapping() {
+        assert_eq!(PageId(0).slice(1024), SliceId(0));
+        assert_eq!(PageId(1023).slice(1024), SliceId(0));
+        assert_eq!(PageId(1024).slice(1024), SliceId(1));
+        assert_eq!(PageId(10_000_000).slice(1024), SliceId(9765));
+    }
+
+    #[test]
+    fn plog_id_roundtrips_through_24_bytes() {
+        let id = PLogId::new(DbId(7), 42, 3);
+        let bytes = id.to_bytes();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(PLogId::from_bytes(&bytes), id);
+    }
+
+    #[test]
+    fn slice_key_display_and_ordering() {
+        let a = SliceKey::new(DbId(1), SliceId(2));
+        let b = SliceKey::new(DbId(1), SliceId(3));
+        assert!(a < b);
+        assert_eq!(a.to_string(), "db:1/slice:2");
+    }
+
+    #[test]
+    fn control_page_lives_in_slice_zero() {
+        assert_eq!(PageId::CONTROL.slice(4096), SliceId(0));
+    }
+}

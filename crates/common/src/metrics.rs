@@ -1,0 +1,168 @@
+//! Small measurement helpers used by the benchmark harness: latency
+//! recording with percentile extraction and a monotonic throughput counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Records individual latency samples (microseconds) and reports summary
+/// statistics. Thread-safe; intended for bench harness use, not hot paths.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Mutex<Vec<u64>>,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, us: u64) {
+        self.samples.lock().push(us);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of summary statistics; `None` if no samples were recorded.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        let mut s = self.samples.lock().clone();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            let idx = ((s.len() as f64 - 1.0) * p).round() as usize;
+            s[idx]
+        };
+        let sum: u64 = s.iter().sum();
+        Some(LatencySummary {
+            count: s.len(),
+            mean_us: sum as f64 / s.len() as f64,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: *s.last().unwrap(),
+        })
+    }
+
+    pub fn clear(&self) {
+        self.samples.lock().clear();
+    }
+}
+
+/// Summary statistics of a latency distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    pub count: usize,
+    pub mean_us: f64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+/// A set of named monotonic counters (operations completed, bytes written,
+/// cache hits/misses...). Cheap enough for hot paths.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Hit-rate tracker for caches (buffer pools, log caches).
+#[derive(Debug, Default)]
+pub struct HitRate {
+    pub hits: Counter,
+    pub misses: Counter,
+}
+
+impl HitRate {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn ratio(&self) -> f64 {
+        let h = self.hits.get() as f64;
+        let m = self.misses.get() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles() {
+        let r = LatencyRecorder::new();
+        for v in 1..=100u64 {
+            r.record(v);
+        }
+        let s = r.summary().unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, 51); // nearest-rank on 0-indexed 100 samples
+        assert_eq!(s.p95_us, 95);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_recorder_has_no_summary() {
+        let r = LatencyRecorder::new();
+        assert!(r.summary().is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.reset(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn hit_rate_ratio() {
+        let h = HitRate::new();
+        assert_eq!(h.ratio(), 0.0);
+        h.hits.add(3);
+        h.misses.add(1);
+        assert!((h.ratio() - 0.75).abs() < 1e-9);
+    }
+}

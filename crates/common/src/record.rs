@@ -1,0 +1,381 @@
+//! Physiological redo log records.
+//!
+//! Every change the master makes to a page is described by exactly one
+//! [`LogRecord`]: the record names the page and a deterministic operation on
+//! it. Records are produced in [`LogRecordGroup`]s whose boundary is always a
+//! physically consistent point of the database (paper §6: "the master writes
+//! log records in groups, always setting the group boundary at a consistent
+//! point"). Read replicas apply whole groups atomically; Page Stores apply
+//! records per page in LSN order.
+//!
+//! Transaction control records ([`RecordBody::TxnCommit`] /
+//! [`RecordBody::TxnAbort`]) are addressed to the control page
+//! ([`crate::PageId::CONTROL`]) and apply as version bumps only; replicas use
+//! them to maintain their committed-transaction view (logical consistency).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{Result, TaurusError};
+use crate::ids::{DbId, PageId, TxnId};
+use crate::lsn::Lsn;
+use crate::page::{PageType, PAGE_SIZE};
+
+/// The operation a log record performs on its target page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordBody {
+    /// (Re)format the page as an empty page of a given type/level.
+    Format { ty: PageType, level: u8 },
+    /// Insert a record at a slot index.
+    Insert { idx: u16, key: Bytes, val: Bytes },
+    /// Remove the record at a slot index.
+    Remove { idx: u16 },
+    /// Replace the value of the record at a slot index.
+    UpdateValue { idx: u16, val: Bytes },
+    /// Drop all records from a slot index onward (left half of a split).
+    TruncateFrom { idx: u16 },
+    /// Set sibling links.
+    SetLinks { next: u64, prev: u64 },
+    /// Full page image (used as a consolidation base and by recovery).
+    PageImage { image: Bytes },
+    /// Transaction committed. Target page is the control page.
+    TxnCommit { txn: TxnId },
+    /// Transaction aborted. Target page is the control page.
+    TxnAbort { txn: TxnId },
+}
+
+impl RecordBody {
+    fn tag(&self) -> u8 {
+        match self {
+            RecordBody::Format { .. } => 0,
+            RecordBody::Insert { .. } => 1,
+            RecordBody::Remove { .. } => 2,
+            RecordBody::UpdateValue { .. } => 3,
+            RecordBody::TruncateFrom { .. } => 4,
+            RecordBody::SetLinks { .. } => 5,
+            RecordBody::PageImage { .. } => 6,
+            RecordBody::TxnCommit { .. } => 7,
+            RecordBody::TxnAbort { .. } => 8,
+        }
+    }
+}
+
+/// One redo log record: an LSN-stamped operation on one page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecord {
+    pub lsn: Lsn,
+    pub page: PageId,
+    pub body: RecordBody,
+}
+
+impl LogRecord {
+    pub fn new(lsn: Lsn, page: PageId, body: RecordBody) -> Self {
+        LogRecord { lsn, page, body }
+    }
+
+    /// Size of the encoded record in bytes (used for buffer accounting).
+    pub fn encoded_len(&self) -> usize {
+        let body = match &self.body {
+            RecordBody::Format { .. } => 2,
+            RecordBody::Insert { key, val, .. } => 2 + 2 + 4 + key.len() + val.len(),
+            RecordBody::Remove { .. } => 2,
+            RecordBody::UpdateValue { val, .. } => 2 + 4 + val.len(),
+            RecordBody::TruncateFrom { .. } => 2,
+            RecordBody::SetLinks { .. } => 16,
+            RecordBody::PageImage { .. } => PAGE_SIZE,
+            RecordBody::TxnCommit { .. } | RecordBody::TxnAbort { .. } => 8,
+        };
+        // len(u32) + lsn(u64) + page(u64) + tag(u8) + body
+        4 + 8 + 8 + 1 + body
+    }
+
+    /// Appends the wire encoding of this record to `out`.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.put_u32_le((self.encoded_len() - 4) as u32);
+        out.put_u64_le(self.lsn.0);
+        out.put_u64_le(self.page.0);
+        out.put_u8(self.body.tag());
+        match &self.body {
+            RecordBody::Format { ty, level } => {
+                out.put_u8(*ty as u8);
+                out.put_u8(*level);
+            }
+            RecordBody::Insert { idx, key, val } => {
+                out.put_u16_le(*idx);
+                out.put_u16_le(key.len() as u16);
+                out.put_u32_le(val.len() as u32);
+                out.put_slice(key);
+                out.put_slice(val);
+            }
+            RecordBody::Remove { idx } => out.put_u16_le(*idx),
+            RecordBody::UpdateValue { idx, val } => {
+                out.put_u16_le(*idx);
+                out.put_u32_le(val.len() as u32);
+                out.put_slice(val);
+            }
+            RecordBody::TruncateFrom { idx } => out.put_u16_le(*idx),
+            RecordBody::SetLinks { next, prev } => {
+                out.put_u64_le(*next);
+                out.put_u64_le(*prev);
+            }
+            RecordBody::PageImage { image } => out.put_slice(image),
+            RecordBody::TxnCommit { txn } => out.put_u64_le(txn.0),
+            RecordBody::TxnAbort { txn } => out.put_u64_le(txn.0),
+        }
+    }
+
+    /// Encodes this record into a standalone buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out.freeze()
+    }
+
+    /// Decodes one record from the front of `buf`, consuming its bytes.
+    pub fn decode(buf: &mut Bytes) -> Result<LogRecord> {
+        if buf.remaining() < 4 {
+            return Err(TaurusError::Codec("record truncated: no length"));
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return Err(TaurusError::Codec("record truncated: body"));
+        }
+        let mut body_buf = buf.split_to(len);
+        let lsn = Lsn(body_buf.get_u64_le());
+        let page = PageId(body_buf.get_u64_le());
+        let tag = body_buf.get_u8();
+        let body = match tag {
+            0 => RecordBody::Format {
+                ty: PageType::from_u8(body_buf.get_u8())?,
+                level: body_buf.get_u8(),
+            },
+            1 => {
+                let idx = body_buf.get_u16_le();
+                let klen = body_buf.get_u16_le() as usize;
+                let vlen = body_buf.get_u32_le() as usize;
+                if body_buf.remaining() < klen + vlen {
+                    return Err(TaurusError::Codec("insert record truncated"));
+                }
+                let key = body_buf.split_to(klen);
+                let val = body_buf.split_to(vlen);
+                RecordBody::Insert { idx, key, val }
+            }
+            2 => RecordBody::Remove {
+                idx: body_buf.get_u16_le(),
+            },
+            3 => {
+                let idx = body_buf.get_u16_le();
+                let vlen = body_buf.get_u32_le() as usize;
+                if body_buf.remaining() < vlen {
+                    return Err(TaurusError::Codec("update record truncated"));
+                }
+                RecordBody::UpdateValue {
+                    idx,
+                    val: body_buf.split_to(vlen),
+                }
+            }
+            4 => RecordBody::TruncateFrom {
+                idx: body_buf.get_u16_le(),
+            },
+            5 => RecordBody::SetLinks {
+                next: body_buf.get_u64_le(),
+                prev: body_buf.get_u64_le(),
+            },
+            6 => {
+                if body_buf.remaining() < PAGE_SIZE {
+                    return Err(TaurusError::Codec("page image truncated"));
+                }
+                RecordBody::PageImage {
+                    image: body_buf.split_to(PAGE_SIZE),
+                }
+            }
+            7 => RecordBody::TxnCommit {
+                txn: TxnId(body_buf.get_u64_le()),
+            },
+            8 => RecordBody::TxnAbort {
+                txn: TxnId(body_buf.get_u64_le()),
+            },
+            _ => return Err(TaurusError::Codec("unknown record tag")),
+        };
+        Ok(LogRecord { lsn, page, body })
+    }
+}
+
+const GROUP_MAGIC: u32 = 0x5452_4c47; // "TRLG"
+
+/// A group of log records forming one atomic, physically consistent unit.
+///
+/// Groups are the unit the SAL appends to the database log buffer and the
+/// unit read replicas apply atomically. `end_lsn` is the LSN of the last
+/// record in the group; a replica whose visible LSN equals some group's
+/// `end_lsn` observes a physically consistent database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecordGroup {
+    pub db: DbId,
+    pub records: Vec<LogRecord>,
+}
+
+impl LogRecordGroup {
+    pub fn new(db: DbId, records: Vec<LogRecord>) -> Self {
+        debug_assert!(!records.is_empty(), "empty log record group");
+        debug_assert!(
+            records.windows(2).all(|w| w[0].lsn < w[1].lsn),
+            "group records out of LSN order"
+        );
+        LogRecordGroup { db, records }
+    }
+
+    /// LSN of the first record in the group.
+    pub fn first_lsn(&self) -> Lsn {
+        self.records.first().map(|r| r.lsn).unwrap_or(Lsn::ZERO)
+    }
+
+    /// LSN of the last record: the group boundary / consistent point.
+    pub fn end_lsn(&self) -> Lsn {
+        self.records.last().map(|r| r.lsn).unwrap_or(Lsn::ZERO)
+    }
+
+    /// Size of the encoded group in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + 8 + 4 + self.records.iter().map(LogRecord::encoded_len).sum::<usize>()
+    }
+
+    /// Appends the wire encoding of the group to `out`.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        out.put_u32_le(GROUP_MAGIC);
+        out.put_u64_le(self.db.0);
+        out.put_u32_le(self.records.len() as u32);
+        for r in &self.records {
+            r.encode_into(out);
+        }
+    }
+
+    /// Encodes the group into a standalone buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out.freeze()
+    }
+
+    /// Decodes one group from the front of `buf`, consuming its bytes.
+    pub fn decode(buf: &mut Bytes) -> Result<LogRecordGroup> {
+        if buf.remaining() < 16 {
+            return Err(TaurusError::Codec("group truncated: header"));
+        }
+        if buf.get_u32_le() != GROUP_MAGIC {
+            return Err(TaurusError::Codec("bad group magic"));
+        }
+        let db = DbId(buf.get_u64_le());
+        let count = buf.get_u32_le() as usize;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            records.push(LogRecord::decode(buf)?);
+        }
+        Ok(LogRecordGroup { db, records })
+    }
+
+    /// Decodes every group in `buf` (e.g. the contents of a PLog read).
+    pub fn decode_all(mut buf: Bytes) -> Result<Vec<LogRecordGroup>> {
+        let mut groups = Vec::new();
+        while buf.has_remaining() {
+            groups.push(LogRecordGroup::decode(&mut buf)?);
+        }
+        Ok(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::new(
+                Lsn(1),
+                PageId(5),
+                RecordBody::Format {
+                    ty: PageType::Leaf,
+                    level: 0,
+                },
+            ),
+            LogRecord::new(
+                Lsn(2),
+                PageId(5),
+                RecordBody::Insert {
+                    idx: 0,
+                    key: Bytes::from_static(b"alpha"),
+                    val: Bytes::from_static(b"one"),
+                },
+            ),
+            LogRecord::new(
+                Lsn(3),
+                PageId(5),
+                RecordBody::UpdateValue {
+                    idx: 0,
+                    val: Bytes::from_static(b"two"),
+                },
+            ),
+            LogRecord::new(Lsn(4), PageId(5), RecordBody::Remove { idx: 0 }),
+            LogRecord::new(Lsn(5), PageId(5), RecordBody::TruncateFrom { idx: 0 }),
+            LogRecord::new(Lsn(6), PageId(5), RecordBody::SetLinks { next: 9, prev: 3 }),
+            LogRecord::new(Lsn(7), PageId::CONTROL, RecordBody::TxnCommit { txn: TxnId(42) }),
+            LogRecord::new(Lsn(8), PageId::CONTROL, RecordBody::TxnAbort { txn: TxnId(43) }),
+        ]
+    }
+
+    #[test]
+    fn every_record_kind_roundtrips() {
+        for rec in sample_records() {
+            let mut encoded = rec.encode();
+            assert_eq!(encoded.len(), rec.encoded_len());
+            let decoded = LogRecord::decode(&mut encoded).unwrap();
+            assert_eq!(decoded, rec);
+            assert!(!encoded.has_remaining());
+        }
+    }
+
+    #[test]
+    fn page_image_roundtrips() {
+        let image = Bytes::from(vec![0x5au8; PAGE_SIZE]);
+        let rec = LogRecord::new(Lsn(9), PageId(77), RecordBody::PageImage { image });
+        let mut enc = rec.encode();
+        assert_eq!(LogRecord::decode(&mut enc).unwrap(), rec);
+    }
+
+    #[test]
+    fn group_roundtrips_and_reports_boundaries() {
+        let g = LogRecordGroup::new(DbId(1), sample_records());
+        assert_eq!(g.first_lsn(), Lsn(1));
+        assert_eq!(g.end_lsn(), Lsn(8));
+        let mut enc = g.encode();
+        assert_eq!(enc.len(), g.encoded_len());
+        let back = LogRecordGroup::decode(&mut enc).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn decode_all_recovers_concatenated_groups() {
+        let g1 = LogRecordGroup::new(DbId(1), sample_records()[..3].to_vec());
+        let g2 = LogRecordGroup::new(DbId(1), sample_records()[3..].to_vec());
+        let mut buf = BytesMut::new();
+        g1.encode_into(&mut buf);
+        g2.encode_into(&mut buf);
+        let groups = LogRecordGroup::decode_all(buf.freeze()).unwrap();
+        assert_eq!(groups, vec![g1, g2]);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let rec = sample_records().remove(1);
+        let enc = rec.encode();
+        for cut in [0, 3, 5, enc.len() - 1] {
+            let mut prefix = enc.slice(0..cut);
+            assert!(LogRecord::decode(&mut prefix).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_magic_is_rejected() {
+        let mut buf = Bytes::from_static(&[0xff; 32]);
+        assert!(LogRecordGroup::decode(&mut buf).is_err());
+    }
+}

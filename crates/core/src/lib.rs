@@ -1,0 +1,35 @@
+//! # taurus-core
+//!
+//! The Storage Abstraction Layer (SAL) and recovery machinery — the primary
+//! contribution of the Taurus paper (§3.5, §4, §5). The SAL is a library
+//! linked into the database front end that hides the entire storage layer:
+//!
+//! * **Write path** (§4.1 / Fig. 3): log-record groups accumulate in the
+//!   *database log buffer*; a flush writes the buffer durably to three Log
+//!   Stores (all must ack — that is the commit point), then distributes the
+//!   records into *per-slice buffers* which are shipped to the three Page
+//!   Store replicas of each slice, **waiting for only one ack**. Durability
+//!   comes from the Log Stores; Page Stores are eventually consistent and
+//!   repaired by gossip and the SAL.
+//! * **CV-LSN** (§3.5): the cluster-visible LSN advances to a log buffer's
+//!   end LSN only when (1) the buffer is durable on Log Stores and (2) every
+//!   per-slice buffer overlapping it reached at least one Page Store
+//!   replica. The SAL tracks the many-to-many relationship between database
+//!   log buffers and per-slice buffers to maintain it.
+//! * **Read path** (§4.2): versioned page reads routed to the
+//!   lowest-latency replica, falling through to the next replica when one is
+//!   behind or down, and falling back to Log-Store-driven repair when all
+//!   replicas miss data.
+//! * **Log truncation** (§4.3): the *database persistent LSN* — the minimum
+//!   persistent LSN across slice replicas that still miss records — gates
+//!   PLog deletion, guaranteeing every record lives on three nodes somewhere
+//!   at all times.
+//! * **Recovery** (§5): persistent-LSN regression detection (Fig. 4b),
+//!   missing-range probing (Fig. 4c), targeted gossip triggering, Log-Store
+//!   resends, and full SAL restart recovery (§5.3).
+
+pub mod recovery;
+pub mod sal;
+
+pub use recovery::RecoveryService;
+pub use sal::{Sal, SalStats};

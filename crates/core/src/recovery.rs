@@ -1,0 +1,152 @@
+//! The recovery service (paper §5).
+//!
+//! Storage nodes are monitored continuously; failures are classified as
+//! short-term (wait it out; gossip catches stragglers up) or long-term
+//! (decommission the node, re-replicate its data). On top of node-level
+//! repair, the service drives the SAL-side log repair loops:
+//!
+//! * **persistent-LSN regression** (Fig. 4(b)): a rebuilt replica reports a
+//!   lower persistent LSN than before — resend the gap from the Log Stores;
+//! * **stalled persistent LSN** (Fig. 4(c)): a replica's persistent LSN
+//!   stops advancing while lagging the flush LSN — first trigger targeted
+//!   gossip; if the hole exists on *every* replica, resend it from the Log
+//!   Stores;
+//! * **periodic gossip** (the 30-minute sweep, scaled down);
+//! * **log truncation** (Fig. 3 steps 7-8).
+
+use std::sync::Arc;
+
+use taurus_common::Lsn;
+use taurus_fabric::{FailureDetector, FailureEvent, NodeKind};
+
+use crate::sal::Sal;
+
+/// What one recovery round did (for tests and observability).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    pub short_term_failures: usize,
+    pub long_term_failures: usize,
+    pub plogs_rereplicated: usize,
+    pub slices_rebuilt: usize,
+    pub regressions_repaired: usize,
+    pub gossip_triggered: usize,
+    pub holes_resent: usize,
+    pub plogs_truncated: usize,
+}
+
+/// Periodic recovery driver for one database.
+pub struct RecoveryService {
+    sal: Arc<Sal>,
+    detector: FailureDetector,
+    last_gossip_us: u64,
+}
+
+impl RecoveryService {
+    pub fn new(sal: Arc<Sal>) -> Self {
+        let detector = FailureDetector::new(
+            sal.logs.fabric.clone(),
+            vec![NodeKind::LogStore, NodeKind::PageStore],
+            sal.cfg.short_term_failure_us,
+        );
+        RecoveryService {
+            sal,
+            detector,
+            last_gossip_us: 0,
+        }
+    }
+
+    /// Runs one full recovery round. Deterministic: drive it from a timer
+    /// thread in live systems or explicitly in tests.
+    pub fn run_once(&mut self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let sal = Arc::clone(&self.sal);
+
+        // 1. Node-level failure handling.
+        for event in self.detector.poll() {
+            match event {
+                FailureEvent::ShortTermFailure(_) => {
+                    // Nothing to do: sealed PLogs are read-only; Page Store
+                    // gossip will catch the node up when it returns (§5.1,
+                    // §5.2).
+                    report.short_term_failures += 1;
+                }
+                FailureEvent::Recovered(_) => {
+                    // Accelerate catch-up rather than waiting for the sweep.
+                    report.gossip_triggered += 1;
+                    sal.pages.gossip_all();
+                    let _ = sal.poll_persistent_lsns();
+                }
+                FailureEvent::LongTermFailure(node) => {
+                    report.long_term_failures += 1;
+                    // Re-create lost PLog replicas from survivors (§5.1).
+                    if let Ok(n) = sal.logs.rereplicate_from(node, sal.me) {
+                        report.plogs_rereplicated += n;
+                    }
+                    // Rebuild every slice replica the node hosted (§5.2).
+                    for key in sal.pages.slices() {
+                        if sal.pages.replicas_of(key).contains(&node) {
+                            if sal.pages.rebuild_replica(key, node, sal.me).is_ok() {
+                                report.slices_rebuilt += 1;
+                            }
+                        }
+                    }
+                    sal.refresh_placement();
+                }
+            }
+        }
+
+        // 2. Persistent-LSN regression detection (Fig. 4(b)).
+        for key in sal.poll_persistent_lsns() {
+            if sal.repair_slice_from_logstores(key).unwrap_or(0) > 0 {
+                report.regressions_repaired += 1;
+            }
+        }
+
+        // 3. Stall detection (Fig. 4(c)): gossip first; if the hole is
+        // missing from every replica, gossip cannot help — resend from the
+        // Log Stores.
+        for key in sal.stalled_slices(sal.cfg.lag_repair_timeout_us) {
+            report.gossip_triggered += 1;
+            sal.trigger_gossip(key);
+            if !sal.stalled_slices(sal.cfg.lag_repair_timeout_us).contains(&key) {
+                continue;
+            }
+            // Probe missing ranges on all replicas; any range missing from
+            // every replica needs a Log Store resend.
+            let replicas = sal.pages.replicas_of(key);
+            let mut missing_everywhere = false;
+            let mut reachable = 0;
+            let mut all_ranges: Vec<Vec<(Lsn, Lsn)>> = Vec::new();
+            for node in &replicas {
+                if let Ok(ranges) = sal.pages.missing_ranges_of(*node, sal.me, key) {
+                    reachable += 1;
+                    all_ranges.push(ranges);
+                }
+            }
+            if reachable > 0 && all_ranges.iter().all(|r| !r.is_empty()) {
+                missing_everywhere = true;
+            }
+            // A replica can also simply be behind with no pending fragment
+            // at all (it was down during the sends); resending covers that
+            // case too.
+            if missing_everywhere || !all_ranges.iter().any(|r| r.is_empty()) {
+                if sal.repair_slice_from_logstores(key).unwrap_or(0) > 0 {
+                    report.holes_resent += 1;
+                }
+            }
+        }
+
+        // 4. Periodic full gossip sweep (§5.2's 30-minute cadence, scaled).
+        let now = sal.logs.fabric.clock.now_us();
+        if now.saturating_sub(self.last_gossip_us) >= sal.cfg.gossip_interval_us {
+            self.last_gossip_us = now;
+            sal.pages.gossip_all();
+            let _ = sal.poll_persistent_lsns();
+        }
+
+        // 5. Log truncation (Fig. 3 steps 7-8).
+        report.plogs_truncated = sal.truncate_log().unwrap_or(0);
+
+        report
+    }
+}

@@ -1,0 +1,890 @@
+//! The Storage Abstraction Layer.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use taurus_common::clock::ClockRef;
+use taurus_common::lsn::LsnWatermark;
+use taurus_common::metrics::Counter;
+use taurus_common::{
+    DbId, LogRecord, LogRecordGroup, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusConfig,
+    TaurusError,
+};
+use taurus_logstore::{LogStoreCluster, LogStream};
+use taurus_pagestore::{PageStoreCluster, SliceFragment};
+
+/// Per-slice state the SAL maintains (paper §3.5, §4).
+#[derive(Debug)]
+pub(crate) struct SliceState {
+    /// Current Page Store replica placement (refreshed from the cluster
+    /// manager on changes).
+    pub replicas: Vec<NodeId>,
+    /// Records accumulated for the next fragment.
+    buffer: Vec<LogRecord>,
+    buffer_bytes: usize,
+    /// Chain link for the next fragment: last LSN ever handed to a flush.
+    pub flush_lsn: Lsn,
+    /// Last fragment end acknowledged by ≥1 replica ("the slice write is
+    /// safe; the buffer can be released").
+    pub acked_lsn: Lsn,
+    /// Last persistent LSN reported by each replica (piggybacked on
+    /// WriteLogs/ReadPage responses or polled — paper §4.3).
+    pub replica_persistent: HashMap<NodeId, Lsn>,
+    /// EWMA read latency per replica (µs) for latency-aware routing (§4.2).
+    pub read_latency_us: HashMap<NodeId, f64>,
+    /// Fabric time of the last persistent-LSN progress on the slowest
+    /// replica (stall detection, §5.2).
+    pub last_progress_us: u64,
+    /// When the current buffer got its first record (flush timeout).
+    buffer_opened_us: u64,
+}
+
+impl SliceState {
+    fn new(replicas: Vec<NodeId>) -> Self {
+        SliceState {
+            replicas,
+            buffer: Vec::new(),
+            buffer_bytes: 0,
+            flush_lsn: Lsn::ZERO,
+            acked_lsn: Lsn::ZERO,
+            replica_persistent: HashMap::new(),
+            read_latency_us: HashMap::new(),
+            last_progress_us: 0,
+            buffer_opened_us: 0,
+        }
+    }
+
+    /// Minimum persistent LSN across this slice's replicas (ZERO until all
+    /// have reported).
+    pub fn min_replica_persistent(&self) -> Lsn {
+        self.replicas
+            .iter()
+            .map(|n| self.replica_persistent.get(n).copied().unwrap_or(Lsn::ZERO))
+            .min()
+            .unwrap_or(Lsn::ZERO)
+    }
+}
+
+/// One flushed database log buffer awaiting CV-LSN advancement: the buffer's
+/// end LSN becomes cluster-visible once every overlapping slice buffer has
+/// reached at least one Page Store replica (paper §3.5).
+#[derive(Debug)]
+struct PendingBuffer {
+    end_lsn: Lsn,
+    /// Slice → last LSN this buffer contributed to it; satisfied when the
+    /// slice's acked LSN reaches it.
+    needs: HashMap<SliceKey, Lsn>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct SalState {
+    log_buffer: Vec<LogRecordGroup>,
+    log_buffer_bytes: usize,
+    pub slices: HashMap<SliceKey, SliceState>,
+    pending: VecDeque<PendingBuffer>,
+    /// Named snapshots: LSNs pinned against version recycling. Because Page
+    /// Stores are append-only, creating a snapshot is constant-time — it is
+    /// just an LSN (the paper's abstract: "append-only storage, delivering
+    /// ... constant-time snapshots").
+    snapshots: HashMap<String, Lsn>,
+}
+
+/// Counters exposed for benches and tests.
+#[derive(Debug, Default)]
+pub struct SalStats {
+    pub log_flushes: Counter,
+    pub slice_flushes: Counter,
+    pub page_reads: Counter,
+    pub read_retries: Counter,
+    pub resends: Counter,
+    pub gossip_triggers: Counter,
+}
+
+/// A write-ack job processed by the background sender pool.
+struct SendJob {
+    node: NodeId,
+    frag: SliceFragment,
+}
+
+/// The Storage Abstraction Layer: one per database front end process.
+pub struct Sal {
+    pub db: DbId,
+    /// The compute node this SAL runs on.
+    pub me: NodeId,
+    pub cfg: TaurusConfig,
+    clock: ClockRef,
+    pub logs: LogStoreCluster,
+    pub pages: PageStoreCluster,
+    stream: LogStream,
+    state: Mutex<SalState>,
+    /// Cluster-visible LSN (§3.5).
+    cv_lsn: LsnWatermark,
+    /// Highest LSN durable on Log Stores.
+    durable_lsn: LsnWatermark,
+    /// Periodically saved database persistent LSN — the recovery starting
+    /// point (§4.3 "SAL periodically saves this value for recovery
+    /// purposes"). Modeled as a durable control-plane cell that survives
+    /// front-end crashes.
+    anchor: Arc<LsnWatermark>,
+    sender: Sender<SendJob>,
+    /// Microseconds of delay injected per log flush while Page Store
+    /// consolidation is behind ("the SAL throttles log writes on the
+    /// master" to bound Log Directory growth — paper §7).
+    throttle_us: AtomicU64,
+    pub stats: SalStats,
+}
+
+impl std::fmt::Debug for Sal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sal")
+            .field("db", &self.db)
+            .field("cv_lsn", &self.cv_lsn.get())
+            .field("durable_lsn", &self.durable_lsn.get())
+            .finish()
+    }
+}
+
+impl Sal {
+    /// Creates the SAL for a brand-new database: allocates the log stream
+    /// and registers nothing else — slices appear on first write.
+    pub fn create(
+        cfg: TaurusConfig,
+        db: DbId,
+        me: NodeId,
+        logs: LogStoreCluster,
+        pages: PageStoreCluster,
+        anchor: Arc<LsnWatermark>,
+    ) -> Result<Arc<Sal>> {
+        cfg.validate()?;
+        let stream = LogStream::create(logs.clone(), db, me, cfg.plog_size_limit)?;
+        Ok(Self::build(cfg, db, me, logs, pages, stream, anchor))
+    }
+
+    fn build(
+        cfg: TaurusConfig,
+        db: DbId,
+        me: NodeId,
+        logs: LogStoreCluster,
+        pages: PageStoreCluster,
+        stream: LogStream,
+        anchor: Arc<LsnWatermark>,
+    ) -> Arc<Sal> {
+        let (tx, rx) = unbounded::<SendJob>();
+        let clock = logs.fabric.clock.clone();
+        let sal = Arc::new(Sal {
+            db,
+            me,
+            cfg,
+            clock,
+            logs,
+            pages,
+            stream,
+            state: Mutex::new(SalState::default()),
+            cv_lsn: LsnWatermark::new(Lsn::ZERO),
+            durable_lsn: LsnWatermark::new(Lsn::ZERO),
+            anchor,
+            sender: tx,
+            throttle_us: AtomicU64::new(0),
+            stats: SalStats::default(),
+        });
+        // Background sender pool: ships slice fragments to Page Store
+        // replicas and feeds acks back (the "wait for one" model means no
+        // foreground thread ever blocks on these).
+        for _ in 0..4 {
+            let weak: Weak<Sal> = Arc::downgrade(&sal);
+            let rx = rx.clone();
+            std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let Some(sal) = weak.upgrade() else { break };
+                    sal.process_send_job(job);
+                }
+            });
+        }
+        sal
+    }
+
+    fn process_send_job(&self, job: SendJob) {
+        let key = job.frag.slice;
+        let last = job.frag.last_lsn();
+        match self.pages.write_logs_to(job.node, self.me, &job.frag) {
+            Ok(persistent) => self.on_write_ack(key, job.node, last, persistent),
+            Err(_) => {
+                // The replica is down or behind; gossip and the recovery
+                // service will repair it. Durability is already guaranteed
+                // by the Log Stores.
+            }
+        }
+    }
+
+    // ==================================================================
+    // Write path (§4.1)
+    // ==================================================================
+
+    /// Appends a log-record group to the database log buffer. Flushes when
+    /// the buffer is full. Does **not** guarantee durability — call
+    /// [`Sal::flush`] for that (the engine does at commit).
+    pub fn log_group(&self, group: LogRecordGroup) -> Result<()> {
+        let mut st = self.state.lock();
+        st.log_buffer_bytes += group.encoded_len();
+        st.log_buffer.push(group);
+        if st.log_buffer_bytes >= self.cfg.log_buffer_bytes {
+            self.flush_locked(&mut st)?;
+        }
+        Ok(())
+    }
+
+    /// Forces the database log buffer to the Log Stores. On return, every
+    /// record passed to [`Sal::log_group`] so far is durable (3/3) and the
+    /// transaction ack may be sent. Returns the durable LSN.
+    pub fn flush(&self) -> Result<Lsn> {
+        let mut st = self.state.lock();
+        self.flush_locked(&mut st)?;
+        Ok(self.durable_lsn.get())
+    }
+
+    fn flush_locked(&self, st: &mut SalState) -> Result<()> {
+        if st.log_buffer.is_empty() {
+            return Ok(());
+        }
+        // Backpressure: while consolidation is behind, each flush pays a
+        // small delay so the Log Directories stop growing (§7).
+        let throttle = self.throttle_us.load(Ordering::Relaxed);
+        if throttle > 0 {
+            self.clock.sleep_us(throttle);
+        }
+        let groups = std::mem::take(&mut st.log_buffer);
+        st.log_buffer_bytes = 0;
+        let first = groups.first().map(|g| g.first_lsn()).unwrap_or(Lsn::ZERO);
+        let end = groups.last().map(|g| g.end_lsn()).unwrap_or(Lsn::ZERO);
+        // Encode all groups into one durable write.
+        let mut buf = bytes::BytesMut::new();
+        for g in &groups {
+            g.encode_into(&mut buf);
+        }
+        // Step 2-3: durable on all Log Store replicas == commit point.
+        self.stream.append_group(buf.freeze(), first, end)?;
+        self.durable_lsn.advance(end);
+        self.stats.log_flushes.inc();
+        // Step 4: distribute records into per-slice buffers.
+        let mut touched: HashMap<SliceKey, Lsn> = HashMap::new();
+        for g in groups {
+            for rec in g.records {
+                let key = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
+                self.ensure_slice_locked(st, key)?;
+                let slice = st.slices.get_mut(&key).expect("just ensured");
+                if slice.buffer.is_empty() {
+                    slice.buffer_opened_us = self.clock.now_us();
+                }
+                slice.buffer_bytes += rec.encoded_len();
+                touched.insert(key, rec.lsn);
+                slice.buffer.push(rec);
+            }
+        }
+        // Track the buffer for CV-LSN advancement (§3.5).
+        st.pending.push_back(PendingBuffer {
+            end_lsn: end,
+            needs: touched,
+        });
+        // Flush slice buffers that crossed the size threshold.
+        let keys: Vec<SliceKey> = st
+            .slices
+            .iter()
+            .filter(|(_, s)| s.buffer_bytes >= self.cfg.slice_buffer_bytes)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            self.flush_slice_locked(st, key);
+        }
+        self.advance_cv_locked(st);
+        Ok(())
+    }
+
+    /// Recomputes the write-throttle from the Page Stores' consolidation
+    /// backlog. Called from [`Sal::tick`]; cheap (one gauge per server).
+    pub fn update_throttle(&self) {
+        let backlog = self.pages.max_backlog_pressure();
+        let limit = self.cfg.consolidation_backlog_limit;
+        let throttle = if backlog > limit {
+            // Proportional: 1µs per KiB over the limit, capped at 5ms.
+            (((backlog - limit) / 1024) as u64).min(5_000)
+        } else {
+            0
+        };
+        self.throttle_us.store(throttle, Ordering::Relaxed);
+    }
+
+    /// Current injected per-flush throttle (µs); 0 when consolidation keeps up.
+    pub fn current_throttle_us(&self) -> u64 {
+        self.throttle_us.load(Ordering::Relaxed)
+    }
+
+    /// Periodic driver: flushes slice buffers whose timeout expired. Call
+    /// this from a timer (or rely on the next log flush).
+    pub fn tick(&self) {
+        self.update_throttle();
+        let now = self.clock.now_us();
+        let mut st = self.state.lock();
+        let keys: Vec<SliceKey> = st
+            .slices
+            .iter()
+            .filter(|(_, s)| {
+                !s.buffer.is_empty()
+                    && now.saturating_sub(s.buffer_opened_us) >= self.cfg.slice_flush_timeout_us
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            self.flush_slice_locked(&mut st, key);
+        }
+    }
+
+    /// Forces every slice buffer out (quiesce; used by tests and shutdown).
+    pub fn flush_all_slices(&self) {
+        let mut st = self.state.lock();
+        let keys: Vec<SliceKey> = st
+            .slices
+            .iter()
+            .filter(|(_, s)| !s.buffer.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            self.flush_slice_locked(&mut st, key);
+        }
+    }
+
+    fn ensure_slice_locked(&self, st: &mut SalState, key: SliceKey) -> Result<()> {
+        if st.slices.contains_key(&key) {
+            return Ok(());
+        }
+        let replicas = self.pages.create_slice(key, self.me)?;
+        st.slices.insert(key, SliceState::new(replicas));
+        Ok(())
+    }
+
+    /// Ships the slice buffer as one fragment to all replicas via the
+    /// background pool (Step 4; SAL will consider it safe after ONE ack —
+    /// Step 5).
+    fn flush_slice_locked(&self, st: &mut SalState, key: SliceKey) {
+        let Some(slice) = st.slices.get_mut(&key) else { return };
+        if slice.buffer.is_empty() {
+            return;
+        }
+        let records = std::mem::take(&mut slice.buffer);
+        slice.buffer_bytes = 0;
+        let frag = SliceFragment::new(key, slice.flush_lsn, records);
+        slice.flush_lsn = frag.last_lsn();
+        self.stats.slice_flushes.inc();
+        for &node in &slice.replicas {
+            let _ = self.sender.send(SendJob {
+                node,
+                frag: frag.clone(),
+            });
+        }
+    }
+
+    /// Ack handler: first-replica acknowledgment releases the buffer and
+    /// can advance the CV-LSN; every ack updates the piggybacked persistent
+    /// LSN (§4.3).
+    pub(crate) fn on_write_ack(&self, key: SliceKey, node: NodeId, frag_last: Lsn, persistent: Lsn) {
+        let mut st = self.state.lock();
+        let now = self.clock.now_us();
+        if let Some(slice) = st.slices.get_mut(&key) {
+            slice.acked_lsn = slice.acked_lsn.max(frag_last);
+            let prev = slice
+                .replica_persistent
+                .insert(node, persistent)
+                .unwrap_or(Lsn::ZERO);
+            if persistent > prev {
+                slice.last_progress_us = now;
+            }
+        }
+        self.advance_cv_locked(&mut st);
+    }
+
+    /// CV-LSN advancement: pop pending log buffers in order while all their
+    /// slice writes are acked by ≥1 replica.
+    fn advance_cv_locked(&self, st: &mut SalState) {
+        while let Some(front) = st.pending.front() {
+            let satisfied = front.needs.iter().all(|(key, lsn)| {
+                st.slices
+                    .get(key)
+                    .map(|s| s.acked_lsn >= *lsn)
+                    .unwrap_or(false)
+            });
+            if !satisfied {
+                break;
+            }
+            let done = st.pending.pop_front().expect("front exists");
+            self.cv_lsn.advance(done.end_lsn);
+        }
+    }
+
+    // ==================================================================
+    // Read path (§4.2)
+    // ==================================================================
+
+    /// Reads the version of `page` at `as_of` (defaults to the highest LSN
+    /// safe for the master: the slice's acked LSN). Tries replicas in
+    /// latency order; a replica that is behind or down is skipped; if all
+    /// fail, repairs via the Log Stores and retries (§4.2, §5.2).
+    pub fn read_page(&self, page: PageId, as_of: Option<Lsn>) -> Result<PageBuf> {
+        let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
+        self.stats.page_reads.inc();
+        let (replicas, default_as_of) = {
+            let mut st = self.state.lock();
+            self.ensure_slice_locked(&mut st, key)?;
+            let slice = &st.slices[&key];
+            (self.replicas_by_latency(slice), slice.acked_lsn)
+        };
+        let as_of = as_of.unwrap_or(default_as_of);
+        match self.try_read(key, page, as_of, &replicas) {
+            Ok(buf) => Ok(buf),
+            Err(_) => {
+                // All replicas failed: the rare cascading-failure path. Pull
+                // the missing records from the Log Stores, resend, retry
+                // once (paper §4.2: "SAL recognizes this situation and
+                // repairs data using Log Stores").
+                self.repair_slice_from_logstores(key)?;
+                self.try_read(key, page, as_of, &replicas)
+            }
+        }
+    }
+
+    fn try_read(
+        &self,
+        key: SliceKey,
+        page: PageId,
+        as_of: Lsn,
+        replicas: &[NodeId],
+    ) -> Result<PageBuf> {
+        let mut last_err = TaurusError::AllReplicasFailed(key);
+        for &node in replicas {
+            let start = self.clock.now_us();
+            match self.pages.read_page_from(node, self.me, key, page, as_of) {
+                Ok((buf, _)) => {
+                    self.note_read_latency(key, node, self.clock.now_us() - start);
+                    return Ok(buf);
+                }
+                Err(e) => {
+                    self.stats.read_retries.inc();
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn replicas_by_latency(&self, slice: &SliceState) -> Vec<NodeId> {
+        let mut nodes = slice.replicas.clone();
+        nodes.sort_by(|a, b| {
+            let la = slice.read_latency_us.get(a).copied().unwrap_or(0.0);
+            let lb = slice.read_latency_us.get(b).copied().unwrap_or(0.0);
+            la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        nodes
+    }
+
+    fn note_read_latency(&self, key: SliceKey, node: NodeId, us: u64) {
+        let mut st = self.state.lock();
+        if let Some(slice) = st.slices.get_mut(&key) {
+            let ewma = slice.read_latency_us.entry(node).or_insert(us as f64);
+            *ewma = 0.8 * *ewma + 0.2 * us as f64;
+        }
+    }
+
+    // ==================================================================
+    // Truncation (§4.3) and repair (§5.2) — driven by RecoveryService
+    // ==================================================================
+
+    /// The database persistent LSN: the minimum persistent LSN across the
+    /// slices that still have records not yet on all three replicas. Slices
+    /// that are fully caught up do not constrain it (§4.3).
+    pub fn database_persistent_lsn(&self) -> Lsn {
+        let st = self.state.lock();
+        let mut dbp = self.durable_lsn.get();
+        for slice in st.slices.values() {
+            let min = slice.min_replica_persistent();
+            if min < slice.flush_lsn {
+                dbp = dbp.min(min);
+            }
+        }
+        dbp
+    }
+
+    /// Saves the database persistent LSN (recovery anchor) and deletes every
+    /// PLog entirely below it (Fig. 3 steps 7-8). Returns PLogs deleted.
+    pub fn truncate_log(&self) -> Result<usize> {
+        let dbp = self.database_persistent_lsn();
+        self.anchor.advance(dbp);
+        self.stream.truncate_below(dbp)
+    }
+
+    /// Polls `GetPersistentLSN` from every replica of every slice, as the
+    /// paper's SAL does periodically for recently-updated slices. Returns
+    /// slices whose reported value **decreased** — the Fig. 4(b) signal that
+    /// a rebuilt replica lost records.
+    pub fn poll_persistent_lsns(&self) -> Vec<SliceKey> {
+        let snapshot: Vec<(SliceKey, Vec<NodeId>)> = {
+            let st = self.state.lock();
+            st.slices
+                .iter()
+                .map(|(k, s)| (*k, s.replicas.clone()))
+                .collect()
+        };
+        let mut regressed = Vec::new();
+        for (key, replicas) in snapshot {
+            for node in replicas {
+                let Ok(persistent) = self.pages.persistent_lsn_of(node, self.me, key) else {
+                    continue;
+                };
+                let mut st = self.state.lock();
+                let now = self.clock.now_us();
+                if let Some(slice) = st.slices.get_mut(&key) {
+                    let prev = slice
+                        .replica_persistent
+                        .insert(node, persistent)
+                        .unwrap_or(Lsn::ZERO);
+                    if persistent < prev && !regressed.contains(&key) {
+                        regressed.push(key);
+                    }
+                    if persistent > prev {
+                        slice.last_progress_us = now;
+                    }
+                }
+            }
+        }
+        regressed
+    }
+
+    /// Refreshes replica placement from the cluster manager (after a
+    /// rebuild moved a slice replica to a new node).
+    pub fn refresh_placement(&self) {
+        let mut st = self.state.lock();
+        for (key, slice) in st.slices.iter_mut() {
+            let current = self.pages.replicas_of(*key);
+            if !current.is_empty() && current != slice.replicas {
+                // A replacement replica inherits the expectation recorded for
+                // the slot it fills: if the rebuilt replica reports a LOWER
+                // persistent LSN than its predecessor, the SAL must see the
+                // decrease (paper Fig. 4(b)), so the old value carries over.
+                for (old, new) in slice.replicas.iter().zip(current.iter()) {
+                    if old != new {
+                        if let Some(prev) = slice.replica_persistent.remove(old) {
+                            slice.replica_persistent.insert(*new, prev);
+                        }
+                        slice.read_latency_us.remove(old);
+                    }
+                }
+                slice.replicas = current;
+            }
+        }
+    }
+
+    /// Slices whose slowest replica has not made persistent-LSN progress
+    /// for `stall_us` while lagging the flush LSN (§5.2 stall detection).
+    pub fn stalled_slices(&self, stall_us: u64) -> Vec<SliceKey> {
+        let now = self.clock.now_us();
+        let st = self.state.lock();
+        st.slices
+            .iter()
+            .filter(|(_, s)| {
+                s.flush_lsn.is_valid()
+                    && s.min_replica_persistent() < s.flush_lsn
+                    && now.saturating_sub(s.last_progress_us) >= stall_us
+            })
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Repairs a slice by reading records from the Log Stores and resending
+    /// to each replica exactly what it is missing, chained at that replica's
+    /// own persistent LSN so the fragment connects (§5.2, Fig. 4(b)/(c)).
+    /// Returns the number of fragments resent.
+    pub fn repair_slice_from_logstores(&self, key: SliceKey) -> Result<usize> {
+        let (replicas, flush_lsn) = {
+            let st = self.state.lock();
+            match st.slices.get(&key) {
+                Some(s) => (s.replicas.clone(), s.flush_lsn),
+                None => return Ok(0),
+            }
+        };
+        let mut resent = 0usize;
+        for node in replicas {
+            let Ok(persistent) = self.pages.persistent_lsn_of(node, self.me, key) else {
+                continue;
+            };
+            if persistent >= flush_lsn {
+                continue;
+            }
+            // Read everything the replica might be missing from the Log
+            // Stores (records are still there: truncation is gated on the
+            // database persistent LSN, which this replica holds down).
+            let groups = self.stream.read_groups_from(persistent.next())?;
+            let mut records: Vec<LogRecord> = Vec::new();
+            for g in groups {
+                for rec in g.records {
+                    let rkey = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
+                    if rkey == key && rec.lsn > persistent && rec.lsn <= flush_lsn {
+                        records.push(rec);
+                    }
+                }
+            }
+            if records.is_empty() {
+                continue;
+            }
+            records.sort_by_key(|r| r.lsn);
+            records.dedup_by_key(|r| r.lsn);
+            let frag = SliceFragment::new(key, persistent, records);
+            let last = frag.last_lsn();
+            if let Ok(new_persistent) = self.pages.write_logs_to(node, self.me, &frag) {
+                self.on_write_ack(key, node, last, new_persistent);
+                resent += 1;
+                self.stats.resends.inc();
+            }
+        }
+        Ok(resent)
+    }
+
+    /// Triggers targeted gossip for a slice (the SAL-accelerated path that
+    /// avoids waiting for the 30-minute periodic sweep, §5.2).
+    pub fn trigger_gossip(&self, key: SliceKey) -> usize {
+        self.stats.gossip_triggers.inc();
+        let moved = self.pages.gossip(key);
+        // Pull fresh persistent LSNs so acked/progress tracking reflects the
+        // repair.
+        let _ = self.poll_persistent_lsns();
+        moved
+    }
+
+    /// Broadcasts a new recycle LSN to every slice (§3.4, §6: version purge
+    /// driven by the minimum transaction-visible LSN). Snapshots cap the
+    /// broadcast value: versions a snapshot pins are never purged.
+    pub fn set_recycle_lsn(&self, lsn: Lsn) {
+        let (keys, capped) = {
+            let st = self.state.lock();
+            let min_snapshot = st.snapshots.values().copied().min();
+            let capped = match min_snapshot {
+                Some(pin) => lsn.min(pin),
+                None => lsn,
+            };
+            (st.slices.keys().copied().collect::<Vec<_>>(), capped)
+        };
+        for key in keys {
+            self.pages.set_recycle_lsn(key, self.me, capped);
+        }
+    }
+
+    // ==================================================================
+    // Snapshots — constant-time thanks to append-only Page Stores
+    // ==================================================================
+
+    /// Creates (or replaces) a named snapshot at the current durable LSN.
+    /// O(1): no data is copied anywhere; the LSN is simply pinned against
+    /// recycling. Returns the snapshot LSN.
+    pub fn create_snapshot(&self, name: &str) -> Lsn {
+        let lsn = self.durable_lsn();
+        self.state.lock().snapshots.insert(name.to_string(), lsn);
+        lsn
+    }
+
+    /// The LSN a named snapshot pins, if it exists.
+    pub fn snapshot_lsn(&self, name: &str) -> Option<Lsn> {
+        self.state.lock().snapshots.get(name).copied()
+    }
+
+    /// Drops a named snapshot, releasing its versions for future recycling.
+    pub fn drop_snapshot(&self, name: &str) -> bool {
+        self.state.lock().snapshots.remove(name).is_some()
+    }
+
+    /// All named snapshots.
+    pub fn snapshots(&self) -> Vec<(String, Lsn)> {
+        let mut v: Vec<(String, Lsn)> = self
+            .state
+            .lock()
+            .snapshots
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        v.sort();
+        v
+    }
+
+    // ==================================================================
+    // Introspection used by the engine
+    // ==================================================================
+
+    /// Cluster-visible LSN (§3.5).
+    pub fn cv_lsn(&self) -> Lsn {
+        self.cv_lsn.get()
+    }
+
+    /// Highest LSN durable on the Log Stores.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable_lsn.get()
+    }
+
+    /// Whether a dirty page whose newest modification is `lsn` may be
+    /// evicted from the engine buffer pool: true once the log records have
+    /// reached at least one Page Store replica (§4.2 eviction rule).
+    pub fn can_evict(&self, page: PageId, lsn: Lsn) -> bool {
+        let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
+        let st = self.state.lock();
+        st.slices
+            .get(&key)
+            .map(|s| s.acked_lsn >= lsn)
+            .unwrap_or(false)
+    }
+
+    /// Per-slice acked LSN (the replica-read bound the master publishes to
+    /// read replicas, §6).
+    pub fn slice_acked_lsn(&self, page: PageId) -> Lsn {
+        let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
+        self.state
+            .lock()
+            .slices
+            .get(&key)
+            .map(|s| s.acked_lsn)
+            .unwrap_or(Lsn::ZERO)
+    }
+
+    /// Minimum acked LSN across all slices: the highest LSN at which every
+    /// page of the database is readable from some Page Store. Read replicas
+    /// must not let their visible LSN overtake this (§6).
+    pub fn min_acked_lsn(&self) -> Lsn {
+        let st = self.state.lock();
+        st.slices
+            .values()
+            .map(|s| s.acked_lsn)
+            .min()
+            .unwrap_or_else(|| self.durable_lsn.get())
+    }
+
+    /// Reads log-record groups from the Log Stores starting at `from` — the
+    /// read-replica tail path (§6 step 3) and the recovery redo source.
+    pub fn read_log_from(&self, from: Lsn) -> Result<Vec<LogRecordGroup>> {
+        self.stream.read_groups_from(from)
+    }
+
+    /// The saved recovery anchor (database persistent LSN at last save).
+    pub fn recovery_anchor(&self) -> Lsn {
+        self.anchor.get()
+    }
+
+    /// All slices the SAL currently manages.
+    pub fn slice_keys(&self) -> Vec<SliceKey> {
+        let mut v: Vec<SliceKey> = self.state.lock().slices.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    // ==================================================================
+    // SAL restart recovery (§5.3)
+    // ==================================================================
+
+    /// Rebuilds a SAL after a front-end crash. Reads the log from the saved
+    /// database persistent LSN and resends to the Page Stores whatever their
+    /// replicas are missing — the redo phase that must complete before the
+    /// database accepts new requests. Returns the SAL and the highest LSN
+    /// found in the log (the restart point for the LSN allocator).
+    pub fn recover(
+        cfg: TaurusConfig,
+        db: DbId,
+        me: NodeId,
+        logs: LogStoreCluster,
+        pages: PageStoreCluster,
+        anchor: Arc<LsnWatermark>,
+    ) -> Result<(Arc<Sal>, Lsn)> {
+        cfg.validate()?;
+        let stream = LogStream::open(logs.clone(), db, me, cfg.plog_size_limit)?;
+        let sal = Self::build(cfg, db, me, logs, pages, stream, anchor);
+
+        let start = sal.anchor.get();
+        let groups = sal.stream.read_groups_from(start.next())?;
+        let mut max_lsn = start;
+        // Partition the log by slice, tracking the last LSN per slice.
+        let mut by_slice: HashMap<SliceKey, Vec<LogRecord>> = HashMap::new();
+        for g in groups {
+            for rec in g.records {
+                max_lsn = max_lsn.max(rec.lsn);
+                let key = SliceKey::new(sal.db, rec.page.slice(sal.cfg.pages_per_slice));
+                by_slice.entry(key).or_default().push(rec);
+            }
+        }
+        // Also pick up slices that exist in the cluster but had no records
+        // in the replayed window.
+        let mut keys: Vec<SliceKey> = sal
+            .pages
+            .slices()
+            .into_iter()
+            .filter(|k| k.db == sal.db)
+            .collect();
+        for k in by_slice.keys() {
+            if !keys.contains(k) {
+                keys.push(*k);
+            }
+        }
+        {
+            let mut st = sal.state.lock();
+            for key in &keys {
+                sal.ensure_slice_locked(&mut st, *key)?;
+            }
+        }
+        sal.durable_lsn.advance(max_lsn);
+        // Redo: resend per replica exactly what it is missing, chained at
+        // its own persistent LSN. Page Stores disregard duplicates.
+        for key in keys {
+            let replicas = sal.pages.replicas_of(key);
+            let mut slice_flush = Lsn::ZERO;
+            let mut max_persistent = Lsn::ZERO;
+            if let Some(records) = by_slice.get(&key) {
+                slice_flush = records.last().map(|r| r.lsn).unwrap_or(Lsn::ZERO);
+            }
+            for node in replicas {
+                let Ok(persistent) = sal.pages.persistent_lsn_of(node, sal.me, key) else {
+                    continue;
+                };
+                slice_flush = slice_flush.max(persistent);
+                max_persistent = max_persistent.max(persistent);
+                let missing: Vec<LogRecord> = by_slice
+                    .get(&key)
+                    .map(|records| {
+                        records
+                            .iter()
+                            .filter(|r| r.lsn > persistent)
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if missing.is_empty() {
+                    let mut st = sal.state.lock();
+                    if let Some(s) = st.slices.get_mut(&key) {
+                        s.replica_persistent.insert(node, persistent);
+                    }
+                    continue;
+                }
+                let frag = SliceFragment::new(key, persistent, missing);
+                let last = frag.last_lsn();
+                if let Ok(new_persistent) = sal.pages.write_logs_to(node, sal.me, &frag) {
+                    sal.on_write_ack(key, node, last, new_persistent);
+                    max_persistent = max_persistent.max(new_persistent);
+                }
+            }
+            let mut st = sal.state.lock();
+            if let Some(s) = st.slices.get_mut(&key) {
+                s.flush_lsn = s.flush_lsn.max(slice_flush);
+                // Records at or below a replica's persistent LSN are on that
+                // replica by definition, so reads at this horizon are safe —
+                // without this a freshly recovered SAL would read every page
+                // at LSN 0 (i.e. as empty).
+                s.acked_lsn = s.acked_lsn.max(max_persistent);
+            }
+        }
+        sal.cv_lsn.advance(max_lsn);
+        Ok((sal, max_lsn))
+    }
+}

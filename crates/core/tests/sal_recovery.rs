@@ -1,0 +1,514 @@
+//! Integration tests for the SAL write/read paths, CV-LSN semantics, log
+//! truncation, and the recovery scenarios of paper Fig. 4.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use taurus_common::clock::ManualClock;
+use taurus_common::config::{NetworkProfile, StorageProfile};
+use taurus_common::lsn::{LsnAllocator, LsnWatermark};
+use taurus_common::page::PageType;
+use taurus_common::record::{LogRecord, LogRecordGroup, RecordBody};
+use taurus_common::{DbId, Lsn, NodeId, PageId, SliceKey, TaurusConfig, TaurusError};
+use taurus_core::{RecoveryService, Sal};
+use taurus_fabric::{Fabric, NodeKind};
+use taurus_logstore::LogStoreCluster;
+use taurus_pagestore::cluster::PageStoreOptions;
+use taurus_pagestore::PageStoreCluster;
+
+struct Harness {
+    clock: Arc<ManualClock>,
+    fabric: Fabric,
+    logs: LogStoreCluster,
+    pages: PageStoreCluster,
+    anchor: Arc<LsnWatermark>,
+    me: NodeId,
+    cfg: TaurusConfig,
+    lsns: LsnAllocator,
+}
+
+impl Harness {
+    fn new(log_nodes: usize, page_nodes: usize) -> Harness {
+        let clock = ManualClock::shared();
+        let fabric = Fabric::new(clock.clone(), NetworkProfile::instant(), 1234);
+        let me = fabric.add_node(NodeKind::Compute);
+        let cfg = TaurusConfig {
+            log_buffer_bytes: 1, // flush on every group: deterministic tests
+            slice_buffer_bytes: 1,
+            ..TaurusConfig::test()
+        };
+        let logs = LogStoreCluster::new(fabric.clone(), cfg.log_replicas, cfg.logstore_cache_bytes);
+        logs.spawn_servers(log_nodes, StorageProfile::instant());
+        let pages = PageStoreCluster::new(
+            fabric.clone(),
+            cfg.page_replicas,
+            PageStoreOptions::default(),
+        );
+        pages.spawn_servers(page_nodes, StorageProfile::instant());
+        Harness {
+            clock,
+            fabric,
+            logs,
+            pages,
+            anchor: Arc::new(LsnWatermark::new(Lsn::ZERO)),
+            me,
+            cfg,
+            lsns: LsnAllocator::new(Lsn::ZERO),
+        }
+    }
+
+    fn sal(&self) -> Arc<Sal> {
+        Sal::create(
+            self.cfg.clone(),
+            DbId(1),
+            self.me,
+            self.logs.clone(),
+            self.pages.clone(),
+            Arc::clone(&self.anchor),
+        )
+        .unwrap()
+    }
+
+    /// Writes one group that formats `page` then inserts (k, v) into it.
+    fn write_kv(&self, sal: &Sal, page: u64, k: &str, v: &str, format: bool) -> Lsn {
+        let mut records = Vec::new();
+        if format {
+            records.push(LogRecord::new(
+                self.lsns.alloc(),
+                PageId(page),
+                RecordBody::Format {
+                    ty: PageType::Leaf,
+                    level: 0,
+                },
+            ));
+        }
+        records.push(LogRecord::new(
+            self.lsns.alloc(),
+            PageId(page),
+            RecordBody::Insert {
+                idx: 0,
+                key: Bytes::copy_from_slice(k.as_bytes()),
+                val: Bytes::copy_from_slice(v.as_bytes()),
+            },
+        ));
+        let group = LogRecordGroup::new(DbId(1), records);
+        let end = group.end_lsn();
+        sal.log_group(group).unwrap();
+        sal.flush().unwrap();
+        end
+    }
+
+    /// Lets background sender threads drain (real threads, manual clock).
+    fn settle(&self, sal: &Sal) {
+        sal.flush_all_slices();
+        for _ in 0..200 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            if sal.cv_lsn() == sal.durable_lsn() {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn write_path_reaches_durability_and_cv_advances() {
+    let h = Harness::new(5, 5);
+    let sal = h.sal();
+    let end = h.write_kv(&sal, 1, "alpha", "1", true);
+    assert_eq!(sal.durable_lsn(), end);
+    h.settle(&sal);
+    assert_eq!(sal.cv_lsn(), end, "CV-LSN must reach the buffer end");
+    // All three replicas eventually hold the records (they were all sent).
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    for node in h.pages.replicas_of(key) {
+        let p = h.pages.persistent_lsn_of(node, h.me, key).unwrap();
+        assert_eq!(p, end, "replica {node} persistent");
+    }
+}
+
+#[test]
+fn reads_come_back_versioned_from_page_stores() {
+    let h = Harness::new(4, 4);
+    let sal = h.sal();
+    let v1 = h.write_kv(&sal, 1, "k", "v1", true);
+    let v2 = h.write_kv(&sal, 1, "k2", "v2", false);
+    h.settle(&sal);
+    // Latest version has both records.
+    let page = sal.read_page(PageId(1), None).unwrap();
+    assert_eq!(page.nslots(), 2);
+    assert_eq!(page.lsn(), v2);
+    // Historic version: only the first insert.
+    let page = sal.read_page(PageId(1), Some(v1)).unwrap();
+    assert_eq!(page.nslots(), 1);
+}
+
+#[test]
+fn writes_survive_a_downed_log_store_via_plog_switch() {
+    let h = Harness::new(6, 4);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "a", "1", true);
+    // Kill one Log Store node: the active PLog seals, a new one is created
+    // elsewhere, and writes keep succeeding — ~100% write availability.
+    let victim = h.fabric.healthy_nodes(NodeKind::LogStore)[0];
+    h.fabric.set_down(victim);
+    let end = h.write_kv(&sal, 1, "b", "2", false);
+    assert_eq!(sal.durable_lsn(), end);
+    h.settle(&sal);
+    let page = sal.read_page(PageId(1), None).unwrap();
+    assert_eq!(page.nslots(), 2);
+}
+
+#[test]
+fn writes_succeed_with_two_of_three_page_store_replicas_down() {
+    let h = Harness::new(4, 5);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "a", "1", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+    // Two of three Page Store replicas go down: the wait-for-one write
+    // still succeeds (durability is on the Log Stores).
+    h.fabric.set_down(replicas[0]);
+    h.fabric.set_down(replicas[1]);
+    let end = h.write_kv(&sal, 1, "b", "2", false);
+    h.settle(&sal);
+    assert_eq!(sal.cv_lsn(), end, "one surviving replica acks the write");
+    // And the surviving replica serves the read.
+    let page = sal.read_page(PageId(1), None).unwrap();
+    assert_eq!(page.nslots(), 2);
+}
+
+#[test]
+fn read_falls_through_behind_replicas_to_a_caught_up_one() {
+    let h = Harness::new(4, 5);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "a", "1", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+    // Take two replicas down; write; bring them back (they are now BEHIND).
+    h.fabric.set_down(replicas[0]);
+    h.fabric.set_down(replicas[1]);
+    let end = h.write_kv(&sal, 1, "b", "2", false);
+    h.settle(&sal);
+    h.fabric.set_up(replicas[0]);
+    h.fabric.set_up(replicas[1]);
+    // The SAL must iterate replicas until it finds the caught-up one.
+    let page = sal.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(page.nslots(), 2);
+}
+
+#[test]
+fn all_replicas_missing_data_triggers_logstore_repair_on_read() {
+    let h = Harness::new(4, 6);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "a", "1", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+    // ALL replicas go down; a write still commits to the Log Stores, with no
+    // Page Store holding the tail.
+    for &r in &replicas {
+        h.fabric.set_down(r);
+    }
+    let end = h.write_kv(&sal, 1, "b", "2", false);
+    sal.flush_all_slices();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    for &r in &replicas {
+        h.fabric.set_up(r);
+    }
+    // The versioned read finds every replica behind, repairs from the Log
+    // Stores, and succeeds (§4.2).
+    let page = sal.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(page.nslots(), 2);
+}
+
+#[test]
+fn truncation_waits_for_all_replicas_then_deletes_plogs() {
+    let h = Harness::new(5, 5);
+    let mut cfg = TaurusConfig {
+        plog_size_limit: 300,
+        ..h.cfg.clone()
+    };
+    cfg.log_buffer_bytes = 1;
+    let sal = Sal::create(
+        cfg,
+        DbId(1),
+        h.me,
+        h.logs.clone(),
+        h.pages.clone(),
+        Arc::clone(&h.anchor),
+    )
+    .unwrap();
+    h.write_kv(&sal, 1, "k0", "v0", true);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let lagging = h.pages.replicas_of(key)[2];
+    // One replica misses everything after the first write.
+    h.fabric.set_down(lagging);
+    for i in 1..8 {
+        h.write_kv(&sal, 1, &format!("k{i}"), "v", false);
+    }
+    h.settle(&sal);
+    let plogs_before = h.logs.plog_count();
+    // With a lagging replica the database persistent LSN is pinned low:
+    // truncation must delete nothing beyond it.
+    let _ = sal.poll_persistent_lsns();
+    let deleted = sal.truncate_log().unwrap();
+    assert_eq!(deleted, 0, "lagging replica pins the log");
+    // The replica recovers and catches up via gossip; truncation proceeds.
+    h.fabric.set_up(lagging);
+    sal.trigger_gossip(key);
+    let deleted = sal.truncate_log().unwrap();
+    assert!(deleted > 0, "caught-up cluster lets the log truncate");
+    assert!(h.logs.plog_count() < plogs_before);
+}
+
+#[test]
+fn fig4a_gossip_recovers_short_term_failure() {
+    let h = Harness::new(4, 5);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "r1", "v", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replica3 = h.pages.replicas_of(key)[2];
+    // Replica 3 offline for a short time; record 2 lands on the others.
+    h.fabric.set_down(replica3);
+    h.write_kv(&sal, 1, "r2", "v", false);
+    h.settle(&sal);
+    h.fabric.set_up(replica3);
+    let behind = h.pages.persistent_lsn_of(replica3, h.me, key).unwrap();
+    // Gossip copies the missing fragment (Fig. 4(a) step 4).
+    assert!(sal.trigger_gossip(key) >= 1);
+    let caught_up = h.pages.persistent_lsn_of(replica3, h.me, key).unwrap();
+    assert!(caught_up > behind);
+    assert_eq!(caught_up, sal.durable_lsn());
+}
+
+#[test]
+fn fig4b_persistent_lsn_regression_is_detected_and_repaired() {
+    let h = Harness::new(4, 8);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "r1", "v", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+    let (r1, r2, r3) = (replicas[0], replicas[1], replicas[2]);
+    // Step 2: replicas 2 and 3 offline briefly; record 2 is acked by r1
+    // alone and dismissed by the SAL.
+    h.fabric.set_down(r2);
+    h.fabric.set_down(r3);
+    let end = h.write_kv(&sal, 1, "r2", "v", false);
+    sal.flush_all_slices();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let _ = sal.poll_persistent_lsns();
+    h.fabric.set_up(r2);
+    h.fabric.set_up(r3);
+    // Step 3: r1 suffers a long-term failure before gossip copies record 2.
+    h.fabric.set_down(r1);
+    h.fabric.decommission(r1);
+    // Step 4: r1 is rebuilt from r2 (which misses record 2): the replacement
+    // reports a persistent LSN LOWER than what r1 had reported.
+    let new_node = h.pages.rebuild_replica(key, r1, h.me).unwrap();
+    sal.refresh_placement();
+    let regressed = sal.poll_persistent_lsns();
+    assert!(
+        regressed.contains(&key),
+        "SAL must detect the persistent-LSN decrease"
+    );
+    // The SAL re-reads the log from the Log Stores and resends: no Page
+    // Store had record 2, but the Log Stores still do.
+    assert!(sal.repair_slice_from_logstores(key).unwrap() >= 1);
+    for node in [new_node, r2, r3] {
+        assert_eq!(
+            h.pages.persistent_lsn_of(node, h.me, key).unwrap(),
+            end,
+            "replica {node} repaired"
+        );
+    }
+    // And the data reads back complete.
+    let page = sal.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(page.nslots(), 2);
+}
+
+#[test]
+fn fig4c_hole_on_every_replica_is_found_and_resent() {
+    let h = Harness::new(4, 6);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "r1", "v", true); // record 1
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+    // Record 2 is lost by everyone: all replicas down during the send.
+    for &r in &replicas {
+        h.fabric.set_down(r);
+    }
+    h.write_kv(&sal, 1, "r2", "v", false); // record 2: nowhere
+    sal.flush_all_slices();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    for &r in &replicas {
+        h.fabric.set_up(r);
+    }
+    // Record 3 arrives everywhere, chained after record 2 — every replica
+    // now has a pending fragment beyond a hole; persistent LSNs are stuck.
+    let end = h.write_kv(&sal, 1, "r3", "v", false);
+    h.settle(&sal);
+    for &r in &replicas {
+        let ranges = h.pages.missing_ranges_of(r, h.me, key).unwrap();
+        assert!(!ranges.is_empty(), "replica {r} must report the hole");
+    }
+    // Gossip cannot help: nobody has the fragment. The SAL resends from the
+    // Log Stores (Fig. 4(c) step 7).
+    assert_eq!(h.pages.gossip(key), 0);
+    assert!(sal.repair_slice_from_logstores(key).unwrap() >= 1);
+    for &r in &replicas {
+        assert_eq!(h.pages.persistent_lsn_of(r, h.me, key).unwrap(), end);
+    }
+    let page = sal.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(page.nslots(), 3);
+}
+
+#[test]
+fn sal_restart_recovery_redoes_missing_records() {
+    let h = Harness::new(5, 5);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "a", "1", true);
+    h.write_kv(&sal, 2, "b", "2", true);
+    h.settle(&sal);
+    let anchor_before = {
+        let _ = sal.poll_persistent_lsns();
+        sal.truncate_log().unwrap();
+        sal.recovery_anchor()
+    };
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+    // A write that reaches the Log Stores but NO Page Store (crash window).
+    for &r in &replicas {
+        h.fabric.set_down(r);
+    }
+    let mut records = Vec::new();
+    records.push(LogRecord::new(
+        h.lsns.alloc(),
+        PageId(1),
+        RecordBody::Insert {
+            idx: 0,
+            key: Bytes::from_static(b"aa"),
+            val: Bytes::from_static(b"11"),
+        },
+    ));
+    let group = LogRecordGroup::new(DbId(1), records);
+    let end = group.end_lsn();
+    sal.log_group(group).unwrap();
+    sal.flush().unwrap();
+    sal.flush_all_slices();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    // CRASH: drop the SAL entirely; bring the storage back.
+    drop(sal);
+    for &r in &replicas {
+        h.fabric.set_up(r);
+    }
+    // Recover: redo must resend the lost record from the Log Stores.
+    let (sal2, max_lsn) = Sal::recover(
+        h.cfg.clone(),
+        DbId(1),
+        h.me,
+        h.logs.clone(),
+        h.pages.clone(),
+        Arc::clone(&h.anchor),
+    )
+    .unwrap();
+    assert!(max_lsn >= end);
+    assert!(sal2.recovery_anchor() >= anchor_before);
+    for &r in &replicas {
+        assert_eq!(h.pages.persistent_lsn_of(r, h.me, key).unwrap(), end);
+    }
+    // The database serves the recovered data.
+    let page = sal2.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(page.key(0).unwrap(), b"aa");
+    // And accepts new writes continuing the LSN sequence.
+    let lsns2 = LsnAllocator::new(max_lsn);
+    let rec = LogRecord::new(
+        lsns2.alloc(),
+        PageId(2),
+        RecordBody::Insert {
+            idx: 0,
+            key: Bytes::from_static(b"post"),
+            val: Bytes::from_static(b"crash"),
+        },
+    );
+    sal2.log_group(LogRecordGroup::new(DbId(1), vec![rec])).unwrap();
+    sal2.flush().unwrap();
+    h.settle(&sal2);
+    let key2 = SliceKey::new(DbId(1), PageId(2).slice(h.cfg.pages_per_slice));
+    let _ = key2;
+    let page = sal2.read_page(PageId(2), None).unwrap();
+    assert_eq!(page.nslots(), 2);
+}
+
+#[test]
+fn recovery_service_handles_long_term_page_store_failure_end_to_end() {
+    let h = Harness::new(5, 8);
+    let sal = h.sal();
+    let mut svc = RecoveryService::new(Arc::clone(&sal));
+    h.write_kv(&sal, 1, "a", "1", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let victim = h.pages.replicas_of(key)[0];
+    h.fabric.set_down(victim);
+    // First round: short-term classification, nothing drastic.
+    let report = svc.run_once();
+    assert_eq!(report.short_term_failures, 1);
+    assert_eq!(report.slices_rebuilt, 0);
+    // Time passes beyond the short-term window: long-term handling kicks in.
+    h.clock.advance(h.cfg.short_term_failure_us + 1);
+    let report = svc.run_once();
+    assert_eq!(report.long_term_failures, 1);
+    assert_eq!(report.slices_rebuilt, 1);
+    assert!(!h.pages.replicas_of(key).contains(&victim));
+    // Writes and reads keep flowing on the repaired placement.
+    let end = h.write_kv(&sal, 1, "b", "2", false);
+    h.settle(&sal);
+    let page = sal.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(page.nslots(), 2);
+}
+
+#[test]
+fn recovery_service_truncates_log_when_everyone_caught_up() {
+    let h = Harness::new(5, 5);
+    let cfg = TaurusConfig {
+        plog_size_limit: 300,
+        log_buffer_bytes: 1,
+        slice_buffer_bytes: 1,
+        ..TaurusConfig::test()
+    };
+    let sal = Sal::create(
+        cfg,
+        DbId(1),
+        h.me,
+        h.logs.clone(),
+        h.pages.clone(),
+        Arc::clone(&h.anchor),
+    )
+    .unwrap();
+    let mut svc = RecoveryService::new(Arc::clone(&sal));
+    for i in 0..10 {
+        h.write_kv(&sal, 1, &format!("k{i}"), "v", i == 0);
+    }
+    h.settle(&sal);
+    let before = h.logs.plog_count();
+    let report = svc.run_once();
+    assert!(report.plogs_truncated > 0, "report: {report:?}");
+    assert!(h.logs.plog_count() < before);
+}
+
+#[test]
+fn error_signal_shapes_are_stable() {
+    // PageStoreBehind carries enough context for routing decisions.
+    let h = Harness::new(4, 4);
+    let sal = h.sal();
+    let end = h.write_kv(&sal, 1, "a", "1", true);
+    h.settle(&sal);
+    match sal.read_page(PageId(1), Some(Lsn(end.0 + 100))) {
+        Err(TaurusError::AllReplicasFailed(_)) | Err(TaurusError::PageStoreBehind { .. }) => {}
+        other => panic!("expected behind/all-failed, got {other:?}"),
+    }
+}

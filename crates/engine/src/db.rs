@@ -1,0 +1,279 @@
+//! Full-cluster orchestration: storage tiers + SAL + front ends + recovery.
+//!
+//! [`TaurusDb`] wires together everything a deployment needs (paper Fig. 2):
+//! a fabric, a Log Store cluster, a Page Store cluster, the master front end
+//! with its SAL, any number of read replicas, and the recovery service. It
+//! also implements the two control-plane operations the paper highlights:
+//! master crash-restart (§5.3) and replica promotion / fail-over (§6).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use taurus_common::clock::{ClockRef, SystemClock};
+use taurus_common::lsn::LsnWatermark;
+use taurus_common::{DbId, Lsn, Result, TaurusConfig};
+use taurus_core::{RecoveryService, Sal};
+use taurus_fabric::{Fabric, NodeKind};
+use taurus_logstore::LogStoreCluster;
+use taurus_pagestore::cluster::PageStoreOptions;
+use taurus_pagestore::{ConsolidationPolicy, EvictionPolicy, PageStoreCluster};
+
+use crate::master::MasterEngine;
+use crate::replica::ReplicaEngine;
+
+/// A running Taurus deployment.
+pub struct TaurusDb {
+    pub cfg: TaurusConfig,
+    pub db: DbId,
+    pub fabric: Fabric,
+    pub logs: LogStoreCluster,
+    pub pages: PageStoreCluster,
+    anchor: Arc<LsnWatermark>,
+    master: RwLock<Arc<MasterEngine>>,
+    replicas: RwLock<Vec<Arc<ReplicaEngine>>>,
+    recovery: Mutex<RecoveryService>,
+    next_replica_id: AtomicUsize,
+}
+
+impl std::fmt::Debug for TaurusDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaurusDb")
+            .field("db", &self.db)
+            .field("replicas", &self.replicas.read().len())
+            .finish()
+    }
+}
+
+impl TaurusDb {
+    /// Launches a cluster with the given node counts on a real-time clock.
+    pub fn launch(cfg: TaurusConfig, log_nodes: usize, page_nodes: usize) -> Result<Arc<TaurusDb>> {
+        Self::launch_with_clock(cfg, log_nodes, page_nodes, SystemClock::shared(), 42)
+    }
+
+    /// Launches with an explicit clock and RNG seed (deterministic drills).
+    pub fn launch_with_clock(
+        cfg: TaurusConfig,
+        log_nodes: usize,
+        page_nodes: usize,
+        clock: ClockRef,
+        seed: u64,
+    ) -> Result<Arc<TaurusDb>> {
+        cfg.validate()?;
+        let fabric = Fabric::new(clock, cfg.network, seed);
+        let logs = LogStoreCluster::new(fabric.clone(), cfg.log_replicas, cfg.logstore_cache_bytes);
+        logs.spawn_servers(log_nodes, cfg.storage);
+        let pages = PageStoreCluster::new(
+            fabric.clone(),
+            cfg.page_replicas,
+            PageStoreOptions {
+                log_cache_bytes: cfg.pagestore_log_cache_bytes,
+                pool_pages: cfg.pagestore_buffer_pool_pages,
+                pool_policy: EvictionPolicy::Lfu,
+                consolidation: ConsolidationPolicy::LogCacheCentric,
+            },
+        );
+        pages.spawn_servers(page_nodes, cfg.storage);
+        Self::launch_tenant(cfg, fabric, logs, pages, DbId(1))
+    }
+
+    /// Launches a database on an **existing** storage deployment. Log and
+    /// Page Store servers are multi-tenant (paper §3.2: "Each Page Store
+    /// server handles multiple slices from different databases"), so any
+    /// number of databases can share one fabric and storage fleet.
+    pub fn launch_tenant(
+        cfg: TaurusConfig,
+        fabric: Fabric,
+        logs: LogStoreCluster,
+        pages: PageStoreCluster,
+        db: DbId,
+    ) -> Result<Arc<TaurusDb>> {
+        cfg.validate()?;
+        let me = fabric.add_node(NodeKind::Compute);
+        let anchor = Arc::new(LsnWatermark::new(Lsn::ZERO));
+        let sal = Sal::create(
+            cfg.clone(),
+            db,
+            me,
+            logs.clone(),
+            pages.clone(),
+            Arc::clone(&anchor),
+        )?;
+        let master = MasterEngine::bootstrap(Arc::clone(&sal))?;
+        let recovery = RecoveryService::new(sal);
+        Ok(Arc::new(TaurusDb {
+            cfg,
+            db,
+            fabric,
+            logs,
+            pages,
+            anchor,
+            master: RwLock::new(master),
+            replicas: RwLock::new(Vec::new()),
+            recovery: Mutex::new(recovery),
+            next_replica_id: AtomicUsize::new(0),
+        }))
+    }
+
+    /// The current master front end.
+    pub fn master(&self) -> Arc<MasterEngine> {
+        self.master.read().clone()
+    }
+
+    /// All registered read replicas.
+    pub fn replicas(&self) -> Vec<Arc<ReplicaEngine>> {
+        self.replicas.read().clone()
+    }
+
+    /// Registers a new read replica on its own compute node. Adding a
+    /// replica copies nothing: it simply starts tailing the shared log
+    /// (the paper's instant scale-out).
+    pub fn add_replica(&self) -> Result<Arc<ReplicaEngine>> {
+        let id = self.next_replica_id.fetch_add(1, Ordering::Relaxed);
+        let me = self.fabric.add_node(NodeKind::Compute);
+        let master = self.master();
+        let replica = ReplicaEngine::register(
+            id,
+            self.cfg.clone(),
+            self.db,
+            me,
+            self.logs.clone(),
+            self.pages.clone(),
+            Arc::clone(&master.bulletin),
+        )?;
+        self.replicas.write().push(Arc::clone(&replica));
+        Ok(replica)
+    }
+
+    /// One maintenance beat: master upkeep + every replica tails the log.
+    pub fn maintain(&self) {
+        let master = self.master();
+        master.maintain();
+        for replica in self.replicas() {
+            let _ = replica.poll();
+        }
+    }
+
+    /// One recovery-service round (failure classification, gossip, repair,
+    /// truncation). Deterministic; drive from a timer in live deployments.
+    pub fn run_recovery_round(&self) -> taurus_core::recovery::RecoveryReport {
+        let report = self.recovery.lock().run_once();
+        self.master().publish();
+        report
+    }
+
+    /// Simulates a master crash (losing all in-memory state) followed by a
+    /// restart: SAL recovery (redo from the Log Stores) then a fresh engine
+    /// (§5.3). Read replicas reattach to the new master's bulletin.
+    pub fn crash_and_recover_master(&self) -> Result<()> {
+        {
+            // Drop the old master/SAL (the crash).
+            let placeholder = self.master.read().clone();
+            drop(placeholder);
+        }
+        let me = self.fabric.add_node(NodeKind::Compute);
+        let (sal, max_lsn) = Sal::recover(
+            self.cfg.clone(),
+            self.db,
+            me,
+            self.logs.clone(),
+            self.pages.clone(),
+            Arc::clone(&self.anchor),
+        )?;
+        let new_master = MasterEngine::resume(Arc::clone(&sal), max_lsn);
+        *self.recovery.lock() = RecoveryService::new(sal);
+        let old = std::mem::replace(&mut *self.master.write(), Arc::clone(&new_master));
+        drop(old);
+        self.rewire_replicas(&new_master)?;
+        Ok(())
+    }
+
+    /// Promotes read replica `idx` to master (fail-over, §6): the replica's
+    /// node runs SAL recovery and becomes the writer; the old master is
+    /// discarded; remaining replicas follow the new master.
+    pub fn promote_replica(&self, idx: usize) -> Result<()> {
+        let promoted = {
+            let replicas = self.replicas.read();
+            replicas
+                .get(idx)
+                .cloned()
+                .ok_or_else(|| taurus_common::TaurusError::Internal("no such replica".into()))?
+        };
+        self.replicas.write().retain(|r| r.id != promoted.id);
+        let (sal, max_lsn) = Sal::recover(
+            self.cfg.clone(),
+            self.db,
+            promoted.me,
+            self.logs.clone(),
+            self.pages.clone(),
+            Arc::clone(&self.anchor),
+        )?;
+        let new_master = MasterEngine::resume(Arc::clone(&sal), max_lsn);
+        *self.recovery.lock() = RecoveryService::new(sal);
+        *self.master.write() = Arc::clone(&new_master);
+        self.rewire_replicas(&new_master)?;
+        Ok(())
+    }
+
+    /// Re-registers every replica against the (new) master's bulletin.
+    fn rewire_replicas(&self, master: &Arc<MasterEngine>) -> Result<()> {
+        let old: Vec<Arc<ReplicaEngine>> = self.replicas.write().drain(..).collect();
+        for r in old {
+            let replica = ReplicaEngine::register(
+                r.id,
+                self.cfg.clone(),
+                self.db,
+                r.me,
+                self.logs.clone(),
+                self.pages.clone(),
+                Arc::clone(&master.bulletin),
+            )?;
+            self.replicas.write().push(replica);
+        }
+        master.publish();
+        Ok(())
+    }
+
+    /// Starts a background housekeeping thread (maintenance + periodic
+    /// recovery rounds) plus Page Store consolidation threads. Returns a
+    /// guard that stops everything on drop.
+    pub fn start_background(self: &Arc<Self>, beat_us: u64) -> BackgroundGuard {
+        let consolidation = self.pages.start_background_consolidation();
+        let stop = Arc::new(AtomicBool::new(false));
+        let db = Arc::clone(self);
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut beats = 0u64;
+            while !stop2.load(Ordering::Relaxed) {
+                db.maintain();
+                beats += 1;
+                if beats % 64 == 0 {
+                    let _ = db.run_recovery_round();
+                }
+                std::thread::sleep(std::time::Duration::from_micros(beat_us));
+            }
+        });
+        BackgroundGuard {
+            stop,
+            handle: Some(handle),
+            _consolidation: consolidation,
+        }
+    }
+}
+
+/// Stops background housekeeping when dropped.
+pub struct BackgroundGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    _consolidation: taurus_pagestore::cluster::ConsolidationGuard,
+}
+
+impl Drop for BackgroundGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

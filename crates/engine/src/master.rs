@@ -1,0 +1,421 @@
+//! The master (primary) front end: the only writer in a Taurus database.
+//!
+//! Transactions buffer their writes privately and emit all redo at commit as
+//! one atomic log-record group ending in `TxnCommit` — so every group
+//! boundary is a physically *and* logically consistent point (paper §6).
+//! Write-write conflicts abort the second writer (first-updater-wins).
+//! Commit durability is exactly the paper's: the transaction is acknowledged
+//! once its group is on all three Log Stores ([`taurus_core::Sal::flush`]).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use taurus_common::lsn::{LsnAllocator, LsnWatermark};
+use taurus_common::record::{LogRecordGroup, RecordBody};
+use taurus_common::{Lsn, PageBuf, PageId, Result, TaurusError, TxnId};
+use taurus_core::Sal;
+
+use crate::btree::{BTree, MutCtx, PageFetch};
+use crate::pool::{EnginePool, Frame};
+
+/// The master → read-replica message board (paper §6 step 2): instead of
+/// streaming log data, the master publishes *where the log is* (implicitly:
+/// the Log Stores) and the LSN horizons replicas may advance to. Each update
+/// carries a sequence number so a replica can detect missed messages and
+/// re-request full state.
+#[derive(Debug, Default)]
+pub struct Bulletin {
+    /// Highest LSN durable on the Log Stores.
+    pub durable_lsn: LsnWatermark,
+    /// Minimum per-slice acked LSN: replicas must not let their visible LSN
+    /// pass this, or Page Stores could not serve their reads (§6).
+    pub read_horizon: LsnWatermark,
+    /// Message sequence number.
+    pub seq: AtomicU64,
+    /// Backchannel: each replica's minimum transaction-visible LSN, feeding the
+    /// recycle LSN (§6).
+    replica_min_tv: Mutex<HashMap<usize, Lsn>>,
+}
+
+impl Bulletin {
+    /// Minimum TV-LSN across replicas (None when no replica registered).
+    pub fn min_replica_tv(&self) -> Option<Lsn> {
+        self.replica_min_tv.lock().values().copied().min()
+    }
+
+    /// Called by replica `id` to publish its minimum TV-LSN.
+    pub fn publish_min_tv(&self, id: usize, lsn: Lsn) {
+        self.replica_min_tv.lock().insert(id, lsn);
+    }
+
+    pub fn forget_replica(&self, id: usize) {
+        self.replica_min_tv.lock().remove(&id);
+    }
+}
+
+/// The master engine.
+pub struct MasterEngine {
+    pub sal: Arc<Sal>,
+    pub lsns: LsnAllocator,
+    pool: EnginePool,
+    /// Structure latch: transactions apply their page changes exclusively;
+    /// readers descend under the shared side, so they never observe a
+    /// half-applied multi-page operation (the master-side equivalent of the
+    /// replicas' group-boundary rule).
+    tree_latch: RwLock<()>,
+    /// First-updater-wins write locks.
+    key_locks: Mutex<HashMap<Vec<u8>, TxnId>>,
+    next_txn: AtomicU64,
+    maintain_beats: AtomicU64,
+    pub bulletin: Arc<Bulletin>,
+}
+
+impl std::fmt::Debug for MasterEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MasterEngine")
+            .field("db", &self.sal.db)
+            .field("durable", &self.sal.durable_lsn())
+            .finish()
+    }
+}
+
+impl MasterEngine {
+    /// Bootstraps a fresh database through the SAL: control page + root
+    /// leaf, durably logged.
+    pub fn bootstrap(sal: Arc<Sal>) -> Result<Arc<MasterEngine>> {
+        let engine = Arc::new(MasterEngine {
+            pool: EnginePool::new(sal.cfg.engine_buffer_pool_pages),
+            lsns: LsnAllocator::new(Lsn::ZERO),
+            tree_latch: RwLock::new(()),
+            key_locks: Mutex::new(HashMap::new()),
+            next_txn: AtomicU64::new(1),
+            maintain_beats: AtomicU64::new(0),
+            bulletin: Arc::new(Bulletin::default()),
+            sal,
+        });
+        {
+            let fetch = engine.fetcher();
+            let mut ctx = MutCtx::new(&engine.lsns, &fetch);
+            BTree::bootstrap(&mut ctx)?;
+            let group = LogRecordGroup::new(engine.sal.db, ctx.records.clone());
+            engine.install_pages(ctx.pages);
+            engine.sal.log_group(group)?;
+        }
+        engine.sal.flush()?;
+        engine.publish();
+        Ok(engine)
+    }
+
+    /// Attaches a master to an already-recovered SAL (crash restart or
+    /// replica promotion). `max_lsn` is the recovery end point returned by
+    /// [`Sal::recover`].
+    pub fn resume(sal: Arc<Sal>, max_lsn: Lsn) -> Arc<MasterEngine> {
+        let engine = Arc::new(MasterEngine {
+            pool: EnginePool::new(sal.cfg.engine_buffer_pool_pages),
+            lsns: LsnAllocator::new(max_lsn),
+            tree_latch: RwLock::new(()),
+            key_locks: Mutex::new(HashMap::new()),
+            next_txn: AtomicU64::new(1),
+            maintain_beats: AtomicU64::new(0),
+            bulletin: Arc::new(Bulletin::default()),
+            sal,
+        });
+        engine.publish();
+        engine
+    }
+
+    /// Eviction guard for one pool operation: pool eviction scans consult
+    /// the guard for every candidate frame, so the per-slice acked LSN is
+    /// memoized for the duration of the operation instead of taking the SAL
+    /// state lock per frame.
+    fn evict_guard(&self) -> impl Fn(PageId, taurus_common::Lsn) -> bool + '_ {
+        let cache = std::cell::RefCell::new(HashMap::<u64, taurus_common::Lsn>::new());
+        move |p: PageId, l: taurus_common::Lsn| {
+            let slice = p.0 / self.sal.cfg.pages_per_slice;
+            let mut cache = cache.borrow_mut();
+            let acked = *cache
+                .entry(slice)
+                .or_insert_with(|| self.sal.slice_acked_lsn(p));
+            acked >= l
+        }
+    }
+
+    /// Pool-then-storage page fetch.
+    fn fetcher(&self) -> impl PageFetch + '_ {
+        move |id: PageId| -> Result<Arc<PageBuf>> {
+            if let Some(frame) = self.pool.get(id) {
+                return Ok(frame.buf);
+            }
+            let buf = Arc::new(self.sal.read_page(id, None)?);
+            self.pool.put(
+                id,
+                Frame::new(Arc::clone(&buf), buf.lsn(), false),
+                &self.evict_guard(),
+            );
+            Ok(buf)
+        }
+    }
+
+    fn install_pages(&self, pages: HashMap<PageId, PageBuf>) {
+        let guard = self.evict_guard();
+        for (id, page) in pages {
+            let lsn = page.lsn();
+            self.pool
+                .put(id, Frame::new(Arc::new(page), lsn, true), &guard);
+        }
+    }
+
+    /// Publishes fresh horizons to read replicas (one paper-§6 message).
+    pub fn publish(&self) {
+        self.bulletin.durable_lsn.advance(self.sal.durable_lsn());
+        self.bulletin.read_horizon.advance(self.sal.min_acked_lsn());
+        self.bulletin.seq.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Periodic maintenance: slice-buffer timeout flushes, dirty-frame
+    /// sweep, replica-driven recycle LSN, bulletin refresh.
+    pub fn maintain(&self) {
+        self.sal.tick();
+        let beat = self.maintain_beats.fetch_add(1, Ordering::Relaxed);
+        // The clean sweep scans the whole pool under its lock; doing it on
+        // every beat would contend with the read hot path, so amortize it.
+        if beat % 16 == 0 {
+            self.pool
+                .mark_clean_upto(&|p, l| self.sal.can_evict(p, l));
+            if let Some(min_tv) = self.bulletin.min_replica_tv() {
+                self.sal.set_recycle_lsn(min_tv);
+            }
+        }
+        self.publish();
+    }
+
+    /// Starts a read-write transaction.
+    pub fn begin(self: &Arc<Self>) -> Txn {
+        Txn {
+            engine: Arc::clone(self),
+            id: TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed)),
+            writes: BTreeMap::new(),
+            locked: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Auto-commit point read (read-committed).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _shared = self.tree_latch.read();
+        BTree::get(&self.fetcher(), key)
+    }
+
+    /// Auto-commit range scan.
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let _shared = self.tree_latch.read();
+        BTree::scan(&self.fetcher(), start, limit)
+    }
+
+    /// Creates a named snapshot of the database at the current durable LSN.
+    /// Constant-time: append-only Page Stores keep every version at or
+    /// above the recycle LSN, so a snapshot is just a pinned LSN.
+    pub fn create_snapshot(&self, name: &str) -> Lsn {
+        self.sal.create_snapshot(name)
+    }
+
+    /// Point read against a named snapshot (versioned Page Store reads).
+    pub fn snapshot_get(&self, name: &str, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let lsn = self
+            .sal
+            .snapshot_lsn(name)
+            .ok_or_else(|| TaurusError::Internal(format!("no snapshot named {name}")))?;
+        let fetch = |id: PageId| -> Result<std::sync::Arc<PageBuf>> {
+            Ok(std::sync::Arc::new(self.sal.read_page(id, Some(lsn))?))
+        };
+        BTree::get(&fetch, key)
+    }
+
+    /// Range scan against a named snapshot.
+    pub fn snapshot_scan(
+        &self,
+        name: &str,
+        start: &[u8],
+        limit: usize,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let lsn = self
+            .sal
+            .snapshot_lsn(name)
+            .ok_or_else(|| TaurusError::Internal(format!("no snapshot named {name}")))?;
+        let fetch = |id: PageId| -> Result<std::sync::Arc<PageBuf>> {
+            Ok(std::sync::Arc::new(self.sal.read_page(id, Some(lsn))?))
+        };
+        BTree::scan(&fetch, start, limit)
+    }
+
+    /// Drops a named snapshot.
+    pub fn drop_snapshot(&self, name: &str) -> bool {
+        self.sal.drop_snapshot(name)
+    }
+
+    /// Engine pool statistics (hit ratio, resident frames).
+    pub fn pool_stats(&self) -> (f64, usize) {
+        (self.pool.stats.ratio(), self.pool.len())
+    }
+
+    fn release_locks(&self, txn: TxnId, keys: &[Vec<u8>]) {
+        let mut locks = self.key_locks.lock();
+        for k in keys {
+            if locks.get(k) == Some(&txn) {
+                locks.remove(k);
+            }
+        }
+    }
+}
+
+/// A read-write transaction on the master.
+pub struct Txn {
+    engine: Arc<MasterEngine>,
+    pub id: TxnId,
+    /// Private write buffer: key → Some(value) for put, None for delete.
+    writes: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    locked: Vec<Vec<u8>>,
+    finished: bool,
+}
+
+impl Txn {
+    fn check_open(&self) -> Result<()> {
+        if self.finished {
+            Err(TaurusError::TxnFinished)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn lock_key(&mut self, key: &[u8]) -> Result<()> {
+        if self.writes.contains_key(key) {
+            return Ok(()); // already ours
+        }
+        let mut locks = self.engine.key_locks.lock();
+        match locks.get(key) {
+            Some(owner) if *owner != self.id => Err(TaurusError::WriteConflict {
+                page: PageId::CONTROL,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                locks.insert(key.to_vec(), self.id);
+                self.locked.push(key.to_vec());
+                Ok(())
+            }
+        }
+    }
+
+    /// Read-your-writes lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_open()?;
+        if let Some(v) = self.writes.get(key) {
+            return Ok(v.clone());
+        }
+        self.engine.get(key)
+    }
+
+    /// `SELECT ... FOR UPDATE`: takes the key's write lock *before* reading,
+    /// so a read-modify-write cycle on the key is free of lost updates.
+    pub fn get_for_update(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_open()?;
+        self.lock_key(key)?;
+        if let Some(v) = self.writes.get(key) {
+            return Ok(v.clone());
+        }
+        self.engine.get(key)
+    }
+
+    /// Buffered write; takes the key's write lock (first-updater-wins).
+    pub fn put(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        self.check_open()?;
+        self.lock_key(key)?;
+        self.writes.insert(key.to_vec(), Some(val.to_vec()));
+        Ok(())
+    }
+
+    /// Buffered delete.
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.check_open()?;
+        self.lock_key(key)?;
+        self.writes.insert(key.to_vec(), None);
+        Ok(())
+    }
+
+    /// Scan merging committed data with this transaction's writes.
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.check_open()?;
+        let base = self.engine.scan(start, limit + self.writes.len())?;
+        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = base.into_iter().collect();
+        for (k, v) in self.writes.range(start.to_vec()..) {
+            match v {
+                Some(v) => {
+                    merged.insert(k.clone(), v.clone());
+                }
+                None => {
+                    merged.remove(k);
+                }
+            }
+        }
+        Ok(merged.into_iter().take(limit).collect())
+    }
+
+    /// Commits: applies the write set under the tree latch, emits one atomic
+    /// group ending in `TxnCommit`, and waits for Log Store durability.
+    pub fn commit(mut self) -> Result<Lsn> {
+        self.check_open()?;
+        self.finished = true;
+        let engine = Arc::clone(&self.engine);
+        if self.writes.is_empty() {
+            engine.release_locks(self.id, &self.locked);
+            return Ok(engine.sal.durable_lsn());
+        }
+        let writes = std::mem::take(&mut self.writes);
+        {
+            let _exclusive = engine.tree_latch.write();
+            let fetch = engine.fetcher();
+            let mut ctx = MutCtx::new(&engine.lsns, &fetch);
+            for (k, op) in &writes {
+                match op {
+                    Some(v) => {
+                        BTree::put(&mut ctx, k, v)?;
+                    }
+                    None => {
+                        BTree::delete(&mut ctx, k)?;
+                    }
+                }
+            }
+            ctx.emit(PageId::CONTROL, RecordBody::TxnCommit { txn: self.id })?;
+            let group = LogRecordGroup::new(engine.sal.db, ctx.records.clone());
+            let pages = std::mem::take(&mut ctx.pages);
+            drop(ctx);
+            engine.install_pages(pages);
+            // Append under the latch so buffer order equals LSN order.
+            engine.sal.log_group(group)?;
+        }
+        // Durability wait happens outside the latch: concurrent committers
+        // batch into one Log Store write (group commit).
+        let lsn = engine.sal.flush()?;
+        engine.release_locks(self.id, &self.locked);
+        engine.publish();
+        Ok(lsn)
+    }
+
+    /// Abort: drop the private buffer. Nothing ever reached the log.
+    pub fn rollback(mut self) {
+        self.finished = true;
+        let engine = Arc::clone(&self.engine);
+        engine.release_locks(self.id, &self.locked);
+        self.writes.clear();
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.engine.release_locks(self.id, &self.locked);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The engine buffer pool.
+//!
+//! A straightforward LRU pool of page frames with one Taurus-specific rule:
+//! "a dirty page cannot be evicted until all of its log records have been
+//! written to at least one Page Store replica. Thus, until the latest log
+//! record reaches a Page Store, the corresponding page is guaranteed to be
+//! available from the buffer pool" (paper §4.2). The guard is a callback so
+//! the master wires it to `Sal::can_evict` and replicas (whose pages are
+//! never authoritative) use a constant.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use taurus_common::metrics::HitRate;
+use taurus_common::{Lsn, PageBuf, PageId};
+
+/// One cached page frame. `Arc<PageBuf>` lets readers share a snapshot
+/// without copying 8 KiB; writers use copy-on-write.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    pub buf: Arc<PageBuf>,
+    /// LSN of the newest record applied to this frame.
+    pub lsn: Lsn,
+    /// True while the newest record may not yet be on any Page Store.
+    pub dirty: bool,
+    last_access: u64,
+}
+
+impl Frame {
+    pub fn new(buf: Arc<PageBuf>, lsn: Lsn, dirty: bool) -> Self {
+        Frame {
+            buf,
+            lsn,
+            dirty,
+            last_access: 0,
+        }
+    }
+}
+
+/// LRU pool with the Taurus dirty-page eviction constraint.
+pub struct EnginePool {
+    capacity: usize,
+    frames: Mutex<(HashMap<PageId, Frame>, u64)>,
+    pub stats: HitRate,
+}
+
+impl std::fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl EnginePool {
+    pub fn new(capacity: usize) -> Self {
+        EnginePool {
+            capacity: capacity.max(1),
+            frames: Mutex::new((HashMap::new(), 0)),
+            stats: HitRate::new(),
+        }
+    }
+
+    /// Fetches a frame if cached.
+    pub fn get(&self, page: PageId) -> Option<Frame> {
+        let mut guard = self.frames.lock();
+        let (frames, tick) = &mut *guard;
+        *tick += 1;
+        let t = *tick;
+        match frames.get_mut(&page) {
+            Some(f) => {
+                f.last_access = t;
+                self.stats.hits.inc();
+                Some(f.clone())
+            }
+            None => {
+                self.stats.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Installs (or replaces) a frame, evicting per LRU while respecting the
+    /// dirty-page rule via `can_evict(page, lsn)`. Dirty frames that cannot
+    /// be evicted are skipped; the pool may temporarily exceed capacity when
+    /// everything is pinned by the rule (the paper's guarantee demands it).
+    pub fn put(
+        &self,
+        page: PageId,
+        frame: Frame,
+        can_evict: &dyn Fn(PageId, Lsn) -> bool,
+    ) {
+        let mut guard = self.frames.lock();
+        let (frames, tick) = &mut *guard;
+        *tick += 1;
+        let t = *tick;
+        let mut f = frame;
+        f.last_access = t;
+        frames.insert(page, f);
+        while frames.len() > self.capacity {
+            // LRU order among evictable frames only.
+            let victim = frames
+                .iter()
+                .filter(|(p, f)| **p != page && (!f.dirty || can_evict(**p, f.lsn)))
+                .min_by_key(|(_, f)| f.last_access)
+                .map(|(p, _)| *p);
+            match victim {
+                Some(p) => {
+                    frames.remove(&p);
+                }
+                None => break, // everything pinned: allow overflow
+            }
+        }
+    }
+
+    /// Marks a page clean once its records reached a Page Store (the master
+    /// sweeps this lazily from `Sal::can_evict`).
+    pub fn mark_clean_upto(&self, can_evict: &dyn Fn(PageId, Lsn) -> bool) {
+        let mut guard = self.frames.lock();
+        for (p, f) in guard.0.iter_mut() {
+            if f.dirty && can_evict(*p, f.lsn) {
+                f.dirty = false;
+            }
+        }
+    }
+
+    /// Removes a frame (replica cache invalidation).
+    pub fn remove(&self, page: PageId) {
+        self.frames.lock().0.remove(&page);
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.lock().0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the pool (used when a promoted replica re-syncs).
+    pub fn clear(&self) {
+        self.frames.lock().0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(lsn: u64, dirty: bool) -> Frame {
+        Frame::new(Arc::new(PageBuf::new()), Lsn(lsn), dirty)
+    }
+
+    fn always(_: PageId, _: Lsn) -> bool {
+        true
+    }
+    fn never(_: PageId, _: Lsn) -> bool {
+        false
+    }
+
+    #[test]
+    fn lru_eviction_of_clean_pages() {
+        let pool = EnginePool::new(8);
+        for i in 0..10u64 {
+            pool.put(PageId(i), frame(i, false), &always);
+        }
+        // Earliest inserted (least recently used) pages are gone.
+        assert!(pool.get(PageId(0)).is_none());
+        assert!(pool.get(PageId(9)).is_some());
+        assert_eq!(pool.len(), 8);
+    }
+
+    #[test]
+    fn unacked_dirty_pages_are_never_evicted() {
+        let pool = EnginePool::new(8);
+        for i in 0..8u64 {
+            pool.put(PageId(i), frame(i, true), &never);
+        }
+        // Pool is full of pinned dirty pages: adding more overflows rather
+        // than violating the rule.
+        for i in 8..12u64 {
+            pool.put(PageId(i), frame(i, true), &never);
+        }
+        assert_eq!(pool.len(), 12);
+        for i in 0..12u64 {
+            assert!(pool.get(PageId(i)).is_some(), "page {i} must be pinned");
+        }
+    }
+
+    #[test]
+    fn acked_dirty_pages_become_evictable() {
+        let pool = EnginePool::new(4);
+        for i in 0..4u64 {
+            pool.put(PageId(i), frame(i, true), &never);
+        }
+        // Records up to LSN 1 reached a Page Store.
+        let acked = |_: PageId, lsn: Lsn| lsn <= Lsn(1);
+        pool.put(PageId(9), frame(9, false), &acked);
+        assert_eq!(pool.len(), 4);
+        // One of pages 0/1 was evicted; pages 2 and 3 remain pinned.
+        assert!(pool.get(PageId(2)).is_some());
+        assert!(pool.get(PageId(3)).is_some());
+        assert!(pool.get(PageId(9)).is_some());
+    }
+
+    #[test]
+    fn mark_clean_sweep() {
+        let pool = EnginePool::new(8);
+        pool.put(PageId(1), frame(5, true), &always);
+        pool.mark_clean_upto(&|_, lsn| lsn <= Lsn(5));
+        assert!(!pool.get(PageId(1)).unwrap().dirty);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let pool = EnginePool::new(8);
+        assert!(pool.get(PageId(1)).is_none());
+        pool.put(PageId(1), frame(1, false), &always);
+        assert!(pool.get(PageId(1)).is_some());
+        assert_eq!(pool.stats.hits.get(), 1);
+        assert_eq!(pool.stats.misses.get(), 1);
+    }
+}

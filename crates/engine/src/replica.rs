@@ -1,0 +1,277 @@
+//! Read replicas (paper §6).
+//!
+//! A replica never receives log data from the master. The master only
+//! publishes *horizons* (the [`crate::master::Bulletin`]); the replica pulls
+//! the log directly from the Log Stores with an incremental tail reader,
+//! applies whole record groups atomically to the pages in its buffer pool,
+//! and reads pages it does not have from the Page Stores at its
+//! transaction-visible LSN.
+//!
+//! Consistency machinery reproduced from the paper:
+//!
+//! * **replica visible LSN** — always a group boundary, never ahead of the
+//!   master-published read horizon (so Page Stores can serve its reads);
+//! * **transaction-visible LSN (TV-LSN)** — each read transaction pins the
+//!   visible LSN at begin; the minimum pin is fed back to the master, which
+//!   turns it into the recycle LSN that lets Page Stores purge old versions;
+//! * **logical consistency** — commit records in the log maintain the
+//!   replica's committed-transaction view.
+
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use taurus_common::apply::apply_record;
+use taurus_common::lsn::LsnWatermark;
+use taurus_common::record::RecordBody;
+use taurus_common::{
+    DbId, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusConfig, TaurusError, TxnId,
+};
+use taurus_logstore::{LogStoreCluster, LogStream, TailCursor};
+use taurus_pagestore::PageStoreCluster;
+
+use crate::btree::{BTree, PageFetch};
+use crate::master::Bulletin;
+use crate::pool::{EnginePool, Frame};
+
+/// A read-only replica front end.
+pub struct ReplicaEngine {
+    pub id: usize,
+    pub me: NodeId,
+    db: DbId,
+    cfg: TaurusConfig,
+    stream: LogStream,
+    pages: PageStoreCluster,
+    pool: EnginePool,
+    visible_lsn: LsnWatermark,
+    cursor: Mutex<TailCursor>,
+    /// Commit records seen (logical consistency bookkeeping).
+    committed: Mutex<HashSet<TxnId>>,
+    /// Active TV-LSN pins: lsn → pin count.
+    tv_pins: Mutex<BTreeMap<u64, usize>>,
+    bulletin: Arc<Bulletin>,
+    last_bulletin_seq: AtomicU64,
+    pub groups_applied: AtomicU64,
+}
+
+impl std::fmt::Debug for ReplicaEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaEngine")
+            .field("id", &self.id)
+            .field("visible", &self.visible_lsn.get())
+            .finish()
+    }
+}
+
+impl ReplicaEngine {
+    /// Registers a new replica: opens its own view of the log stream and
+    /// subscribes to the master's bulletin.
+    pub fn register(
+        id: usize,
+        cfg: TaurusConfig,
+        db: DbId,
+        me: NodeId,
+        logs: LogStoreCluster,
+        pages: PageStoreCluster,
+        bulletin: Arc<Bulletin>,
+    ) -> Result<Arc<ReplicaEngine>> {
+        let stream = LogStream::open(logs, db, me, cfg.plog_size_limit)?;
+        Ok(Arc::new(ReplicaEngine {
+            id,
+            me,
+            db,
+            cfg,
+            stream,
+            pages,
+            pool: EnginePool::new(1024),
+            visible_lsn: LsnWatermark::new(Lsn::ZERO),
+            cursor: Mutex::new(TailCursor::default()),
+            committed: Mutex::new(HashSet::new()),
+            tv_pins: Mutex::new(BTreeMap::new()),
+            bulletin,
+            last_bulletin_seq: AtomicU64::new(0),
+            groups_applied: AtomicU64::new(0),
+        }))
+    }
+
+    /// The replica's physically consistent view of the database.
+    pub fn visible_lsn(&self) -> Lsn {
+        self.visible_lsn.get()
+    }
+
+    /// Tails the log: reads new groups from the Log Stores (step 3 of the
+    /// paper's Fig. 5), applies them atomically to cached pages, and
+    /// advances the visible LSN — but never past the master's read horizon.
+    /// Returns the number of groups applied.
+    pub fn poll(&self) -> Result<usize> {
+        let horizon = self
+            .bulletin
+            .durable_lsn
+            .get()
+            .min(self.bulletin.read_horizon.get());
+        if horizon <= self.visible_lsn.get() {
+            return Ok(0);
+        }
+        self.last_bulletin_seq
+            .store(self.bulletin.seq.load(Ordering::Relaxed), Ordering::Relaxed);
+        // Discover new PLogs, then tail incrementally.
+        self.stream.refresh()?;
+        let mut cursor = self.cursor.lock();
+        let groups = self.stream.read_tail(&mut cursor)?;
+        let mut applied = 0usize;
+        for group in groups {
+            let end = group.end_lsn();
+            if end <= self.visible_lsn.get() {
+                continue; // already seen (e.g. cursor restarted after truncation)
+            }
+            // Apply the whole group atomically: pages not in the pool are
+            // skipped (they will be read at the right version on demand).
+            for rec in &group.records {
+                match &rec.body {
+                    RecordBody::TxnCommit { txn } => {
+                        self.committed.lock().insert(*txn);
+                    }
+                    RecordBody::TxnAbort { .. } => {}
+                    _ => {}
+                }
+                if let Some(frame) = self.pool.get(rec.page) {
+                    let mut buf = (*frame.buf).clone();
+                    if apply_record(&mut buf, rec).is_ok() {
+                        self.pool.put(
+                            rec.page,
+                            Frame::new(Arc::new(buf), rec.lsn, false),
+                            &|_, _| true,
+                        );
+                    }
+                }
+            }
+            // The visible LSN moves only at group boundaries (§6).
+            self.visible_lsn.advance(end);
+            self.groups_applied.fetch_add(1, Ordering::Relaxed);
+            applied += 1;
+            if end >= horizon {
+                break;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Number of committed transactions this replica knows about.
+    pub fn committed_count(&self) -> usize {
+        self.committed.lock().len()
+    }
+
+    fn pin_tv(&self, lsn: Lsn) {
+        *self.tv_pins.lock().entry(lsn.0).or_insert(0) += 1;
+    }
+
+    fn unpin_tv(&self, lsn: Lsn) {
+        let mut pins = self.tv_pins.lock();
+        if let Some(c) = pins.get_mut(&lsn.0) {
+            *c -= 1;
+            if *c == 0 {
+                pins.remove(&lsn.0);
+            }
+        }
+        // Publish the new minimum TV-LSN to the master (recycle feedback).
+        let min = pins
+            .keys()
+            .next()
+            .copied()
+            .map(Lsn)
+            .unwrap_or_else(|| self.visible_lsn.get());
+        drop(pins);
+        self.bulletin.publish_min_tv(self.id, min);
+    }
+
+    /// Versioned fetch at `tv`: pool if fresh enough, else Page Store.
+    fn fetch_at(&self, tv: Lsn) -> impl PageFetch + '_ {
+        move |id: PageId| -> Result<Arc<PageBuf>> {
+            let cached = self.pool.get(id);
+            if let Some(frame) = &cached {
+                if frame.lsn <= tv {
+                    return Ok(Arc::clone(&frame.buf));
+                }
+            }
+            let key = SliceKey::new(self.db, id.slice(self.cfg.pages_per_slice));
+            let mut last_err = TaurusError::AllReplicasFailed(key);
+            for node in self.pages.replicas_of(key) {
+                match self.pages.read_page_from(node, self.me, key, id, tv) {
+                    Ok((buf, _)) => {
+                        let buf = Arc::new(buf);
+                        // Warm the pool so future log records keep the page
+                        // fresh — but never clobber a newer cached version
+                        // with an old snapshot read.
+                        if cached.is_none() {
+                            self.pool.put(
+                                id,
+                                Frame::new(Arc::clone(&buf), buf.lsn(), false),
+                                &|_, _| true,
+                            );
+                        }
+                        return Ok(buf);
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            Err(last_err)
+        }
+    }
+
+    /// Starts a read-only transaction pinned at the current visible LSN.
+    pub fn begin(self: &Arc<Self>) -> ReplicaTxn {
+        let tv = self.visible_lsn.get();
+        self.pin_tv(tv);
+        ReplicaTxn {
+            replica: Arc::clone(self),
+            tv,
+        }
+    }
+
+    /// Auto-commit point read at the current visible LSN.
+    pub fn get(self: &Arc<Self>, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let txn = self.begin();
+        txn.get(key)
+    }
+
+    /// Replicas reject writes (§3.2: only the master serves write queries).
+    pub fn put(&self, _key: &[u8], _val: &[u8]) -> Result<()> {
+        Err(TaurusError::ReadOnlyReplica)
+    }
+
+    /// Engine pool hit ratio (how much replica traffic the local pool absorbs).
+    pub fn pool_hit_ratio(&self) -> f64 {
+        self.pool.stats.ratio()
+    }
+}
+
+/// A read-only transaction on a replica, pinned at its TV-LSN.
+pub struct ReplicaTxn {
+    replica: Arc<ReplicaEngine>,
+    tv: Lsn,
+}
+
+impl ReplicaTxn {
+    /// The transaction-visible LSN (the physical snapshot this txn reads).
+    pub fn tv_lsn(&self) -> Lsn {
+        self.tv
+    }
+
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let fetch = self.replica.fetch_at(self.tv);
+        BTree::get(&fetch, key)
+    }
+
+    pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let fetch = self.replica.fetch_at(self.tv);
+        BTree::scan(&fetch, start, limit)
+    }
+}
+
+impl Drop for ReplicaTxn {
+    fn drop(&mut self) {
+        self.replica.unpin_tv(self.tv);
+    }
+}

@@ -1,0 +1,161 @@
+//! Failure detection and classification.
+//!
+//! The paper's recovery service (§5) constantly monitors storage nodes.
+//! A newly unavailable node is first classified as a *short-term* failure:
+//! nothing is re-replicated, the node is expected back, and durability is
+//! temporarily carried by the remaining replicas. If the outage exceeds a
+//! threshold (15 minutes in production), it is reclassified as *long-term*:
+//! the node is removed from the cluster and its data is re-created on the
+//! remaining nodes.
+//!
+//! [`FailureDetector::poll`] is driven explicitly (by tests with a manual
+//! clock, or by an orchestration thread in live runs) so failure drills are
+//! deterministic.
+
+use std::collections::HashSet;
+
+use taurus_common::NodeId;
+
+use crate::net::{Fabric, NodeKind, NodeStatus};
+
+/// A state transition observed by the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// A node just became unavailable; treat as short-term for now.
+    ShortTermFailure(NodeId),
+    /// An outage exceeded the short-term window: the node is considered
+    /// permanently lost and has been decommissioned from the fabric. The
+    /// owner of the node's data must re-replicate.
+    LongTermFailure(NodeId),
+    /// A node returned within the short-term window.
+    Recovered(NodeId),
+}
+
+/// Polling failure detector over a set of node kinds.
+#[derive(Debug)]
+pub struct FailureDetector {
+    fabric: Fabric,
+    kinds: Vec<NodeKind>,
+    short_term_window_us: u64,
+    /// Nodes we have already reported as short-term-failed.
+    reported_down: HashSet<NodeId>,
+}
+
+impl FailureDetector {
+    /// `short_term_window_us` mirrors `TaurusConfig::short_term_failure_us`
+    /// (the paper's 15-minute threshold, scaled).
+    pub fn new(fabric: Fabric, kinds: Vec<NodeKind>, short_term_window_us: u64) -> Self {
+        FailureDetector {
+            fabric,
+            kinds,
+            short_term_window_us,
+            reported_down: HashSet::new(),
+        }
+    }
+
+    /// Scans all monitored nodes and returns the events that occurred since
+    /// the previous poll. Long-term failures decommission the node as a side
+    /// effect, exactly once.
+    pub fn poll(&mut self) -> Vec<FailureEvent> {
+        let now = self.fabric.clock.now_us();
+        let mut events = Vec::new();
+        for kind in &self.kinds {
+            for node in self.fabric.all_nodes(*kind) {
+                match self.fabric.status(node) {
+                    Some(NodeStatus::Down { since_us }) => {
+                        if now.saturating_sub(since_us) >= self.short_term_window_us {
+                            self.fabric.decommission(node);
+                            self.reported_down.remove(&node);
+                            events.push(FailureEvent::LongTermFailure(node));
+                        } else if self.reported_down.insert(node) {
+                            events.push(FailureEvent::ShortTermFailure(node));
+                        }
+                    }
+                    Some(NodeStatus::Up) => {
+                        if self.reported_down.remove(&node) {
+                            events.push(FailureEvent::Recovered(node));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use taurus_common::clock::ManualClock;
+    use taurus_common::config::NetworkProfile;
+
+    fn setup() -> (Fabric, Arc<ManualClock>, FailureDetector, Vec<NodeId>) {
+        let clock = ManualClock::shared();
+        let fabric = Fabric::new(clock.clone(), NetworkProfile::instant(), 1);
+        let nodes = fabric.add_nodes(NodeKind::PageStore, 3);
+        let det = FailureDetector::new(fabric.clone(), vec![NodeKind::PageStore], 1_000_000);
+        (fabric, clock, det, nodes)
+    }
+
+    #[test]
+    fn healthy_cluster_produces_no_events() {
+        let (_, _, mut det, _) = setup();
+        assert!(det.poll().is_empty());
+        assert!(det.poll().is_empty());
+    }
+
+    #[test]
+    fn short_then_recovered() {
+        let (fabric, clock, mut det, nodes) = setup();
+        fabric.set_down(nodes[0]);
+        assert_eq!(det.poll(), vec![FailureEvent::ShortTermFailure(nodes[0])]);
+        // Repeated polls within the window stay quiet.
+        clock.advance(100);
+        assert!(det.poll().is_empty());
+        fabric.set_up(nodes[0]);
+        assert_eq!(det.poll(), vec![FailureEvent::Recovered(nodes[0])]);
+        assert!(det.poll().is_empty());
+    }
+
+    #[test]
+    fn long_term_failure_decommissions_exactly_once() {
+        let (fabric, clock, mut det, nodes) = setup();
+        fabric.set_down(nodes[1]);
+        assert_eq!(det.poll(), vec![FailureEvent::ShortTermFailure(nodes[1])]);
+        clock.advance(1_000_000);
+        assert_eq!(det.poll(), vec![FailureEvent::LongTermFailure(nodes[1])]);
+        assert_eq!(fabric.status(nodes[1]), Some(NodeStatus::Decommissioned));
+        // Never re-reported.
+        clock.advance(10_000_000);
+        assert!(det.poll().is_empty());
+    }
+
+    #[test]
+    fn node_down_at_first_poll_after_window_goes_straight_to_long_term() {
+        let (fabric, clock, mut det, nodes) = setup();
+        fabric.set_down(nodes[2]);
+        clock.advance(2_000_000); // no poll in between: outage discovered late
+        assert_eq!(det.poll(), vec![FailureEvent::LongTermFailure(nodes[2])]);
+    }
+
+    #[test]
+    fn multiple_simultaneous_failures_all_reported() {
+        let (fabric, _, mut det, nodes) = setup();
+        fabric.set_down(nodes[0]);
+        fabric.set_down(nodes[2]);
+        let mut events = det.poll();
+        events.sort_by_key(|e| match e {
+            FailureEvent::ShortTermFailure(n) => n.0,
+            _ => u64::MAX,
+        });
+        assert_eq!(
+            events,
+            vec![
+                FailureEvent::ShortTermFailure(nodes[0]),
+                FailureEvent::ShortTermFailure(nodes[2]),
+            ]
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! Node registry, RPC latency model, and failure injection.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use taurus_common::clock::ClockRef;
+use taurus_common::config::NetworkProfile;
+use taurus_common::{NodeId, Result, TaurusError};
+
+/// The role a node plays in the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    LogStore,
+    PageStore,
+    Compute,
+}
+
+/// Liveness of a node as seen by the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeStatus {
+    Up,
+    /// Down since the given fabric time (µs). The failure detector uses the
+    /// timestamp to distinguish short-term from long-term failures.
+    Down { since_us: u64 },
+    /// Removed from the cluster after a long-term failure; never comes back
+    /// under the same id.
+    Decommissioned,
+}
+
+#[derive(Debug)]
+struct NodeState {
+    kind: NodeKind,
+    status: NodeStatus,
+    /// Accumulated µs at which this node's NIC is next free (bandwidth model).
+    nic_free_at_us: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    nodes: RwLock<HashMap<NodeId, NodeState>>,
+    rng: Mutex<StdRng>,
+    next_node: Mutex<u64>,
+}
+
+/// The cluster fabric: every RPC, failure, and placement decision flows
+/// through one shared `Fabric` handle.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    pub clock: ClockRef,
+    pub profile: NetworkProfile,
+    inner: Arc<Inner>,
+}
+
+impl Fabric {
+    /// Creates a fabric with the given clock, network cost model, and RNG
+    /// seed (all jitter and placement randomness derives from the seed).
+    pub fn new(clock: ClockRef, profile: NetworkProfile, seed: u64) -> Self {
+        Fabric {
+            clock,
+            profile,
+            inner: Arc::new(Inner {
+                nodes: RwLock::new(HashMap::new()),
+                rng: Mutex::new(StdRng::seed_from_u64(seed)),
+                next_node: Mutex::new(1),
+            }),
+        }
+    }
+
+    /// Registers a new node of the given kind and returns its id.
+    pub fn add_node(&self, kind: NodeKind) -> NodeId {
+        let mut next = self.inner.next_node.lock();
+        let id = NodeId(*next);
+        *next += 1;
+        drop(next);
+        self.inner.nodes.write().insert(
+            id,
+            NodeState {
+                kind,
+                status: NodeStatus::Up,
+                nic_free_at_us: 0,
+            },
+        );
+        id
+    }
+
+    /// Registers `n` nodes of a kind, returning their ids.
+    pub fn add_nodes(&self, kind: NodeKind, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node(kind)).collect()
+    }
+
+    /// Marks a node as failed. Idempotent; the original failure time is kept
+    /// so long-term classification is not reset by repeated reports.
+    pub fn set_down(&self, id: NodeId) {
+        let now = self.clock.now_us();
+        if let Some(n) = self.inner.nodes.write().get_mut(&id) {
+            if matches!(n.status, NodeStatus::Up) {
+                n.status = NodeStatus::Down { since_us: now };
+            }
+        }
+    }
+
+    /// Brings a node back online (short-term failure recovery). A
+    /// decommissioned node stays gone.
+    pub fn set_up(&self, id: NodeId) {
+        if let Some(n) = self.inner.nodes.write().get_mut(&id) {
+            if !matches!(n.status, NodeStatus::Decommissioned) {
+                n.status = NodeStatus::Up;
+            }
+        }
+    }
+
+    /// Permanently removes a node (long-term failure handling).
+    pub fn decommission(&self, id: NodeId) {
+        if let Some(n) = self.inner.nodes.write().get_mut(&id) {
+            n.status = NodeStatus::Decommissioned;
+        }
+    }
+
+    /// Current status of a node (`None` if never registered).
+    pub fn status(&self, id: NodeId) -> Option<NodeStatus> {
+        self.inner.nodes.read().get(&id).map(|n| n.status)
+    }
+
+    pub fn is_up(&self, id: NodeId) -> bool {
+        matches!(self.status(id), Some(NodeStatus::Up))
+    }
+
+    /// All currently healthy nodes of a kind.
+    pub fn healthy_nodes(&self, kind: NodeKind) -> Vec<NodeId> {
+        let nodes = self.inner.nodes.read();
+        let mut out: Vec<NodeId> = nodes
+            .iter()
+            .filter(|(_, s)| s.kind == kind && matches!(s.status, NodeStatus::Up))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All registered (non-decommissioned) nodes of a kind, up or down.
+    pub fn all_nodes(&self, kind: NodeKind) -> Vec<NodeId> {
+        let nodes = self.inner.nodes.read();
+        let mut out: Vec<NodeId> = nodes
+            .iter()
+            .filter(|(_, s)| s.kind == kind && !matches!(s.status, NodeStatus::Decommissioned))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Picks `n` distinct healthy nodes of a kind uniformly at random,
+    /// excluding `exclude`. This is the cluster-manager placement primitive
+    /// (PLog placement, slice placement, replacement-replica placement).
+    pub fn pick_nodes(&self, kind: NodeKind, n: usize, exclude: &[NodeId]) -> Result<Vec<NodeId>> {
+        let mut candidates: Vec<NodeId> = self
+            .healthy_nodes(kind)
+            .into_iter()
+            .filter(|id| !exclude.contains(id))
+            .collect();
+        if candidates.len() < n {
+            return Err(TaurusError::InsufficientHealthyNodes {
+                needed: n,
+                available: candidates.len(),
+            });
+        }
+        let mut rng = self.inner.rng.lock();
+        // Partial Fisher-Yates: choose n without replacement.
+        for i in 0..n {
+            let j = rng.random_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        candidates.truncate(n);
+        Ok(candidates)
+    }
+
+    /// One-way hop latency sample for this call (mean + uniform jitter).
+    fn hop_latency_us(&self) -> u64 {
+        let base = self.profile.hop_us;
+        if self.profile.jitter_us == 0 {
+            base
+        } else {
+            base + self.inner.rng.lock().random_range(0..=self.profile.jitter_us)
+        }
+    }
+
+    /// Performs a synchronous RPC from `from` to `to`: checks the target is
+    /// up, charges one hop of latency for the request and one for the
+    /// response, and runs `f` as the remote handler.
+    ///
+    /// The *caller thread* is the network in this model: concurrency comes
+    /// from the many front-end/flusher threads issuing calls in parallel.
+    pub fn call<T>(&self, _from: NodeId, to: NodeId, f: impl FnOnce() -> T) -> Result<T> {
+        if !self.is_up(to) {
+            return Err(TaurusError::NodeUnavailable(to));
+        }
+        self.clock.sleep_us(self.hop_latency_us());
+        // The target may have died while the request was in flight.
+        if !self.is_up(to) {
+            return Err(TaurusError::NodeUnavailable(to));
+        }
+        let out = f();
+        self.clock.sleep_us(self.hop_latency_us());
+        Ok(out)
+    }
+
+    /// Charges outbound NIC time for `bytes` leaving `node`, modelling a
+    /// bandwidth cap (`NetworkProfile::master_nic_bytes_per_sec`). Returns
+    /// immediately if the profile is uncapped. The model is a serialization
+    /// delay queue: each send occupies the NIC for `bytes / rate` and sends
+    /// queue behind one another.
+    pub fn charge_bandwidth(&self, node: NodeId, bytes: usize) {
+        let rate = self.profile.master_nic_bytes_per_sec;
+        if rate == 0 || bytes == 0 {
+            return;
+        }
+        let tx_us = (bytes as u64).saturating_mul(1_000_000) / rate;
+        let now = self.clock.now_us();
+        let wait_until = {
+            let mut nodes = self.inner.nodes.write();
+            let Some(state) = nodes.get_mut(&node) else {
+                return;
+            };
+            let start = state.nic_free_at_us.max(now);
+            state.nic_free_at_us = start + tx_us;
+            state.nic_free_at_us
+        };
+        if wait_until > now {
+            self.clock.sleep_us(wait_until - now);
+        }
+    }
+
+    /// Deterministic RNG draw in `0..n` from the fabric's seeded stream
+    /// (for components that need placement-style randomness).
+    pub fn rand_below(&self, n: usize) -> usize {
+        self.inner.rng.lock().random_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::clock::{Clock, ManualClock};
+
+    fn test_fabric() -> (Fabric, Arc<ManualClock>) {
+        let clock = ManualClock::shared();
+        let fabric = Fabric::new(
+            clock.clone(),
+            NetworkProfile {
+                hop_us: 100,
+                jitter_us: 0,
+                master_nic_bytes_per_sec: 0,
+            },
+            42,
+        );
+        (fabric, clock)
+    }
+
+    #[test]
+    fn register_and_query_nodes() {
+        let (f, _) = test_fabric();
+        let ls = f.add_nodes(NodeKind::LogStore, 3);
+        let ps = f.add_nodes(NodeKind::PageStore, 2);
+        assert_eq!(f.healthy_nodes(NodeKind::LogStore), ls);
+        assert_eq!(f.healthy_nodes(NodeKind::PageStore), ps);
+        assert!(f.is_up(ls[0]));
+    }
+
+    #[test]
+    fn rpc_charges_two_hops() {
+        let (f, clock) = test_fabric();
+        let a = f.add_node(NodeKind::Compute);
+        let b = f.add_node(NodeKind::LogStore);
+        let before = clock.now_us();
+        let v = f.call(a, b, || 7).unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(clock.now_us() - before, 200);
+    }
+
+    #[test]
+    fn rpc_to_down_node_fails_without_latency_refund() {
+        let (f, _) = test_fabric();
+        let a = f.add_node(NodeKind::Compute);
+        let b = f.add_node(NodeKind::LogStore);
+        f.set_down(b);
+        assert!(matches!(
+            f.call(a, b, || 7),
+            Err(TaurusError::NodeUnavailable(_))
+        ));
+        f.set_up(b);
+        assert_eq!(f.call(a, b, || 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn down_timestamp_is_preserved_across_repeated_reports() {
+        let (f, clock) = test_fabric();
+        let b = f.add_node(NodeKind::LogStore);
+        clock.advance(1000);
+        f.set_down(b);
+        clock.advance(5000);
+        f.set_down(b); // repeated report must not reset the failure time
+        match f.status(b).unwrap() {
+            NodeStatus::Down { since_us } => assert_eq!(since_us, 1000),
+            s => panic!("unexpected status {s:?}"),
+        }
+    }
+
+    #[test]
+    fn decommissioned_nodes_never_return() {
+        let (f, _) = test_fabric();
+        let b = f.add_node(NodeKind::PageStore);
+        f.decommission(b);
+        f.set_up(b);
+        assert!(!f.is_up(b));
+        assert!(f.all_nodes(NodeKind::PageStore).is_empty());
+    }
+
+    #[test]
+    fn pick_nodes_respects_count_exclusion_and_health() {
+        let (f, _) = test_fabric();
+        let nodes = f.add_nodes(NodeKind::LogStore, 10);
+        f.set_down(nodes[0]);
+        let picked = f.pick_nodes(NodeKind::LogStore, 3, &[nodes[1], nodes[2]]).unwrap();
+        assert_eq!(picked.len(), 3);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+        for p in &picked {
+            assert!(*p != nodes[0] && *p != nodes[1] && *p != nodes[2]);
+        }
+    }
+
+    #[test]
+    fn pick_nodes_fails_when_cluster_too_small() {
+        let (f, _) = test_fabric();
+        f.add_nodes(NodeKind::LogStore, 2);
+        assert!(matches!(
+            f.pick_nodes(NodeKind::LogStore, 3, &[]),
+            Err(TaurusError::InsufficientHealthyNodes { needed: 3, available: 2 })
+        ));
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_a_seed() {
+        let run = |seed| {
+            let clock = ManualClock::shared();
+            let f = Fabric::new(clock, NetworkProfile::instant(), seed);
+            f.add_nodes(NodeKind::LogStore, 20);
+            (0..5).map(|_| f.pick_nodes(NodeKind::LogStore, 3, &[]).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn bandwidth_cap_serializes_sends() {
+        let clock = ManualClock::shared();
+        let f = Fabric::new(
+            clock.clone(),
+            NetworkProfile {
+                hop_us: 0,
+                jitter_us: 0,
+                master_nic_bytes_per_sec: 1_000_000, // 1 MB/s -> 1 µs/byte
+            },
+            1,
+        );
+        let m = f.add_node(NodeKind::Compute);
+        f.charge_bandwidth(m, 500);
+        assert_eq!(clock.now_us(), 500);
+        f.charge_bandwidth(m, 500);
+        assert_eq!(clock.now_us(), 1000);
+    }
+
+    #[test]
+    fn uncapped_bandwidth_is_free() {
+        let (f, clock) = test_fabric();
+        let m = f.add_node(NodeKind::Compute);
+        f.charge_bandwidth(m, 1 << 30);
+        assert_eq!(clock.now_us(), 0);
+    }
+}

@@ -1,0 +1,436 @@
+//! The Log Store cluster manager.
+//!
+//! Owns the server registry and the authoritative *PLog directory* mapping
+//! each PLog to the three servers holding its replicas. Provides the
+//! replicated operations the SAL uses:
+//!
+//! * [`LogStoreCluster::create_plog`] — pick three healthy servers
+//!   (paper §3.3: "the cluster manager chooses three Log Store servers");
+//! * [`LogStoreCluster::append`] — synchronous 3/3 write: acknowledged only
+//!   when **all** replicas report success; any failure seals the PLog so
+//!   the writer allocates a fresh one elsewhere (writes are never retried to
+//!   the old location — paper §3.3);
+//! * [`LogStoreCluster::read_from`] — succeeds as long as *one* replica is
+//!   alive;
+//! * [`LogStoreCluster::rereplicate_from`] — long-term failure repair:
+//!   re-creates the lost replicas on healthy nodes from a survivor
+//!   (paper §5.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use taurus_common::{DbId, NodeId, PLogId, Result, TaurusError};
+use taurus_fabric::{Fabric, NodeKind, StorageDevice};
+
+use crate::server::LogStoreServer;
+
+/// Directory entry for one PLog: its replica placement and the number of
+/// bytes whose 3/3 replication has been acknowledged. Readers are served
+/// only up to `committed_len`, so a half-replicated append that failed (and
+/// sealed the PLog) can never become visible — the paper's "writes are
+/// acknowledged only when all three Log Store replicas report a successful
+/// write" invariant, enforced on the read side.
+#[derive(Clone, Debug)]
+struct PLogMeta {
+    nodes: Vec<NodeId>,
+    committed_len: u64,
+}
+
+/// Cluster manager for the Log Store tier.
+#[derive(Clone)]
+pub struct LogStoreCluster {
+    /// Shared cluster fabric (public so orchestration and tests can inject
+    /// failures).
+    pub fabric: Fabric,
+    servers: Arc<RwLock<HashMap<NodeId, Arc<LogStoreServer>>>>,
+    directory: Arc<RwLock<HashMap<PLogId, PLogMeta>>>,
+    /// Control-plane registry: which metadata PLog describes each database's
+    /// log stream (paper: metadata PLog discovery is a control-plane lookup).
+    meta_registry: Arc<RwLock<HashMap<DbId, PLogId>>>,
+    cache_bytes: usize,
+    replicas: usize,
+}
+
+impl LogStoreCluster {
+    pub fn new(fabric: Fabric, replicas: usize, cache_bytes: usize) -> Self {
+        LogStoreCluster {
+            fabric,
+            servers: Arc::new(RwLock::new(HashMap::new())),
+            directory: Arc::new(RwLock::new(HashMap::new())),
+            meta_registry: Arc::new(RwLock::new(HashMap::new())),
+            cache_bytes,
+            replicas,
+        }
+    }
+
+    /// Spawns a new Log Store server node with its own device.
+    pub fn spawn_server(&self, profile: taurus_common::config::StorageProfile) -> NodeId {
+        let id = self.fabric.add_node(NodeKind::LogStore);
+        let device = StorageDevice::in_memory(self.fabric.clock.clone(), profile);
+        self.servers
+            .write()
+            .insert(id, LogStoreServer::new(device, self.cache_bytes));
+        id
+    }
+
+    /// Spawns `n` servers.
+    pub fn spawn_servers(&self, n: usize, profile: taurus_common::config::StorageProfile) -> Vec<NodeId> {
+        (0..n).map(|_| self.spawn_server(profile)).collect()
+    }
+
+    fn server(&self, node: NodeId) -> Result<Arc<LogStoreServer>> {
+        self.servers
+            .read()
+            .get(&node)
+            .cloned()
+            .ok_or(TaurusError::NodeUnavailable(node))
+    }
+
+    /// Direct handle to a server, for tests that need to inspect node state.
+    pub fn server_handle(&self, node: NodeId) -> Option<Arc<LogStoreServer>> {
+        self.servers.read().get(&node).cloned()
+    }
+
+    /// Current replica placement of a PLog.
+    pub fn replicas_of(&self, id: PLogId) -> Vec<NodeId> {
+        self.directory
+            .read()
+            .get(&id)
+            .map(|m| m.nodes.clone())
+            .unwrap_or_default()
+    }
+
+    /// Acknowledged (3/3-replicated) length of a PLog.
+    pub fn committed_len(&self, id: PLogId) -> u64 {
+        self.directory
+            .read()
+            .get(&id)
+            .map(|m| m.committed_len)
+            .unwrap_or(0)
+    }
+
+    /// Creates a PLog replicated on `self.replicas` healthy servers chosen by
+    /// the cluster manager.
+    pub fn create_plog(&self, id: PLogId, from: NodeId) -> Result<Vec<NodeId>> {
+        let nodes = self.fabric.pick_nodes(NodeKind::LogStore, self.replicas, &[])?;
+        for &n in &nodes {
+            let server = self.server(n)?;
+            self.fabric.call(from, n, || server.create_plog(id))?;
+        }
+        self.directory.write().insert(
+            id,
+            PLogMeta {
+                nodes: nodes.clone(),
+                committed_len: 0,
+            },
+        );
+        Ok(nodes)
+    }
+
+    /// Synchronously replicated append: all replicas must acknowledge.
+    ///
+    /// On any failure the PLog is sealed on every reachable replica and
+    /// `PLogSealed` is returned — the writer must allocate a new PLog and
+    /// write there instead (never retry to the old location). The fan-out
+    /// is issued sequentially: on small simulation hosts, spawning threads
+    /// per append costs far more scheduler noise than the (identical-cost,
+    /// all-must-ack) serialization; replication-factor ratios between
+    /// compared systems are preserved.
+    pub fn append(&self, id: PLogId, from: NodeId, data: Bytes) -> Result<u64> {
+        let nodes = self.replicas_of(id);
+        if nodes.is_empty() {
+            return Err(TaurusError::PLogNotFound(id));
+        }
+        let results: Vec<Result<u64>> = nodes
+            .iter()
+            .map(|&n| -> Result<u64> {
+                let data = data.clone();
+                let server = self.server(n)?;
+                self.fabric.call(from, n, move || server.append(id, data))?
+            })
+            .collect();
+        if results.iter().all(|r| r.is_ok()) {
+            // All replicas appended at the same logical offset; the write is
+            // acknowledged by advancing the committed length.
+            if let Some(meta) = self.directory.write().get_mut(&id) {
+                meta.committed_len += data.len() as u64;
+            }
+            return results.into_iter().next().expect("non-empty replica set");
+        }
+        // Partial failure: seal everywhere reachable so the failed write can
+        // never be half-visible, then tell the writer to move on.
+        self.seal(id, from);
+        Err(TaurusError::PLogSealed(id))
+    }
+
+    /// Seals a PLog on every reachable replica (best effort).
+    pub fn seal(&self, id: PLogId, from: NodeId) {
+        for n in self.replicas_of(id) {
+            if let Ok(server) = self.server(n) {
+                let _ = self.fabric.call(from, n, || server.seal(id));
+            }
+        }
+    }
+
+    /// Reads everything from `offset` onward; succeeds if at least one
+    /// replica is reachable (paper §3.3: "reads from the Log Store will
+    /// succeed as long as there is at least one PLog replica available").
+    pub fn read_from(&self, id: PLogId, from: NodeId, offset: u64) -> Result<Bytes> {
+        let (nodes, committed) = {
+            let dir = self.directory.read();
+            match dir.get(&id) {
+                Some(m) => (m.nodes.clone(), m.committed_len),
+                None => return Err(TaurusError::PLogNotFound(id)),
+            }
+        };
+        if offset >= committed {
+            return Ok(Bytes::new());
+        }
+        let mut last_err = TaurusError::PLogNotFound(id);
+        for n in nodes {
+            let Ok(server) = self.server(n) else { continue };
+            match self.fabric.call(from, n, || server.read_from(id, offset)) {
+                Ok(Ok(data)) => {
+                    // Never expose bytes past the acknowledged length: a
+                    // replica may carry the tail of a failed (unacked) write.
+                    let visible = (committed - offset) as usize;
+                    if data.len() >= visible {
+                        return Ok(data.slice(0..visible));
+                    }
+                    // Replica is missing acknowledged data (should not
+                    // happen); fall through to the next replica.
+                    last_err = TaurusError::Codec("replica shorter than committed length");
+                }
+                Ok(Err(e)) | Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Deletes a PLog from all reachable replicas and the directory (log
+    /// truncation).
+    pub fn delete_plog(&self, id: PLogId, from: NodeId) {
+        for n in self.replicas_of(id) {
+            if let Ok(server) = self.server(n) {
+                let _ = self.fabric.call(from, n, || server.delete_plog(id));
+            }
+        }
+        self.directory.write().remove(&id);
+    }
+
+    /// Long-term failure repair: for every PLog with a replica on `failed`,
+    /// copy the data from a surviving replica to a freshly chosen healthy
+    /// server and update the directory. Returns the number of PLog replicas
+    /// re-created.
+    pub fn rereplicate_from(&self, failed: NodeId, from: NodeId) -> Result<usize> {
+        let affected: Vec<(PLogId, Vec<NodeId>)> = self
+            .directory
+            .read()
+            .iter()
+            .filter(|(_, meta)| meta.nodes.contains(&failed))
+            .map(|(id, meta)| (*id, meta.nodes.clone()))
+            .collect();
+        let mut repaired = 0usize;
+        for (id, nodes) in affected {
+            let survivors: Vec<NodeId> = nodes.iter().copied().filter(|&n| n != failed).collect();
+            // Read the full contents from any survivor.
+            let mut content: Option<(Bytes, bool)> = None;
+            for &s in &survivors {
+                let Ok(server) = self.server(s) else { continue };
+                let read = self
+                    .fabric
+                    .call(from, s, || -> Result<(Bytes, bool)> {
+                        Ok((server.read_from(id, 0)?, server.is_sealed(id)?))
+                    });
+                if let Ok(Ok(c)) = read {
+                    content = Some(c);
+                    break;
+                }
+            }
+            let Some((data, sealed)) = content else {
+                // No survivor readable right now; the plog stays
+                // under-replicated until a later repair pass.
+                continue;
+            };
+            let new_node = self
+                .fabric
+                .pick_nodes(NodeKind::LogStore, 1, &nodes)?
+                .pop()
+                .expect("pick_nodes(1) returned a node");
+            let server = self.server(new_node)?;
+            self.fabric.call(from, new_node, || -> Result<()> {
+                server.create_plog(id);
+                if !data.is_empty() {
+                    server.append(id, data)?;
+                }
+                if sealed {
+                    server.seal(id)?;
+                }
+                Ok(())
+            })??;
+            let mut dir = self.directory.write();
+            if let Some(meta) = dir.get_mut(&id) {
+                if let Some(slot) = meta.nodes.iter_mut().find(|n| **n == failed) {
+                    *slot = new_node;
+                }
+            }
+            repaired += 1;
+        }
+        Ok(repaired)
+    }
+
+    /// Registers the metadata PLog for a database.
+    pub fn set_meta_plog(&self, db: DbId, id: PLogId) {
+        self.meta_registry.write().insert(db, id);
+    }
+
+    /// Looks up the metadata PLog of a database.
+    pub fn meta_plog(&self, db: DbId) -> Option<PLogId> {
+        self.meta_registry.read().get(&db).copied()
+    }
+
+    /// Total PLogs tracked in the directory.
+    pub fn plog_count(&self) -> usize {
+        self.directory.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::clock::ManualClock;
+    use taurus_common::config::{NetworkProfile, StorageProfile};
+    use taurus_common::DbId;
+
+    fn cluster(n: usize) -> (LogStoreCluster, Vec<NodeId>, NodeId) {
+        let clock = ManualClock::shared();
+        let fabric = Fabric::new(clock, NetworkProfile::instant(), 99);
+        let compute = fabric.add_node(NodeKind::Compute);
+        let cluster = LogStoreCluster::new(fabric, 3, 1 << 20);
+        let nodes = cluster.spawn_servers(n, StorageProfile::instant());
+        (cluster, nodes, compute)
+    }
+
+    fn id(seq: u64) -> PLogId {
+        PLogId::new(DbId(1), seq, 0)
+    }
+
+    #[test]
+    fn create_append_read() {
+        let (c, _, me) = cluster(5);
+        let nodes = c.create_plog(id(1), me).unwrap();
+        assert_eq!(nodes.len(), 3);
+        c.append(id(1), me, Bytes::from_static(b"hello")).unwrap();
+        c.append(id(1), me, Bytes::from_static(b" world")).unwrap();
+        assert_eq!(
+            c.read_from(id(1), me, 0).unwrap(),
+            Bytes::from_static(b"hello world")
+        );
+    }
+
+    #[test]
+    fn all_replicas_hold_identical_content() {
+        let (c, _, me) = cluster(4);
+        c.create_plog(id(1), me).unwrap();
+        c.append(id(1), me, Bytes::from_static(b"abc")).unwrap();
+        for n in c.replicas_of(id(1)) {
+            let s = c.server_handle(n).unwrap();
+            assert_eq!(s.read_from(id(1), 0).unwrap(), Bytes::from_static(b"abc"));
+        }
+    }
+
+    #[test]
+    fn append_with_down_replica_seals_the_plog() {
+        let (c, _, me) = cluster(6);
+        c.create_plog(id(1), me).unwrap();
+        c.append(id(1), me, Bytes::from_static(b"ok")).unwrap();
+        let victim = c.replicas_of(id(1))[0];
+        // Take one replica down: the 3/3 write must fail and seal.
+        let fabric = c.fabric.clone();
+        fabric.set_down(victim);
+        assert!(matches!(
+            c.append(id(1), me, Bytes::from_static(b"fails")),
+            Err(TaurusError::PLogSealed(_))
+        ));
+        // Survivors are sealed; even after the victim recovers, appends fail.
+        fabric.set_up(victim);
+        assert!(c.append(id(1), me, Bytes::from_static(b"still fails")).is_err());
+        // Reads still work and show only the acknowledged data.
+        assert_eq!(c.read_from(id(1), me, 0).unwrap(), Bytes::from_static(b"ok"));
+    }
+
+    #[test]
+    fn reads_survive_two_replica_failures() {
+        let (c, _, me) = cluster(5);
+        c.create_plog(id(1), me).unwrap();
+        c.append(id(1), me, Bytes::from_static(b"durable")).unwrap();
+        let replicas = c.replicas_of(id(1));
+        c.fabric.set_down(replicas[0]);
+        c.fabric.set_down(replicas[1]);
+        assert_eq!(
+            c.read_from(id(1), me, 0).unwrap(),
+            Bytes::from_static(b"durable")
+        );
+        // Third one down: reads fail.
+        c.fabric.set_down(replicas[2]);
+        assert!(c.read_from(id(1), me, 0).is_err());
+    }
+
+    #[test]
+    fn delete_plog_removes_everywhere() {
+        let (c, _, me) = cluster(4);
+        c.create_plog(id(1), me).unwrap();
+        c.append(id(1), me, Bytes::from_static(b"x")).unwrap();
+        let replicas = c.replicas_of(id(1));
+        c.delete_plog(id(1), me);
+        assert_eq!(c.plog_count(), 0);
+        for n in replicas {
+            assert_eq!(c.server_handle(n).unwrap().plog_count(), 0);
+        }
+    }
+
+    #[test]
+    fn rereplication_restores_replica_count_and_content() {
+        let (c, _, me) = cluster(6);
+        c.create_plog(id(1), me).unwrap();
+        c.append(id(1), me, Bytes::from_static(b"precious")).unwrap();
+        c.seal(id(1), me);
+        let old = c.replicas_of(id(1));
+        let failed = old[1];
+        c.fabric.set_down(failed);
+        c.fabric.decommission(failed);
+        let repaired = c.rereplicate_from(failed, me).unwrap();
+        assert_eq!(repaired, 1);
+        let new = c.replicas_of(id(1));
+        assert_eq!(new.len(), 3);
+        assert!(!new.contains(&failed));
+        // The replacement holds the full content and the sealed flag.
+        let added: Vec<_> = new.iter().filter(|n| !old.contains(n)).collect();
+        assert_eq!(added.len(), 1);
+        let s = c.server_handle(*added[0]).unwrap();
+        assert_eq!(s.read_from(id(1), 0).unwrap(), Bytes::from_static(b"precious"));
+        assert!(s.is_sealed(id(1)).unwrap());
+    }
+
+    #[test]
+    fn writes_keep_succeeding_while_three_healthy_nodes_exist() {
+        // The availability claim: a failed write seals and moves on; as long
+        // as any 3 healthy servers exist, a *new* PLog write succeeds.
+        let (c, nodes, me) = cluster(10);
+        c.create_plog(id(1), me).unwrap();
+        // Kill 7 of 10 nodes.
+        for &n in &nodes[..7] {
+            c.fabric.set_down(n);
+        }
+        // The old plog may or may not be writable; a fresh plog must be.
+        let fresh = id(2);
+        c.create_plog(fresh, me).unwrap();
+        c.append(fresh, me, Bytes::from_static(b"still writable")).unwrap();
+        // With only 2 healthy nodes, creation fails.
+        c.fabric.set_down(nodes[7]);
+        assert!(c.create_plog(id(3), me).is_err());
+    }
+}

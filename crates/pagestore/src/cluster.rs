@@ -1,0 +1,508 @@
+//! The Page Store cluster: placement, gossip, and replica rebuild.
+//!
+//! Unlike PLogs, slices cannot move freely: "a Page Store must have access
+//! to all log records for the pages that it is responsible for. This
+//! requirement prevents us from switching Page Stores in the same way as we
+//! switch Log Stores" (paper §3.4). The cluster manager therefore tracks a
+//! fixed placement per slice, repairs divergence between replicas with the
+//! gossip protocol (§4.1 step 6), and rebuilds replicas on fresh nodes after
+//! long-term failures (§5.2).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use taurus_common::config::StorageProfile;
+use taurus_common::{Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusError};
+use taurus_fabric::{Fabric, NodeKind, StorageDevice};
+
+use crate::fragment::SliceFragment;
+use crate::pool::EvictionPolicy;
+use crate::server::{ConsolidationPolicy, PageStoreServer};
+
+/// Construction parameters for Page Store servers spawned by the cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct PageStoreOptions {
+    pub log_cache_bytes: usize,
+    pub pool_pages: usize,
+    pub pool_policy: EvictionPolicy,
+    pub consolidation: ConsolidationPolicy,
+}
+
+impl Default for PageStoreOptions {
+    fn default() -> Self {
+        PageStoreOptions {
+            log_cache_bytes: 16 << 20,
+            pool_pages: 4096,
+            pool_policy: EvictionPolicy::Lfu,
+            consolidation: ConsolidationPolicy::LogCacheCentric,
+        }
+    }
+}
+
+/// Cluster manager for the Page Store tier.
+#[derive(Clone)]
+pub struct PageStoreCluster {
+    /// Shared cluster fabric (public for failure injection in tests).
+    pub fabric: Fabric,
+    servers: Arc<RwLock<HashMap<NodeId, Arc<PageStoreServer>>>>,
+    placement: Arc<RwLock<HashMap<SliceKey, Vec<NodeId>>>>,
+    options: PageStoreOptions,
+    replicas: usize,
+}
+
+impl PageStoreCluster {
+    pub fn new(fabric: Fabric, replicas: usize, options: PageStoreOptions) -> Self {
+        PageStoreCluster {
+            fabric,
+            servers: Arc::new(RwLock::new(HashMap::new())),
+            placement: Arc::new(RwLock::new(HashMap::new())),
+            options,
+            replicas,
+        }
+    }
+
+    /// Spawns a Page Store server node with its own device.
+    pub fn spawn_server(&self, profile: StorageProfile) -> NodeId {
+        let id = self.fabric.add_node(NodeKind::PageStore);
+        let device = StorageDevice::in_memory(self.fabric.clock.clone(), profile);
+        let server = PageStoreServer::new(
+            device,
+            self.options.log_cache_bytes,
+            self.options.pool_pages,
+            self.options.pool_policy,
+            self.options.consolidation,
+        );
+        self.servers.write().insert(id, server);
+        id
+    }
+
+    pub fn spawn_servers(&self, n: usize, profile: StorageProfile) -> Vec<NodeId> {
+        (0..n).map(|_| self.spawn_server(profile)).collect()
+    }
+
+    fn server(&self, node: NodeId) -> Result<Arc<PageStoreServer>> {
+        self.servers
+            .read()
+            .get(&node)
+            .cloned()
+            .ok_or(TaurusError::NodeUnavailable(node))
+    }
+
+    /// Direct handle to a server (tests / background drivers).
+    pub fn server_handle(&self, node: NodeId) -> Option<Arc<PageStoreServer>> {
+        self.servers.read().get(&node).cloned()
+    }
+
+    /// All registered server nodes.
+    pub fn server_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.servers.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Current replica placement of a slice.
+    pub fn replicas_of(&self, key: SliceKey) -> Vec<NodeId> {
+        self.placement.read().get(&key).cloned().unwrap_or_default()
+    }
+
+    /// All slices the cluster knows about.
+    pub fn slices(&self) -> Vec<SliceKey> {
+        let mut v: Vec<SliceKey> = self.placement.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Creates a slice on `replicas` healthy Page Stores.
+    pub fn create_slice(&self, key: SliceKey, from: NodeId) -> Result<Vec<NodeId>> {
+        if let Some(existing) = self.placement.read().get(&key) {
+            return Ok(existing.clone());
+        }
+        let nodes = self.fabric.pick_nodes(NodeKind::PageStore, self.replicas, &[])?;
+        for &n in &nodes {
+            let server = self.server(n)?;
+            self.fabric.call(from, n, || server.create_slice(key))?;
+        }
+        self.placement.write().insert(key, nodes.clone());
+        Ok(nodes)
+    }
+
+    /// `WriteLogs` RPC to one specific replica.
+    pub fn write_logs_to(&self, node: NodeId, from: NodeId, frag: &SliceFragment) -> Result<Lsn> {
+        let server = self.server(node)?;
+        self.fabric.call(from, node, || server.write_logs(frag))?
+    }
+
+    /// `ReadPage` RPC to one specific replica.
+    pub fn read_page_from(
+        &self,
+        node: NodeId,
+        from: NodeId,
+        key: SliceKey,
+        page: PageId,
+        as_of: Lsn,
+    ) -> Result<(PageBuf, Lsn)> {
+        let server = self.server(node)?;
+        self.fabric
+            .call(from, node, || server.read_page(key, page, as_of))?
+    }
+
+    /// `GetPersistentLSN` RPC to one specific replica.
+    pub fn persistent_lsn_of(&self, node: NodeId, from: NodeId, key: SliceKey) -> Result<Lsn> {
+        let server = self.server(node)?;
+        self.fabric
+            .call(from, node, || server.get_persistent_lsn(key))?
+    }
+
+    /// `SetRecycleLSN` broadcast to all reachable replicas of a slice.
+    pub fn set_recycle_lsn(&self, key: SliceKey, from: NodeId, lsn: Lsn) {
+        for n in self.replicas_of(key) {
+            if let Ok(server) = self.server(n) {
+                let _ = self.fabric.call(from, n, || server.set_recycle_lsn(key, lsn));
+            }
+        }
+    }
+
+    /// Missing-LSN-ranges RPC (the SAL's Fig. 4(c) probe).
+    pub fn missing_ranges_of(
+        &self,
+        node: NodeId,
+        from: NodeId,
+        key: SliceKey,
+    ) -> Result<Vec<(Lsn, Lsn)>> {
+        let server = self.server(node)?;
+        self.fabric
+            .call(from, node, || server.missing_lsn_ranges(key))?
+    }
+
+    /// One round of the gossip protocol for a slice: every pair of live
+    /// replicas exchanges fragment inventories and copies what the other is
+    /// missing (paper §5.2). Returns the number of fragments transferred.
+    pub fn gossip(&self, key: SliceKey) -> usize {
+        let nodes = self.replicas_of(key);
+        let mut transferred = 0usize;
+        // Gather fragment inventories and persistent LSNs from live replicas.
+        let mut inventories: HashMap<NodeId, (Lsn, Vec<(Lsn, Lsn, Lsn)>)> = HashMap::new();
+        for &n in &nodes {
+            if !self.fabric.is_up(n) {
+                continue;
+            }
+            let Ok(server) = self.server(n) else { continue };
+            let inv = self.fabric.call(n, n, || -> Result<(Lsn, Vec<(Lsn, Lsn, Lsn)>)> {
+                Ok((server.get_persistent_lsn(key)?, server.inventory(key)?))
+            });
+            if let Ok(Ok(inv)) = inv {
+                inventories.insert(n, inv);
+            }
+        }
+        for (&dst, (dst_persistent, have)) in &inventories {
+            let mut have_set: std::collections::HashSet<(Lsn, Lsn)> =
+                have.iter().map(|(f, l, _)| (*f, *l)).collect();
+            for (&src, (_, src_have)) in &inventories {
+                if src == dst {
+                    continue;
+                }
+                for &(first, last, _prev) in src_have {
+                    // Skip fragments the destination already covers.
+                    if last <= *dst_persistent || have_set.contains(&(first, last)) {
+                        continue;
+                    }
+                    // dst pulls the missing fragment from src.
+                    let Ok(src_server) = self.server(src) else { continue };
+                    let frag = self
+                        .fabric
+                        .call(dst, src, || src_server.get_fragment(key, first, last));
+                    if let Ok(Ok(frag)) = frag {
+                        let Ok(dst_server) = self.server(dst) else { continue };
+                        if dst_server.write_logs(&frag).is_ok() {
+                            have_set.insert((first, last));
+                            transferred += 1;
+                        }
+                    }
+                }
+            }
+        }
+        transferred
+    }
+
+    /// One gossip round across every slice (the periodic 30-minute sweep).
+    pub fn gossip_all(&self) -> usize {
+        self.slices().iter().map(|k| self.gossip(*k)).sum()
+    }
+
+    /// Rebuilds the replica of `key` lost with `failed` on a fresh node:
+    /// picks a healthy node, copies the latest pages from a live donor, and
+    /// swaps the placement entry (paper §5.2). The new replica accepts
+    /// writes during the copy. Returns the new node.
+    pub fn rebuild_replica(&self, key: SliceKey, failed: NodeId, from: NodeId) -> Result<NodeId> {
+        let nodes = self.replicas_of(key);
+        if !nodes.contains(&failed) {
+            return Err(TaurusError::Internal(format!(
+                "{failed} does not host {key}"
+            )));
+        }
+        // Find a live donor.
+        let donor = nodes
+            .iter()
+            .copied()
+            .find(|&n| n != failed && self.fabric.is_up(n))
+            .ok_or(TaurusError::AllReplicasFailed(key))?;
+        let donor_server = self.server(donor)?;
+        let export = self
+            .fabric
+            .call(from, donor, || donor_server.export_slice(key))??;
+        let new_node = self
+            .fabric
+            .pick_nodes(NodeKind::PageStore, 1, &nodes)?
+            .pop()
+            .expect("pick_nodes(1)");
+        let new_server = self.server(new_node)?;
+        let (plsn, rlsn) = (export.persistent_lsn, export.recycle_lsn);
+        self.fabric.call(from, new_node, || {
+            new_server.create_rebuilding_slice(key, plsn, rlsn)
+        })?;
+        // Swap placement first so new writes reach the rebuilding replica.
+        {
+            let mut placement = self.placement.write();
+            if let Some(nodes) = placement.get_mut(&key) {
+                if let Some(slot) = nodes.iter_mut().find(|n| **n == failed) {
+                    *slot = new_node;
+                }
+            }
+        }
+        let new_server = self.server(new_node)?;
+        let pages = export.pages;
+        self.fabric
+            .call(from, new_node, move || new_server.import_pages(key, pages))??;
+        Ok(new_node)
+    }
+
+    /// The largest unconsolidated-log backlog across servers, in bytes.
+    /// The SAL consults this to throttle master writes when consolidation
+    /// falls behind (paper §7).
+    pub fn max_backlog_pressure(&self) -> usize {
+        self.servers
+            .read()
+            .values()
+            .map(|s| s.backlog_pressure())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Drives every server's consolidation and write-back once (tests and
+    /// single-threaded harnesses).
+    pub fn consolidate_and_flush_all(&self) {
+        let servers: Vec<Arc<PageStoreServer>> = self.servers.read().values().cloned().collect();
+        for s in servers {
+            s.consolidate_all();
+            let _ = s.flush_dirty();
+        }
+    }
+
+    /// Starts one background consolidation/flush thread per server. Returns
+    /// a guard; drop it (or call `stop`) to terminate the threads.
+    pub fn start_background_consolidation(&self) -> ConsolidationGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for (_, server) in self.servers.read().iter() {
+            let server = Arc::clone(server);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut idle_spins = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    if server.consolidate_step() {
+                        idle_spins = 0;
+                    } else {
+                        idle_spins += 1;
+                        if idle_spins % 64 == 0 {
+                            let _ = server.flush_dirty();
+                        }
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                }
+                let _ = server.flush_dirty();
+            }));
+        }
+        ConsolidationGuard { stop, handles }
+    }
+}
+
+/// Join guard for background consolidation threads.
+pub struct ConsolidationGuard {
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ConsolidationGuard {
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ConsolidationGuard {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use taurus_common::clock::ManualClock;
+    use taurus_common::config::NetworkProfile;
+    use taurus_common::page::PageType;
+    use taurus_common::record::{LogRecord, RecordBody};
+    use taurus_common::{DbId, SliceId};
+
+    fn setup(n: usize) -> (PageStoreCluster, NodeId) {
+        let clock = ManualClock::shared();
+        let fabric = Fabric::new(clock, NetworkProfile::instant(), 11);
+        let me = fabric.add_node(NodeKind::Compute);
+        let cluster = PageStoreCluster::new(
+            fabric,
+            3,
+            PageStoreOptions {
+                log_cache_bytes: 1 << 20,
+                pool_pages: 128,
+                ..PageStoreOptions::default()
+            },
+        );
+        cluster.spawn_servers(n, StorageProfile::instant());
+        (cluster, me)
+    }
+
+    fn key() -> SliceKey {
+        SliceKey::new(DbId(1), SliceId(0))
+    }
+
+    /// One-record fragment at `lsn`, chained after `prev`.
+    fn frag(prev: u64, lsn: u64, page: u64) -> SliceFragment {
+        let body = if lsn % 2 == 1 {
+            RecordBody::Format {
+                ty: PageType::Leaf,
+                level: 0,
+            }
+        } else {
+            RecordBody::Insert {
+                idx: 0,
+                key: Bytes::from(format!("k{lsn}")),
+                val: Bytes::from(format!("v{lsn}")),
+            }
+        };
+        SliceFragment::new(
+            key(),
+            Lsn(prev),
+            vec![LogRecord::new(Lsn(lsn), PageId(page), body)],
+        )
+    }
+
+    #[test]
+    fn create_slice_places_three_replicas() {
+        let (c, me) = setup(5);
+        let nodes = c.create_slice(key(), me).unwrap();
+        assert_eq!(nodes.len(), 3);
+        for n in &nodes {
+            assert!(c.server_handle(*n).unwrap().has_slice(key()));
+        }
+        // Idempotent.
+        assert_eq!(c.create_slice(key(), me).unwrap(), nodes);
+    }
+
+    #[test]
+    fn gossip_repairs_a_lagging_replica() {
+        let (c, me) = setup(4);
+        let nodes = c.create_slice(key(), me).unwrap();
+        // Replicas 0 and 1 get both fragments; replica 2 misses fragment 1
+        // (as if it was down during the wait-for-one write).
+        for &n in &nodes {
+            c.write_logs_to(n, me, &frag(0, 1, 7)).unwrap();
+        }
+        for &n in &nodes[..2] {
+            c.write_logs_to(n, me, &frag(1, 2, 7)).unwrap();
+        }
+        assert_eq!(c.persistent_lsn_of(nodes[2], me, key()).unwrap(), Lsn(1));
+        let moved = c.gossip(key());
+        assert_eq!(moved, 1);
+        assert_eq!(c.persistent_lsn_of(nodes[2], me, key()).unwrap(), Lsn(2));
+    }
+
+    #[test]
+    fn gossip_skips_down_replicas_and_recovers_them_later() {
+        let (c, me) = setup(4);
+        let nodes = c.create_slice(key(), me).unwrap();
+        for &n in &nodes {
+            c.write_logs_to(n, me, &frag(0, 1, 7)).unwrap();
+        }
+        c.fabric.set_down(nodes[2]);
+        for &n in &nodes[..2] {
+            c.write_logs_to(n, me, &frag(1, 2, 7)).unwrap();
+        }
+        // Down replica: gossip moves nothing to it.
+        assert_eq!(c.gossip(key()), 0);
+        // It comes back (short-term failure) and gossip catches it up —
+        // exactly the paper's Fig. 4(a) scenario.
+        c.fabric.set_up(nodes[2]);
+        assert_eq!(c.gossip(key()), 1);
+        assert_eq!(c.persistent_lsn_of(nodes[2], me, key()).unwrap(), Lsn(2));
+    }
+
+    #[test]
+    fn rebuild_replaces_failed_replica_with_full_content() {
+        let (c, me) = setup(5);
+        let nodes = c.create_slice(key(), me).unwrap();
+        for &n in &nodes {
+            c.write_logs_to(n, me, &frag(0, 1, 7)).unwrap();
+            c.write_logs_to(n, me, &frag(1, 2, 7)).unwrap();
+        }
+        c.consolidate_and_flush_all();
+        let failed = nodes[0];
+        c.fabric.set_down(failed);
+        c.fabric.decommission(failed);
+        let new_node = c.rebuild_replica(key(), failed, me).unwrap();
+        assert!(!c.replicas_of(key()).contains(&failed));
+        assert!(c.replicas_of(key()).contains(&new_node));
+        // The rebuilt replica serves reads at the donor's persistent LSN.
+        let (page, lsn) = c.read_page_from(new_node, me, key(), PageId(7), Lsn(2)).unwrap();
+        assert_eq!(lsn, Lsn(2));
+        assert_eq!(page.nslots(), 1);
+    }
+
+    #[test]
+    fn rebuild_fails_if_all_other_replicas_are_down() {
+        let (c, me) = setup(5);
+        let nodes = c.create_slice(key(), me).unwrap();
+        for &n in &nodes {
+            c.fabric.set_down(n);
+        }
+        assert!(matches!(
+            c.rebuild_replica(key(), nodes[0], me),
+            Err(TaurusError::AllReplicasFailed(_))
+        ));
+    }
+
+    #[test]
+    fn writes_during_rebuild_reach_the_new_replica() {
+        let (c, me) = setup(5);
+        let nodes = c.create_slice(key(), me).unwrap();
+        for &n in &nodes {
+            c.write_logs_to(n, me, &frag(0, 1, 7)).unwrap();
+        }
+        let failed = nodes[0];
+        c.fabric.set_down(failed);
+        c.fabric.decommission(failed);
+        let new_node = c.rebuild_replica(key(), failed, me).unwrap();
+        // A write arriving after the placement swap lands on the new node.
+        c.write_logs_to(new_node, me, &frag(1, 2, 7)).unwrap();
+        assert_eq!(c.persistent_lsn_of(new_node, me, key()).unwrap(), Lsn(2));
+    }
+}

@@ -1,0 +1,42 @@
+//! # taurus-pagestore
+//!
+//! The Page Store service of Taurus (paper §3.4 and §7): the eventually
+//! consistent, versioned half of the storage layer. Page Stores receive the
+//! redo log as ordered per-slice *fragments*, persist them append-only,
+//! *consolidate* them into page versions, and serve versioned page reads
+//! from the master and read replicas.
+//!
+//! Faithfully reproduced mechanics:
+//!
+//! * the four-method API the SAL speaks: `WriteLogs`, `ReadPage`,
+//!   `SetRecycleLSN`, `GetPersistentLSN` (§3.4);
+//! * append-only slice logs — a Page Store never writes in place (§7);
+//! * the **Log Directory**: a per-slice concurrent map from page id to the
+//!   locations of its log records and materialized versions (§7);
+//! * the global **log cache** with the *log-cache-centric* consolidation
+//!   policy (fragments are consolidated in arrival order; consolidation
+//!   never reads log records from disk) and the rejected
+//!   *longest-chain-first* policy for the ablation bench (§7);
+//! * the global **buffer pool** with LFU eviction (LRU available for the
+//!   ablation; the paper measured LFU ≈25% better for this second-tier
+//!   cache) acting as a write-back cache for consolidated pages (§7);
+//! * per-slice **persistent LSN** (highest LSN with no holes) and missing-
+//!   range reporting, which the SAL's recovery machinery relies on (§5.2);
+//! * the **gossip protocol** between slice replicas, recovering missed
+//!   fragments peer-to-peer (§4.1 step 6, §5.2);
+//! * replica rebuild after a long-term failure: a fresh replica accepts new
+//!   writes immediately and copies the latest page versions from a healthy
+//!   peer before serving reads (§5.2).
+
+pub mod cluster;
+pub mod directory;
+pub mod fragment;
+pub mod logcache;
+pub mod pool;
+pub mod server;
+pub mod slice;
+
+pub use cluster::PageStoreCluster;
+pub use fragment::SliceFragment;
+pub use pool::{EvictionPolicy, PagePool};
+pub use server::{ConsolidationPolicy, PageStoreServer};

@@ -1,0 +1,921 @@
+//! A Page Store server: slices, ingestion, consolidation, versioned reads.
+//!
+//! The write side is append-only end to end: arriving fragments are appended
+//! to the device, consolidated page versions are appended to the device, and
+//! nothing is ever overwritten (paper §7: "disk writes are append-only as
+//! append-only writes are 2-5 times faster than random writes").
+//!
+//! Consolidation follows the paper's **log-cache-centric** policy by
+//! default: fragments are consolidated in arrival order and only in-memory
+//! records are used to produce new page versions, so consolidation never
+//! stalls on disk reads of log records. The rejected **longest-chain-first**
+//! policy is implemented for the ablation benchmark; it prioritizes hot
+//! pages and leaves cold fragments to be evicted unconsolidated, which is
+//! precisely the pathology the paper describes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+
+use taurus_common::apply::apply_record;
+use taurus_common::metrics::Counter;
+use taurus_common::{
+    LogRecord, Lsn, PageBuf, PageId, Result, SliceKey, TaurusError,
+};
+use taurus_fabric::StorageDevice;
+
+use crate::directory::{DiskLoc, LogDirectory, RecordPtr, VersionPtr};
+use crate::fragment::SliceFragment;
+use crate::logcache::LogCache;
+use crate::pool::{EvictionPolicy, PagePool, PooledPage};
+use crate::slice::{FragMeta, IngestOutcome, SliceReplica};
+
+/// Which pages consolidation picks next (paper §7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConsolidationPolicy {
+    /// Consolidate fragments in the order they arrived in the log cache;
+    /// never read log records from disk. The shipped policy.
+    LogCacheCentric,
+    /// Consolidate the page with the longest chain of pending records first.
+    /// The paper's initial, rejected policy — kept for the ablation.
+    LongestChainFirst,
+}
+
+/// Everything exported by a donor replica for a rebuild (paper §5.2).
+#[derive(Debug)]
+pub struct SliceExport {
+    pub pages: Vec<(PageId, PageBuf, Lsn)>,
+    pub persistent_lsn: Lsn,
+    pub recycle_lsn: Lsn,
+}
+
+/// One Page Store server process.
+pub struct PageStoreServer {
+    device: StorageDevice,
+    slices: RwLock<HashMap<SliceKey, Arc<Mutex<SliceReplica>>>>,
+    log_cache: LogCache,
+    pool: PagePool,
+    policy: ConsolidationPolicy,
+    /// Records consolidation had to fetch from disk (zero under the
+    /// log-cache-centric policy; the ablation's headline metric).
+    pub disk_record_fetches: Counter,
+    /// Page versions produced by consolidation.
+    pub pages_consolidated: Counter,
+}
+
+impl std::fmt::Debug for PageStoreServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageStoreServer")
+            .field("slices", &self.slices.read().len())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl PageStoreServer {
+    pub fn new(
+        device: StorageDevice,
+        log_cache_bytes: usize,
+        pool_pages: usize,
+        pool_policy: EvictionPolicy,
+        policy: ConsolidationPolicy,
+    ) -> Arc<Self> {
+        Arc::new(PageStoreServer {
+            device,
+            slices: RwLock::new(HashMap::new()),
+            log_cache: LogCache::new(log_cache_bytes),
+            pool: PagePool::new(pool_pages, pool_policy),
+            policy,
+            disk_record_fetches: Counter::new(),
+            pages_consolidated: Counter::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Slice lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates an empty slice replica. Idempotent.
+    pub fn create_slice(&self, key: SliceKey) {
+        self.slices
+            .write()
+            .entry(key)
+            .or_insert_with(|| Arc::new(Mutex::new(SliceReplica::new(key))));
+    }
+
+    /// Creates a replacement replica at a donor's horizon; it accepts writes
+    /// immediately but serves reads only after [`PageStoreServer::import_pages`].
+    pub fn create_rebuilding_slice(&self, key: SliceKey, persistent_lsn: Lsn, recycle_lsn: Lsn) {
+        self.slices.write().insert(
+            key,
+            Arc::new(Mutex::new(SliceReplica::new_rebuilding(
+                key,
+                persistent_lsn,
+                recycle_lsn,
+            ))),
+        );
+    }
+
+    /// Drops a slice replica and all its cached state.
+    pub fn drop_slice(&self, key: SliceKey) {
+        self.slices.write().remove(&key);
+        self.log_cache.evict_slice(key);
+        self.pool.evict_slice(key);
+    }
+
+    pub fn has_slice(&self, key: SliceKey) -> bool {
+        self.slices.read().contains_key(&key)
+    }
+
+    pub fn slice_keys(&self) -> Vec<SliceKey> {
+        let mut v: Vec<SliceKey> = self.slices.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn replica(&self, key: SliceKey) -> Result<Arc<Mutex<SliceReplica>>> {
+        self.slices
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(TaurusError::SliceNotFound(key))
+    }
+
+    /// The slice's Log Directory, usable without the replica mutex.
+    fn dir(&self, key: SliceKey) -> Result<Arc<LogDirectory>> {
+        Ok(self.replica(key)?.lock().directory.clone())
+    }
+
+    /// Short-lock lookup of a stored fragment's device location.
+    fn frag_meta(&self, key: SliceKey, frag_id: u64) -> Result<FragMeta> {
+        self.replica(key)?
+            .lock()
+            .frags
+            .get(&frag_id)
+            .copied()
+            .ok_or(TaurusError::Codec("fragment unknown to slice"))
+    }
+
+    // ------------------------------------------------------------------
+    // The four-method SAL API (paper §3.4)
+    // ------------------------------------------------------------------
+
+    /// `WriteLogs`: ingests one fragment. Idempotent on duplicates ("Page
+    /// Stores disregard log records that they have already received",
+    /// §5.3). Returns the slice persistent LSN, which the SAL piggybacks.
+    pub fn write_logs(&self, frag: &SliceFragment) -> Result<Lsn> {
+        let replica = self.replica(frag.slice)?;
+        {
+            let r = replica.lock();
+            if frag.last_lsn() <= r.persistent_lsn()
+                || r.has_equivalent(frag.first_lsn(), frag.last_lsn())
+            {
+                return Ok(r.persistent_lsn());
+            }
+        }
+        // Append-only persistence of the raw fragment.
+        let encoded = frag.encode();
+        let offset = self.device.append(&encoded)?;
+        let loc = DiskLoc {
+            offset,
+            len: encoded.len() as u32,
+        };
+        let mut r = replica.lock();
+        let outcome = r.ingest(FragMeta {
+            loc,
+            prev_last_lsn: frag.prev_last_lsn,
+            first_lsn: frag.first_lsn(),
+            last_lsn: frag.last_lsn(),
+            consolidated: false,
+        });
+        if let IngestOutcome::Accepted(frag_id) = outcome {
+            for (i, rec) in frag.records.iter().enumerate() {
+                r.directory.add_record(
+                    rec.page,
+                    RecordPtr {
+                        lsn: rec.lsn,
+                        frag_id,
+                        idx_in_frag: i as u32,
+                    },
+                );
+            }
+            let records = Arc::new(frag.records.clone());
+            self.log_cache
+                .admit((frag.slice, frag_id), records, frag.payload_bytes());
+        }
+        Ok(r.persistent_lsn())
+    }
+
+    /// `GetPersistentLSN`.
+    pub fn get_persistent_lsn(&self, key: SliceKey) -> Result<Lsn> {
+        Ok(self.replica(key)?.lock().persistent_lsn())
+    }
+
+    /// `SetRecycleLSN`: the oldest version the front end may still request.
+    /// Older versions and their records are purged from the Log Directory.
+    pub fn set_recycle_lsn(&self, key: SliceKey, lsn: Lsn) -> Result<usize> {
+        let replica = self.replica(key)?;
+        let dir = {
+            let mut r = replica.lock();
+            r.set_recycle_lsn(lsn);
+            r.directory.clone()
+        };
+        let purged = dir.purge_below(lsn);
+        // GC fragment bookkeeping only after the directory purge, so the
+        // reference scan sees the surviving record pointers.
+        replica.lock().gc_frags();
+        Ok(purged)
+    }
+
+    /// `ReadPage`: returns the version of `page` as of `as_of` (the newest
+    /// version with LSN ≤ `as_of`). Fails with [`TaurusError::PageStoreBehind`]
+    /// if this replica has not received all records up to `as_of`, telling
+    /// the SAL to try the next replica (paper §4.2).
+    pub fn read_page(&self, key: SliceKey, page: PageId, as_of: Lsn) -> Result<(PageBuf, Lsn)> {
+        let replica = self.replica(key)?;
+        {
+            let r = replica.lock();
+            if r.rebuilding {
+                return Err(TaurusError::PageStoreBehind {
+                    slice: key,
+                    requested: as_of,
+                    persistent: Lsn::ZERO,
+                });
+            }
+            let persistent = r.persistent_lsn();
+            if persistent < as_of {
+                return Err(TaurusError::PageStoreBehind {
+                    slice: key,
+                    requested: as_of,
+                    persistent,
+                });
+            }
+            if as_of < r.recycle_lsn() {
+                return Err(TaurusError::VersionRecycled {
+                    page,
+                    requested: as_of,
+                });
+            }
+        }
+        self.materialize(key, page, as_of)
+    }
+
+    /// Produces the page version at `as_of` from the best base plus records.
+    /// Never holds the replica mutex across device I/O.
+    fn materialize(&self, key: SliceKey, page: PageId, as_of: Lsn) -> Result<(PageBuf, Lsn)> {
+        let dir = self.dir(key)?;
+        let Some(entry) = dir.get(page) else {
+            // Never written: a fresh zeroed page at version 0.
+            return Ok((PageBuf::new(), Lsn::ZERO));
+        };
+        // Best base: the pooled (latest consolidated) page if usable,
+        // otherwise the newest on-disk version at or below `as_of`.
+        let mut base: Option<(PageBuf, Lsn)> = None;
+        if let Some(pooled) = self.pool.get(key, page) {
+            if pooled.lsn <= as_of {
+                base = Some((pooled.page, pooled.lsn));
+            }
+        }
+        if base.is_none() {
+            if let Some(v) = entry.best_version(as_of) {
+                let raw = self.device.read(v.loc.offset, v.loc.len as usize)?;
+                base = Some((PageBuf::from_bytes(&raw)?, v.lsn));
+            }
+        }
+        let (mut buf, base_lsn) = base.unwrap_or((PageBuf::new(), Lsn::ZERO));
+        // Replay the tail of the chain.
+        let needed = entry.records_between(base_lsn, as_of);
+        if !needed.is_empty() {
+            let records = self.fetch_records(key, &needed)?;
+            for rec in &records {
+                apply_record(&mut buf, rec)?;
+            }
+        }
+        let lsn = buf.lsn();
+        Ok((buf, lsn))
+    }
+
+    /// Fetches the records behind a set of pointers, from the log cache when
+    /// resident, from the device otherwise.
+    fn fetch_records(&self, key: SliceKey, ptrs: &[RecordPtr]) -> Result<Vec<LogRecord>> {
+        let mut by_frag: HashMap<u64, Vec<RecordPtr>> = HashMap::new();
+        for p in ptrs {
+            by_frag.entry(p.frag_id).or_default().push(*p);
+        }
+        let mut out: Vec<LogRecord> = Vec::with_capacity(ptrs.len());
+        for (seq, members) in by_frag {
+            let records: Arc<Vec<LogRecord>> = match self.log_cache.get((key, seq)) {
+                Some(recs) => recs,
+                None => {
+                    self.disk_record_fetches.add(members.len() as u64);
+                    Arc::new(self.read_fragment_from_disk(key, seq)?.records)
+                }
+            };
+            for m in members {
+                let rec = records
+                    .get(m.idx_in_frag as usize)
+                    .ok_or(TaurusError::Codec("record index out of fragment"))?;
+                out.push(rec.clone());
+            }
+        }
+        out.sort_by_key(|r| r.lsn);
+        Ok(out)
+    }
+
+    fn read_fragment_from_disk(&self, key: SliceKey, frag_id: u64) -> Result<SliceFragment> {
+        let meta = self.frag_meta(key, frag_id)?;
+        let raw = self.device.read(meta.loc.offset, meta.loc.len as usize)?;
+        SliceFragment::decode(&mut Bytes::from(raw))
+    }
+
+    // ------------------------------------------------------------------
+    // Consolidation (paper §7)
+    // ------------------------------------------------------------------
+
+    /// Runs one consolidation step. Returns `true` if any work was done.
+    pub fn consolidate_step(&self) -> bool {
+        match self.policy {
+            ConsolidationPolicy::LogCacheCentric => self.consolidate_cache_centric(),
+            ConsolidationPolicy::LongestChainFirst => self.consolidate_longest_chain(),
+        }
+    }
+
+    /// Drains the consolidation queue completely (plus the backlog).
+    pub fn consolidate_all(&self) {
+        while self.consolidate_step() {}
+    }
+
+    fn consolidate_cache_centric(&self) -> bool {
+        // Pull backlog fragments into the cache whenever space allows.
+        self.pump_backlog();
+        let Some(((key, seq), records)) = self.log_cache.next_for_consolidation() else {
+            return false;
+        };
+        let Ok(replica) = self.replica(key) else {
+            // Slice dropped while queued.
+            let bytes: usize = records.iter().map(|r| r.encoded_len()).sum();
+            self.log_cache.complete((key, seq), bytes);
+            return true;
+        };
+        let (persistent, frag_last) = {
+            let r = replica.lock();
+            (
+                r.persistent_lsn(),
+                r.frags.get(&seq).map(|m| m.last_lsn).unwrap_or(Lsn::ZERO),
+            )
+        };
+        if frag_last > persistent {
+            // A hole precedes this fragment: consolidation stalls until
+            // gossip or the SAL repairs it (paper §5.2).
+            return false;
+        }
+        // Consolidate every page the fragment touches up to the persistent
+        // LSN; afterwards every record of this fragment is covered.
+        let mut pages: Vec<PageId> = records.iter().map(|rec| rec.page).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for page in pages {
+            if self.consolidate_page(key, page, persistent).is_err() {
+                return false;
+            }
+        }
+        replica.lock().mark_consolidated(seq);
+        let bytes: usize = records.iter().map(|r| r.encoded_len()).sum();
+        self.log_cache.complete((key, seq), bytes);
+        true
+    }
+
+    /// The rejected policy: find the page with the longest pending chain
+    /// anywhere and consolidate it. Fragments complete only once all their
+    /// records happen to be covered, so cold fragments linger and evict to
+    /// the backlog — consolidation then needs disk reads (the pathology).
+    fn consolidate_longest_chain(&self) -> bool {
+        self.pump_backlog();
+        // Find the hottest page across all slices.
+        let mut best: Option<(SliceKey, PageId, usize)> = None;
+        for key in self.slice_keys() {
+            let Ok(replica) = self.replica(key) else { continue };
+            let persistent = replica.lock().persistent_lsn();
+            let Ok(dir) = self.dir(key) else { continue };
+            for page in dir.page_ids() {
+                if let Some(entry) = dir.get(page) {
+                    let consolidated = entry
+                        .versions
+                        .last()
+                        .map(|v| v.lsn)
+                        .unwrap_or(Lsn::ZERO);
+                    let pool_lsn = self
+                        .pool
+                        .get(key, page)
+                        .map(|p| p.lsn)
+                        .unwrap_or(Lsn::ZERO);
+                    let done = consolidated.max(pool_lsn);
+                    let chain = entry
+                        .records
+                        .iter()
+                        .filter(|rp| rp.lsn > done && rp.lsn <= persistent)
+                        .count();
+                    if chain > 0 && best.map(|(_, _, c)| chain > c).unwrap_or(true) {
+                        best = Some((key, page, chain));
+                    }
+                }
+            }
+        }
+        let Some((key, page, _)) = best else {
+            // Nothing pending: fall back to completing covered fragments.
+            return self.sweep_completed_fragments();
+        };
+        let Ok(replica) = self.replica(key) else { return false };
+        let persistent = replica.lock().persistent_lsn();
+        if self.consolidate_page(key, page, persistent).is_err() {
+            return false;
+        }
+        self.sweep_completed_fragments();
+        true
+    }
+
+    /// Completes queued fragments whose records are all consolidated.
+    fn sweep_completed_fragments(&self) -> bool {
+        let mut progressed = false;
+        while let Some(((key, seq), records)) = self.log_cache.next_for_consolidation() {
+            let Ok(replica) = self.replica(key) else {
+                let bytes: usize = records.iter().map(|r| r.encoded_len()).sum();
+                self.log_cache.complete((key, seq), bytes);
+                progressed = true;
+                continue;
+            };
+            let dir = replica.lock().directory.clone();
+            let covered = records.iter().all(|rec| {
+                let pool_lsn = self
+                    .pool
+                    .get(key, rec.page)
+                    .map(|p| p.lsn)
+                    .unwrap_or(Lsn::ZERO);
+                let disk_lsn = dir
+                    .get(rec.page)
+                    .and_then(|e| e.versions.last().map(|v| v.lsn))
+                    .unwrap_or(Lsn::ZERO);
+                pool_lsn.max(disk_lsn) >= rec.lsn
+            });
+            if covered {
+                replica.lock().mark_consolidated(seq);
+                let bytes: usize = records.iter().map(|r| r.encoded_len()).sum();
+                self.log_cache.complete((key, seq), bytes);
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        progressed
+    }
+
+    fn pump_backlog(&self) {
+        while let Some((key, seq)) = self.log_cache.next_backlog() {
+            let Ok(frag) = self.read_fragment_from_disk(key, seq) else {
+                break;
+            };
+            let bytes = frag.payload_bytes();
+            if !self
+                .log_cache
+                .load_from_backlog((key, seq), Arc::new(frag.records), bytes)
+            {
+                break; // still no space
+            }
+        }
+    }
+
+    /// Materializes `page` at `up_to` and installs it in the buffer pool as
+    /// the latest consolidated version. Dirty evictions are flushed
+    /// immediately (write-back).
+    fn consolidate_page(&self, key: SliceKey, page: PageId, up_to: Lsn) -> Result<()> {
+        let (buf, lsn) = self.materialize(key, page, up_to)?;
+        if !lsn.is_valid() {
+            return Ok(());
+        }
+        // Skip if the pool already has this or a newer version.
+        if let Some(p) = self.pool.get(key, page) {
+            if p.lsn >= lsn {
+                return Ok(());
+            }
+        }
+        self.pages_consolidated.inc();
+        let evicted = self.pool.put(
+            key,
+            page,
+            PooledPage {
+                page: buf,
+                lsn,
+                dirty: true,
+            },
+        );
+        for ((ekey, epage), pooled) in evicted {
+            self.flush_page(ekey, epage, &pooled)?;
+        }
+        Ok(())
+    }
+
+    /// Appends a page image to the device and registers it as a version.
+    fn flush_page(&self, key: SliceKey, page: PageId, pooled: &PooledPage) -> Result<()> {
+        let offset = self.device.append(pooled.page.as_bytes())?;
+        if let Ok(dir) = self.dir(key) {
+            dir.add_version(
+                page,
+                VersionPtr {
+                    lsn: pooled.lsn,
+                    loc: DiskLoc {
+                        offset,
+                        len: taurus_common::PAGE_SIZE as u32,
+                    },
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty pooled page (background flusher / clean shutdown).
+    pub fn flush_dirty(&self) -> Result<usize> {
+        let dirty = self.pool.dirty_pages();
+        let n = dirty.len();
+        for ((key, page), pooled) in dirty {
+            self.flush_page(key, page, &pooled)?;
+            self.pool.mark_clean(key, page, pooled.lsn);
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Gossip & rebuild support (paper §4.1 step 6, §5.2)
+    // ------------------------------------------------------------------
+
+    /// Fragment inventory `(first, last, prev)` for gossip comparison.
+    pub fn inventory(&self, key: SliceKey) -> Result<Vec<(Lsn, Lsn, Lsn)>> {
+        Ok(self.replica(key)?.lock().inventory())
+    }
+
+    /// LSN ranges this replica is missing (the SAL's Fig. 4(c) query).
+    pub fn missing_lsn_ranges(&self, key: SliceKey) -> Result<Vec<(Lsn, Lsn)>> {
+        Ok(self.replica(key)?.lock().missing_lsn_ranges())
+    }
+
+    /// Highest LSN this replica has seen for the slice (may exceed the
+    /// persistent LSN when holes exist).
+    pub fn newest_lsn(&self, key: SliceKey) -> Result<Lsn> {
+        Ok(self.replica(key)?.lock().newest_lsn())
+    }
+
+    /// Re-serves a stored fragment by its LSN bounds (gossip supply side).
+    pub fn get_fragment(&self, key: SliceKey, first: Lsn, last: Lsn) -> Result<SliceFragment> {
+        let frag_id = self
+            .replica(key)?
+            .lock()
+            .find_fragment(first, last)
+            .ok_or(TaurusError::Codec("fragment unknown to slice"))?;
+        let prev = self.frag_meta(key, frag_id)?.prev_last_lsn;
+        if let Some(records) = self.log_cache.get((key, frag_id)) {
+            return Ok(SliceFragment::new(key, prev, records.as_ref().clone()));
+        }
+        self.read_fragment_from_disk(key, frag_id)
+    }
+
+    /// Exports the latest pages of a slice for a rebuilding peer.
+    pub fn export_slice(&self, key: SliceKey) -> Result<SliceExport> {
+        let replica = self.replica(key)?;
+        let (persistent, recycle_lsn, dir) = {
+            let r = replica.lock();
+            (r.persistent_lsn(), r.recycle_lsn(), r.directory.clone())
+        };
+        let mut pages = Vec::new();
+        for page in dir.page_ids() {
+            let (buf, lsn) = self.materialize(key, page, persistent)?;
+            if lsn.is_valid() {
+                pages.push((page, buf, lsn));
+            }
+        }
+        Ok(SliceExport {
+            pages,
+            persistent_lsn: persistent,
+            recycle_lsn,
+        })
+    }
+
+    /// Installs exported pages into a rebuilding replica and makes it
+    /// readable.
+    pub fn import_pages(&self, key: SliceKey, pages: Vec<(PageId, PageBuf, Lsn)>) -> Result<()> {
+        let replica = self.replica(key)?;
+        let dir = replica.lock().directory.clone();
+        for (page, buf, lsn) in pages {
+            let offset = self.device.append(buf.as_bytes())?;
+            dir.add_version(
+                page,
+                VersionPtr {
+                    lsn,
+                    loc: DiskLoc {
+                        offset,
+                        len: taurus_common::PAGE_SIZE as u32,
+                    },
+                },
+            );
+        }
+        replica.lock().rebuilding = false;
+        Ok(())
+    }
+
+    /// Whether this replica is still rebuilding (write-only).
+    pub fn is_rebuilding(&self, key: SliceKey) -> Result<bool> {
+        Ok(self.replica(key)?.lock().rebuilding)
+    }
+
+    /// Log cache / pool statistics for benches: (log cache hit ratio, pool
+    /// hit ratio, pending queue, backlog, directory records).
+    pub fn cache_stats(&self) -> (f64, f64, usize, usize, usize) {
+        let dir_records: usize = self
+            .slice_keys()
+            .iter()
+            .filter_map(|k| self.replica(*k).ok())
+            .map(|r| r.lock().directory.record_count())
+            .sum();
+        (
+            self.log_cache.stats.ratio(),
+            self.pool.stats.ratio(),
+            self.log_cache.queue_len(),
+            self.log_cache.backlog_len(),
+            dir_records,
+        )
+    }
+
+    /// The device I/O statistics (append, random write, read, bytes).
+    pub fn device_stats(&self) -> (u64, u64, u64, u64) {
+        self.device.io_stats()
+    }
+
+    /// Unconsolidated bytes pending (queue + backlog pressure); the SAL uses
+    /// this to throttle the master (paper §7).
+    pub fn backlog_pressure(&self) -> usize {
+        self.log_cache.resident_bytes() + self.log_cache.backlog_len() * 4096
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::clock::ManualClock;
+    use taurus_common::config::StorageProfile;
+    use taurus_common::page::PageType;
+    use taurus_common::record::RecordBody;
+    use taurus_common::{DbId, SliceId};
+
+    fn server() -> Arc<PageStoreServer> {
+        let clock = ManualClock::shared();
+        PageStoreServer::new(
+            StorageDevice::in_memory(clock, StorageProfile::instant()),
+            1 << 20,
+            64,
+            EvictionPolicy::Lfu,
+            ConsolidationPolicy::LogCacheCentric,
+        )
+    }
+
+    fn key() -> SliceKey {
+        SliceKey::new(DbId(1), SliceId(0))
+    }
+
+    /// Builds a fragment whose chain link is `prev` (the last LSN previously
+    /// sent to the slice).
+    fn frag(prev: u64, recs: Vec<LogRecord>) -> SliceFragment {
+        SliceFragment::new(key(), Lsn(prev), recs)
+    }
+
+    fn format_rec(lsn: u64, page: u64) -> LogRecord {
+        LogRecord::new(
+            Lsn(lsn),
+            PageId(page),
+            RecordBody::Format {
+                ty: PageType::Leaf,
+                level: 0,
+            },
+        )
+    }
+
+    fn insert_rec(lsn: u64, page: u64, k: &str, v: &str) -> LogRecord {
+        LogRecord::new(
+            Lsn(lsn),
+            PageId(page),
+            RecordBody::Insert {
+                idx: 0,
+                key: Bytes::copy_from_slice(k.as_bytes()),
+                val: Bytes::copy_from_slice(v.as_bytes()),
+            },
+        )
+    }
+
+    #[test]
+    fn write_logs_advances_persistent_lsn() {
+        let s = server();
+        s.create_slice(key());
+        let p = s.write_logs(&frag(0, vec![format_rec(1, 5)])).unwrap();
+        assert_eq!(p, Lsn(1));
+        let p = s.write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")])).unwrap();
+        assert_eq!(p, Lsn(2));
+    }
+
+    #[test]
+    fn read_page_materializes_from_records_alone() {
+        let s = server();
+        s.create_slice(key());
+        s.write_logs(&frag(0, vec![format_rec(1, 5), insert_rec(2, 5, "a", "1")]))
+            .unwrap();
+        let (page, lsn) = s.read_page(key(), PageId(5), Lsn(2)).unwrap();
+        assert_eq!(lsn, Lsn(2));
+        assert_eq!(page.key(0).unwrap(), b"a");
+        // Older version: before the insert.
+        let (page, lsn) = s.read_page(key(), PageId(5), Lsn(1)).unwrap();
+        assert_eq!(lsn, Lsn(1));
+        assert_eq!(page.nslots(), 0);
+    }
+
+    #[test]
+    fn read_ahead_of_persistent_lsn_is_refused() {
+        let s = server();
+        s.create_slice(key());
+        s.write_logs(&frag(0, vec![format_rec(1, 5)])).unwrap();
+        match s.read_page(key(), PageId(5), Lsn(10)) {
+            Err(TaurusError::PageStoreBehind {
+                requested,
+                persistent,
+                ..
+            }) => {
+                assert_eq!(requested, Lsn(10));
+                assert_eq!(persistent, Lsn(1));
+            }
+            other => panic!("expected PageStoreBehind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hole_stalls_persistent_and_consolidation_until_filled() {
+        let s = server();
+        s.create_slice(key());
+        s.write_logs(&frag(0, vec![format_rec(1, 5)])).unwrap();
+        // Fragment 2 arrives before fragment 1.
+        s.write_logs(&frag(2, vec![insert_rec(3, 5, "b", "2")])).unwrap();
+        assert_eq!(s.get_persistent_lsn(key()).unwrap(), Lsn(1));
+        assert_eq!(
+            s.missing_lsn_ranges(key()).unwrap(),
+            vec![(Lsn(1), Lsn(3))]
+        );
+        // Consolidation gets through fragment 0 then stalls at the hole.
+        s.consolidate_all();
+        assert!(s.log_cache.queue_len() >= 1);
+        // Fill the hole: everything consolidates.
+        s.write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")])).unwrap();
+        assert_eq!(s.get_persistent_lsn(key()).unwrap(), Lsn(3));
+        s.consolidate_all();
+        assert_eq!(s.log_cache.queue_len(), 0);
+        let (page, _) = s.read_page(key(), PageId(5), Lsn(3)).unwrap();
+        assert_eq!(page.nslots(), 2);
+    }
+
+    #[test]
+    fn duplicate_fragments_are_disregarded() {
+        let s = server();
+        s.create_slice(key());
+        let f = frag(0, vec![format_rec(1, 5), insert_rec(2, 5, "a", "1")]);
+        s.write_logs(&f).unwrap();
+        s.write_logs(&f).unwrap();
+        s.consolidate_all();
+        let (page, _) = s.read_page(key(), PageId(5), Lsn(2)).unwrap();
+        assert_eq!(page.nslots(), 1);
+    }
+
+    #[test]
+    fn consolidated_pages_survive_pool_eviction_via_writeback() {
+        let clock = ManualClock::shared();
+        let s = PageStoreServer::new(
+            StorageDevice::in_memory(clock, StorageProfile::instant()),
+            1 << 20,
+            2, // tiny pool: forces write-back eviction
+            EvictionPolicy::Lfu,
+            ConsolidationPolicy::LogCacheCentric,
+        );
+        s.create_slice(key());
+        let mut lsn = 1u64;
+        for page in 1..=6u64 {
+            s.write_logs(&frag(
+                lsn - 1,
+                vec![format_rec(lsn, page), insert_rec(lsn + 1, page, "k", "v")],
+            ))
+            .unwrap();
+            lsn += 2;
+        }
+        s.consolidate_all();
+        s.flush_dirty().unwrap();
+        // Every page readable even though the pool only holds 2.
+        for page in 1..=6u64 {
+            let as_of = s.get_persistent_lsn(key()).unwrap();
+            let (buf, _) = s.read_page(key(), PageId(page), as_of).unwrap();
+            assert_eq!(buf.key(0).unwrap(), b"k", "page {page}");
+        }
+    }
+
+    #[test]
+    fn recycled_versions_are_refused_and_purged() {
+        let s = server();
+        s.create_slice(key());
+        s.write_logs(&frag(0, vec![format_rec(1, 5)])).unwrap();
+        s.write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")])).unwrap();
+        s.write_logs(&frag(2, vec![insert_rec(3, 5, "b", "2")])).unwrap();
+        s.consolidate_all();
+        s.flush_dirty().unwrap();
+        s.set_recycle_lsn(key(), Lsn(3)).unwrap();
+        assert!(matches!(
+            s.read_page(key(), PageId(5), Lsn(2)),
+            Err(TaurusError::VersionRecycled { .. })
+        ));
+        // The current version still reads fine.
+        let (page, _) = s.read_page(key(), PageId(5), Lsn(3)).unwrap();
+        assert_eq!(page.nslots(), 2);
+    }
+
+    #[test]
+    fn gossip_surface_serves_stored_fragments() {
+        let s = server();
+        s.create_slice(key());
+        let f1 = frag(0, vec![format_rec(1, 5)]);
+        s.write_logs(&f1).unwrap();
+        assert_eq!(s.get_fragment(key(), Lsn(1), Lsn(1)).unwrap(), f1);
+        // After consolidation the fragment leaves the cache but is still
+        // served from disk.
+        s.consolidate_all();
+        assert_eq!(s.get_fragment(key(), Lsn(1), Lsn(1)).unwrap(), f1);
+        assert_eq!(
+            s.inventory(key()).unwrap(),
+            vec![(Lsn(1), Lsn(1), Lsn(0))]
+        );
+    }
+
+    #[test]
+    fn export_import_rebuild_cycle() {
+        let donor = server();
+        donor.create_slice(key());
+        donor
+            .write_logs(&frag(0, vec![format_rec(1, 5), insert_rec(2, 5, "a", "1")]))
+            .unwrap();
+        donor
+            .write_logs(&frag(1, vec![insert_rec(3, 5, "b", "2")]))
+            .unwrap();
+        donor.consolidate_all();
+        let export = donor.export_slice(key()).unwrap();
+        assert_eq!(export.persistent_lsn, Lsn(3));
+
+        let rebuilt = server();
+        rebuilt.create_rebuilding_slice(key(), export.persistent_lsn, export.recycle_lsn);
+        // While rebuilding: accepts writes (chained at the donor horizon),
+        // refuses reads.
+        rebuilt
+            .write_logs(&frag(3, vec![insert_rec(4, 5, "c", "3")]))
+            .unwrap();
+        assert!(rebuilt.read_page(key(), PageId(5), Lsn(3)).is_err());
+        assert!(rebuilt.is_rebuilding(key()).unwrap());
+        // Import the donor's pages: reads come online, including the write
+        // that arrived during the rebuild.
+        rebuilt.import_pages(key(), export.pages).unwrap();
+        assert_eq!(rebuilt.get_persistent_lsn(key()).unwrap(), Lsn(4));
+        let (page, _) = rebuilt.read_page(key(), PageId(5), Lsn(4)).unwrap();
+        assert_eq!(page.nslots(), 3);
+    }
+
+    #[test]
+    fn log_cache_centric_consolidation_never_reads_records_from_disk() {
+        let s = server();
+        s.create_slice(key());
+        let mut lsn = 1u64;
+        for i in 0..20u64 {
+            let page = i % 5 + 1;
+            let recs = if i < 5 {
+                vec![format_rec(lsn, page), insert_rec(lsn + 1, page, "k", "v")]
+            } else {
+                vec![insert_rec(lsn, page, "k2", "v2")]
+            };
+            let prev = lsn - 1;
+            lsn += recs.len() as u64;
+            s.write_logs(&frag(prev, recs)).unwrap();
+        }
+        s.consolidate_all();
+        assert_eq!(s.disk_record_fetches.get(), 0);
+    }
+
+    #[test]
+    fn unknown_slice_is_an_error_everywhere() {
+        let s = server();
+        let missing = SliceKey::new(DbId(9), SliceId(9));
+        assert!(matches!(
+            s.write_logs(&SliceFragment::new(missing, Lsn::ZERO, vec![format_rec(1, 1)])),
+            Err(TaurusError::SliceNotFound(_))
+        ));
+        assert!(s.read_page(missing, PageId(1), Lsn(1)).is_err());
+        assert!(s.get_persistent_lsn(missing).is_err());
+        assert!(s.set_recycle_lsn(missing, Lsn(1)).is_err());
+    }
+}

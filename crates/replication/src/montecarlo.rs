@@ -1,0 +1,148 @@
+//! Monte Carlo validation of the Table 1 availability model.
+//!
+//! Each trial draws an independent up/down state for every node (node down
+//! with probability `x`) and asks whether a write and a read would succeed
+//! under the given replication scheme. For Taurus the write path only needs
+//! *any* `k` healthy Log Stores in the whole cluster, while the read path
+//! needs at least one of the three specific Page Store replicas of the
+//! target slice — exactly the asymmetry §4 builds the design on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::quorum::QuorumConfig;
+
+/// Aggregated trial outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonteCarloResult {
+    pub trials: u64,
+    pub write_failures: u64,
+    pub read_failures: u64,
+}
+
+impl MonteCarloResult {
+    pub fn write_unavailability(&self) -> f64 {
+        self.write_failures as f64 / self.trials as f64
+    }
+
+    pub fn read_unavailability(&self) -> f64 {
+        self.read_failures as f64 / self.trials as f64
+    }
+}
+
+/// Simulates a quorum scheme: the item lives on `cfg.n` specific nodes;
+/// a write needs `n_w` of them up, a read needs `n_r`.
+pub fn simulate_quorum(cfg: QuorumConfig, x: f64, trials: u64, seed: u64) -> MonteCarloResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut write_failures = 0u64;
+    let mut read_failures = 0u64;
+    for _ in 0..trials {
+        let up = (0..cfg.n).filter(|_| rng.random::<f64>() >= x).count() as u32;
+        if up < cfg.n_w {
+            write_failures += 1;
+        }
+        if up < cfg.n_r {
+            read_failures += 1;
+        }
+    }
+    MonteCarloResult {
+        trials,
+        write_failures,
+        read_failures,
+    }
+}
+
+/// Simulates Taurus over a cluster of `cluster_nodes` Log Stores (writes can
+/// choose any `log_replicas` healthy ones) and three specific Page Store
+/// replicas for the read target.
+pub fn simulate_taurus(
+    cluster_nodes: u32,
+    log_replicas: u32,
+    x: f64,
+    trials: u64,
+    seed: u64,
+) -> MonteCarloResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut write_failures = 0u64;
+    let mut read_failures = 0u64;
+    for _ in 0..trials {
+        // Write: any `log_replicas` healthy Log Stores anywhere suffice.
+        let healthy_logstores = (0..cluster_nodes).filter(|_| rng.random::<f64>() >= x).count() as u32;
+        if healthy_logstores < log_replicas {
+            write_failures += 1;
+        }
+        // Read: the three specific Page Store replicas of the slice.
+        let healthy_replicas = (0..3).filter(|_| rng.random::<f64>() >= x).count();
+        if healthy_replicas == 0 {
+            read_failures += 1;
+        }
+    }
+    MonteCarloResult {
+        trials,
+        write_failures,
+        read_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum::{
+        quorum_read_unavailability, quorum_write_unavailability, taurus_read_unavailability,
+        TABLE1_ROWS,
+    };
+
+    fn close(a: f64, b: f64, rel: f64, abs_floor: f64) -> bool {
+        (a - b).abs() <= rel * b.max(abs_floor)
+    }
+
+    #[test]
+    fn quorum_simulation_matches_closed_form() {
+        let x = 0.15; // large x so failures are frequent enough to sample
+        for cfg in TABLE1_ROWS {
+            let sim = simulate_quorum(cfg, x, 400_000, 99);
+            let w_exact = quorum_write_unavailability(cfg, x);
+            let r_exact = quorum_read_unavailability(cfg, x);
+            assert!(
+                close(sim.write_unavailability(), w_exact, 0.1, 1e-4),
+                "{}: sim {} vs exact {w_exact}",
+                cfg.label,
+                sim.write_unavailability()
+            );
+            assert!(
+                close(sim.read_unavailability(), r_exact, 0.1, 1e-4),
+                "{}: sim {} vs exact {r_exact}",
+                cfg.label,
+                sim.read_unavailability()
+            );
+        }
+    }
+
+    #[test]
+    fn taurus_simulation_writes_never_fail_in_large_clusters() {
+        let sim = simulate_taurus(200, 3, 0.15, 200_000, 7);
+        assert_eq!(sim.write_failures, 0, "a 200-node cluster always has 3 up");
+        let expected = taurus_read_unavailability(0.15);
+        assert!(
+            close(sim.read_unavailability(), expected, 0.15, 1e-4),
+            "read sim {} vs x^3 {expected}",
+            sim.read_unavailability()
+        );
+    }
+
+    #[test]
+    fn tiny_cluster_can_block_taurus_writes() {
+        // Degenerate case: 3 total nodes, any failure blocks the 3/3 write.
+        let sim = simulate_taurus(3, 3, 0.15, 100_000, 11);
+        assert!(sim.write_failures > 0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = simulate_quorum(TABLE1_ROWS[0], 0.05, 10_000, 5);
+        let b = simulate_quorum(TABLE1_ROWS[0], 0.05, 10_000, 5);
+        assert_eq!(a, b);
+        let c = simulate_quorum(TABLE1_ROWS[0], 0.05, 10_000, 6);
+        assert!(a != c || a.write_failures == c.write_failures);
+    }
+}

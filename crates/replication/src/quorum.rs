@@ -1,0 +1,192 @@
+//! Closed-form availability math (paper §4.4, equations 1–2, Table 1).
+
+/// A quorum replication configuration: `N` replicas, writes need `n_w`
+/// acknowledgments, reads need `n_r`. Strong consistency requires
+/// `n_r + n_w > N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuorumConfig {
+    pub n: u32,
+    pub n_w: u32,
+    pub n_r: u32,
+    pub label: &'static str,
+}
+
+impl QuorumConfig {
+    pub const fn new(n: u32, n_w: u32, n_r: u32, label: &'static str) -> Self {
+        QuorumConfig { n, n_w, n_r, label }
+    }
+
+    /// Whether the configuration guarantees strong consistency.
+    pub fn strongly_consistent(&self) -> bool {
+        self.n_r + self.n_w > self.n
+    }
+}
+
+/// The three quorum rows of Table 1 (Aurora, PolarDB, RAID-1-style).
+pub const TABLE1_ROWS: [QuorumConfig; 3] = [
+    QuorumConfig::new(6, 4, 3, "N=6, Nw=4, Nr=3 (Aurora)"),
+    QuorumConfig::new(3, 2, 2, "N=3, Nw=2, Nr=2 (PolarDB)"),
+    QuorumConfig::new(3, 3, 1, "N=3, Nw=3, Nr=1 (RAID-1)"),
+];
+
+/// Binomial coefficient C(n, k).
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0f64;
+    let mut den = 1.0f64;
+    for i in 0..k {
+        num *= (n - i) as f64;
+        den *= (i + 1) as f64;
+    }
+    num / den
+}
+
+/// Equation 1: probability a quorum **write** cannot complete when each node
+/// is independently unavailable with probability `x`:
+/// `P_w = Σ_{i=N-N_w+1}^{N} C(N,i) x^i (1-x)^{N-i}`.
+pub fn quorum_write_unavailability(cfg: QuorumConfig, x: f64) -> f64 {
+    (cfg.n - cfg.n_w + 1..=cfg.n)
+        .map(|i| binomial(cfg.n, i) * x.powi(i as i32) * (1.0 - x).powi((cfg.n - i) as i32))
+        .sum()
+}
+
+/// Equation 2: probability a quorum **read** cannot complete.
+pub fn quorum_read_unavailability(cfg: QuorumConfig, x: f64) -> f64 {
+    (cfg.n - cfg.n_r + 1..=cfg.n)
+        .map(|i| binomial(cfg.n, i) * x.powi(i as i32) * (1.0 - x).powi((cfg.n - i) as i32))
+        .sum()
+}
+
+/// Taurus write unavailability: zero under uncorrelated failures — a failed
+/// write seals the PLog and retries on any three healthy Log Stores, so only
+/// the cluster running out of three healthy nodes blocks writes (§4.4).
+pub fn taurus_write_unavailability(_x: f64) -> f64 {
+    0.0
+}
+
+/// Taurus read unavailability: a read fails only when **all three** Page
+/// Store replicas of the slice are simultaneously unavailable: `x³` (§4.4).
+pub fn taurus_read_unavailability(x: f64) -> f64 {
+    x * x * x
+}
+
+/// Leading-order approximations used in the body of Table 1.
+pub fn approx_write(cfg: QuorumConfig, x: f64) -> f64 {
+    let i = cfg.n - cfg.n_w + 1;
+    binomial(cfg.n, i) * x.powi(i as i32)
+}
+
+/// Leading-order read approximation.
+pub fn approx_read(cfg: QuorumConfig, x: f64) -> f64 {
+    let i = cfg.n - cfg.n_r + 1;
+    binomial(cfg.n, i) * x.powi(i as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        if b == 0.0 {
+            return a == 0.0;
+        }
+        ((a - b) / b).abs() <= rel
+    }
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(6, 3), 20.0);
+        assert_eq!(binomial(6, 4), 15.0);
+        assert_eq!(binomial(3, 1), 3.0);
+        assert_eq!(binomial(3, 2), 3.0);
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(4, 5), 0.0);
+    }
+
+    #[test]
+    fn table1_configs_are_strongly_consistent() {
+        for cfg in TABLE1_ROWS {
+            assert!(cfg.strongly_consistent(), "{}", cfg.label);
+        }
+    }
+
+    #[test]
+    fn approximations_match_paper_table1_formulas() {
+        // Aurora: write ≈ 20x³, read ≈ 15x⁴.
+        let aurora = TABLE1_ROWS[0];
+        assert!(close(approx_write(aurora, 0.1), 20.0 * 0.1f64.powi(3), 1e-12));
+        assert!(close(approx_read(aurora, 0.1), 15.0 * 0.1f64.powi(4), 1e-12));
+        // PolarDB: both ≈ 3x².
+        let polar = TABLE1_ROWS[1];
+        assert!(close(approx_write(polar, 0.1), 3.0 * 0.01, 1e-12));
+        assert!(close(approx_read(polar, 0.1), 3.0 * 0.01, 1e-12));
+        // RAID-1: write ≈ 3x, read ≈ x³.
+        let raid = TABLE1_ROWS[2];
+        assert!(close(approx_write(raid, 0.1), 3.0 * 0.1, 1e-12));
+        assert!(close(approx_read(raid, 0.1), 0.1f64.powi(3), 1e-12));
+    }
+
+    #[test]
+    fn exact_values_reproduce_paper_magnitudes() {
+        // Paper Table 1 at x = 0.05: Aurora write ≈ 3e-3, Aurora read ≈ 1e-4.
+        let aurora = TABLE1_ROWS[0];
+        let w = quorum_write_unavailability(aurora, 0.05);
+        assert!((2e-3..5e-3).contains(&w), "aurora write {w}");
+        let r = quorum_read_unavailability(aurora, 0.05);
+        assert!((5e-5..2e-4).contains(&r), "aurora read {r}");
+        // PolarDB at x = 0.05 ≈ 8e-3 for both.
+        let polar = TABLE1_ROWS[1];
+        let w = quorum_write_unavailability(polar, 0.05);
+        assert!((5e-3..1e-2).contains(&w), "polar write {w}");
+        // Taurus at x = 0.05: write 0, read ≈ 1.25e-4 (paper rounds to 1e-4).
+        assert_eq!(taurus_write_unavailability(0.05), 0.0);
+        let tr = taurus_read_unavailability(0.05);
+        assert!(close(tr, 1.25e-4, 1e-9), "taurus read {tr}");
+    }
+
+    #[test]
+    fn taurus_read_always_at_least_as_good_as_3_replica_quorums() {
+        for x in [0.15, 0.05, 0.01, 0.001] {
+            let t = taurus_read_unavailability(x);
+            for cfg in [TABLE1_ROWS[1]] {
+                assert!(
+                    t <= quorum_read_unavailability(cfg, x) + 1e-15,
+                    "x={x} {}",
+                    cfg.label
+                );
+            }
+            // And matches RAID-1's read (both are x³).
+            assert!(close(t, quorum_read_unavailability(TABLE1_ROWS[2], x), 1e-9));
+        }
+    }
+
+    #[test]
+    fn exact_dominates_approximation_for_small_x() {
+        for cfg in TABLE1_ROWS {
+            for x in [0.01, 0.001] {
+                let exact = quorum_write_unavailability(cfg, x);
+                let approx = approx_write(cfg, x);
+                assert!(close(exact, approx, 0.25), "{} x={x}: {exact} vs {approx}", cfg.label);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilities_are_well_formed() {
+        for cfg in TABLE1_ROWS {
+            for x in [0.0, 0.05, 0.5, 1.0] {
+                for p in [
+                    quorum_write_unavailability(cfg, x),
+                    quorum_read_unavailability(cfg, x),
+                ] {
+                    assert!((0.0..=1.0 + 1e-12).contains(&p), "{} x={x} p={p}", cfg.label);
+                }
+            }
+            // At x = 1 everything is down.
+            assert!(close(quorum_write_unavailability(cfg, 1.0), 1.0, 1e-9));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! SysBench-like OLTP workloads (paper §8.1: "SysBench read-only and
+//! write-only workloads").
+//!
+//! * **ReadOnly** mirrors `oltp_read_only` minus the aggregates: a batch of
+//!   uniform point selects plus a short range scan per transaction.
+//! * **WriteOnly** mirrors `oltp_write_only`: per transaction, one indexed
+//!   update, one non-indexed update, and a delete+insert pair on uniformly
+//!   random rows.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Op, TxnSpec, Workload};
+
+/// Which SysBench profile to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SysbenchMode {
+    ReadOnly,
+    WriteOnly,
+    /// 70/30 read/write mix (used by the scaling appendices).
+    Mixed,
+}
+
+/// SysBench-like workload over `rows` rows of `value_size`-byte payloads.
+#[derive(Clone, Debug)]
+pub struct SysbenchWorkload {
+    pub mode: SysbenchMode,
+    pub rows: u64,
+    pub value_size: usize,
+    /// Point selects per read transaction (SysBench default 10).
+    pub point_selects: usize,
+    /// Scan length for the range query.
+    pub range_len: usize,
+}
+
+impl SysbenchWorkload {
+    pub fn new(mode: SysbenchMode, rows: u64, value_size: usize) -> Self {
+        SysbenchWorkload {
+            mode,
+            rows,
+            value_size,
+            point_selects: 10,
+            range_len: 20,
+        }
+    }
+
+    pub fn key(&self, row: u64) -> Vec<u8> {
+        format!("sb{:012}", row).into_bytes()
+    }
+
+    fn value(&self, rng: &mut StdRng) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_size];
+        rng.fill(&mut v[..]);
+        // Keep it printable-ish like sysbench's c/pad columns.
+        for b in &mut v {
+            *b = b'a' + (*b % 26);
+        }
+        v
+    }
+
+    fn read_txn(&self, rng: &mut StdRng) -> TxnSpec {
+        let mut ops = Vec::with_capacity(self.point_selects + 1);
+        for _ in 0..self.point_selects {
+            let row = rng.random_range(0..self.rows);
+            ops.push(Op::Get(self.key(row)));
+        }
+        let start = rng.random_range(0..self.rows);
+        ops.push(Op::Scan(self.key(start), self.range_len));
+        TxnSpec { ops }
+    }
+
+    fn write_txn(&self, rng: &mut StdRng) -> TxnSpec {
+        let mut ops = Vec::with_capacity(4);
+        // index update
+        let row = rng.random_range(0..self.rows);
+        ops.push(Op::Put(self.key(row), self.value(rng)));
+        // non-index update
+        let row = rng.random_range(0..self.rows);
+        ops.push(Op::Put(self.key(row), self.value(rng)));
+        // delete + insert
+        let row = rng.random_range(0..self.rows);
+        ops.push(Op::Delete(self.key(row)));
+        ops.push(Op::Put(self.key(row), self.value(rng)));
+        TxnSpec { ops }
+    }
+}
+
+impl Workload for SysbenchWorkload {
+    fn initial_data(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0xface);
+        (0..self.rows)
+            .map(|r| {
+                let mut v = vec![0u8; self.value_size];
+                rng.fill(&mut v[..]);
+                for b in &mut v {
+                    *b = b'a' + (*b % 26);
+                }
+                (self.key(r), v)
+            })
+            .collect()
+    }
+
+    fn next_txn(&self, rng: &mut StdRng) -> TxnSpec {
+        match self.mode {
+            SysbenchMode::ReadOnly => self.read_txn(rng),
+            SysbenchMode::WriteOnly => self.write_txn(rng),
+            SysbenchMode::Mixed => {
+                if rng.random::<f64>() < 0.7 {
+                    self.read_txn(rng)
+                } else {
+                    self.write_txn(rng)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self.mode {
+            SysbenchMode::ReadOnly => "sysbench-read-only",
+            SysbenchMode::WriteOnly => "sysbench-write-only",
+            SysbenchMode::Mixed => "sysbench-mixed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn read_only_txns_never_write() {
+        let w = SysbenchWorkload::new(SysbenchMode::ReadOnly, 1000, 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let t = w.next_txn(&mut rng);
+            assert!(!t.has_writes());
+            assert_eq!(t.ops.len(), 11); // 10 points + 1 scan
+        }
+    }
+
+    #[test]
+    fn write_only_txns_follow_the_sysbench_shape() {
+        let w = SysbenchWorkload::new(SysbenchMode::WriteOnly, 1000, 64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = w.next_txn(&mut rng);
+        assert!(t.has_writes());
+        assert_eq!(t.ops.len(), 4); // 2 updates + delete + insert
+        assert!(matches!(t.ops[2], Op::Delete(_)));
+        assert!(matches!(t.ops[3], Op::Put(..)));
+    }
+
+    #[test]
+    fn initial_data_covers_all_rows_with_right_sizes() {
+        let w = SysbenchWorkload::new(SysbenchMode::ReadOnly, 100, 32);
+        let data = w.initial_data();
+        assert_eq!(data.len(), 100);
+        assert!(data.iter().all(|(_, v)| v.len() == 32));
+        let mut keys: Vec<_> = data.iter().map(|(k, _)| k.clone()).collect();
+        keys.dedup();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn keys_are_fixed_width_and_sorted_by_row() {
+        let w = SysbenchWorkload::new(SysbenchMode::ReadOnly, 10, 8);
+        assert!(w.key(1) < w.key(2));
+        assert!(w.key(9) < w.key(10));
+        assert_eq!(w.key(0).len(), w.key(999_999).len());
+    }
+
+    #[test]
+    fn mixed_mode_produces_both_kinds() {
+        let w = SysbenchWorkload::new(SysbenchMode::Mixed, 1000, 64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let txns: Vec<_> = (0..200).map(|_| w.next_txn(&mut rng)).collect();
+        assert!(txns.iter().any(|t| t.has_writes()));
+        assert!(txns.iter().any(|t| !t.has_writes()));
+    }
+}

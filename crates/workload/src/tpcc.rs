@@ -1,0 +1,240 @@
+//! A TPC-C-like transaction mix (paper §8.1 uses the Percona TPCC-like
+//! workload for SysBench [18]).
+//!
+//! The schema is flattened onto the KV interface: warehouses, districts,
+//! customers, stock, orders and order lines live under typed key prefixes.
+//! The five transaction profiles follow the standard mix ratios:
+//! NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%.
+//! Row payloads approximate TPC-C column widths; contention arises naturally
+//! from the per-district next-order-id rows, as in the real benchmark.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{Op, TxnSpec, Workload};
+
+const DISTRICTS_PER_WAREHOUSE: u64 = 10;
+const CUSTOMERS_PER_DISTRICT: u64 = 300;
+const ITEMS: u64 = 1000;
+const STOCK_PER_WAREHOUSE: u64 = 1000;
+
+/// TPC-C-like workload over `warehouses` warehouses.
+#[derive(Debug)]
+pub struct TpccWorkload {
+    pub warehouses: u64,
+    /// Synthetic order-id source (monotone, shared across connections —
+    /// stands in for the district next_o_id counter when generating keys).
+    next_order: AtomicU64,
+}
+
+impl TpccWorkload {
+    pub fn new(warehouses: u64) -> Self {
+        TpccWorkload {
+            warehouses: warehouses.max(1),
+            next_order: AtomicU64::new(1),
+        }
+    }
+
+    fn wh_key(w: u64) -> Vec<u8> {
+        format!("tpcc:w:{w:04}").into_bytes()
+    }
+    fn district_key(w: u64, d: u64) -> Vec<u8> {
+        format!("tpcc:d:{w:04}:{d:02}").into_bytes()
+    }
+    fn customer_key(w: u64, d: u64, c: u64) -> Vec<u8> {
+        format!("tpcc:c:{w:04}:{d:02}:{c:04}").into_bytes()
+    }
+    fn stock_key(w: u64, i: u64) -> Vec<u8> {
+        format!("tpcc:s:{w:04}:{i:04}").into_bytes()
+    }
+    fn order_key(w: u64, d: u64, o: u64) -> Vec<u8> {
+        format!("tpcc:o:{w:04}:{d:02}:{o:010}").into_bytes()
+    }
+    fn order_line_key(w: u64, d: u64, o: u64, l: u64) -> Vec<u8> {
+        format!("tpcc:ol:{w:04}:{d:02}:{o:010}:{l:02}").into_bytes()
+    }
+
+    fn pick_wdc(&self, rng: &mut StdRng) -> (u64, u64, u64) {
+        (
+            rng.random_range(0..self.warehouses),
+            rng.random_range(0..DISTRICTS_PER_WAREHOUSE),
+            rng.random_range(0..CUSTOMERS_PER_DISTRICT),
+        )
+    }
+
+    fn new_order(&self, rng: &mut StdRng) -> TxnSpec {
+        let (w, d, c) = self.pick_wdc(rng);
+        let o = self.next_order.fetch_add(1, Ordering::Relaxed);
+        let lines = rng.random_range(5..=15u64);
+        let mut ops = Vec::with_capacity(4 + 2 * lines as usize);
+        ops.push(Op::Get(Self::wh_key(w)));
+        ops.push(Op::Get(Self::customer_key(w, d, c)));
+        // District row update (the classic contention point).
+        ops.push(Op::Put(
+            Self::district_key(w, d),
+            format!("next_o_id={o};ytd={}", rng.random_range(0..100_000)).into_bytes(),
+        ));
+        ops.push(Op::Put(
+            Self::order_key(w, d, o),
+            format!("c={c};lines={lines};status=new").into_bytes(),
+        ));
+        for l in 0..lines {
+            let item = rng.random_range(0..ITEMS);
+            let supply_w = if rng.random::<f64>() < 0.99 {
+                w
+            } else {
+                rng.random_range(0..self.warehouses)
+            };
+            ops.push(Op::Get(Self::stock_key(supply_w, item % STOCK_PER_WAREHOUSE)));
+            ops.push(Op::Put(
+                Self::order_line_key(w, d, o, l),
+                format!("item={item};qty={};amount={}", rng.random_range(1..10), rng.random_range(1..10_000)).into_bytes(),
+            ));
+        }
+        TxnSpec { ops }
+    }
+
+    fn payment(&self, rng: &mut StdRng) -> TxnSpec {
+        let (w, d, c) = self.pick_wdc(rng);
+        let amount = rng.random_range(100..500_000);
+        TxnSpec {
+            ops: vec![
+                Op::Put(Self::wh_key(w), format!("ytd+={amount}").into_bytes()),
+                Op::Put(Self::district_key(w, d), format!("ytd+={amount}").into_bytes()),
+                Op::Put(
+                    Self::customer_key(w, d, c),
+                    format!("balance-={amount};payments+=1").into_bytes(),
+                ),
+            ],
+        }
+    }
+
+    fn order_status(&self, rng: &mut StdRng) -> TxnSpec {
+        let (w, d, c) = self.pick_wdc(rng);
+        TxnSpec {
+            ops: vec![
+                Op::Get(Self::customer_key(w, d, c)),
+                Op::Scan(Self::order_key(w, d, 0), 5),
+            ],
+        }
+    }
+
+    fn delivery(&self, rng: &mut StdRng) -> TxnSpec {
+        let w = rng.random_range(0..self.warehouses);
+        let mut ops = Vec::with_capacity(DISTRICTS_PER_WAREHOUSE as usize);
+        for d in 0..DISTRICTS_PER_WAREHOUSE {
+            let o = rng.random_range(1..self.next_order.load(Ordering::Relaxed).max(2));
+            ops.push(Op::Put(
+                Self::order_key(w, d, o),
+                b"status=delivered".to_vec(),
+            ));
+        }
+        TxnSpec { ops }
+    }
+
+    fn stock_level(&self, rng: &mut StdRng) -> TxnSpec {
+        let w = rng.random_range(0..self.warehouses);
+        let i = rng.random_range(0..STOCK_PER_WAREHOUSE.saturating_sub(20));
+        TxnSpec {
+            ops: vec![Op::Scan(Self::stock_key(w, i), 20)],
+        }
+    }
+}
+
+impl Workload for TpccWorkload {
+    fn initial_data(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut data = Vec::new();
+        for w in 0..self.warehouses {
+            data.push((Self::wh_key(w), format!("name=WH{w};ytd=0;{}", "t".repeat(80)).into_bytes()));
+            for d in 0..DISTRICTS_PER_WAREHOUSE {
+                data.push((
+                    Self::district_key(w, d),
+                    format!("next_o_id=1;ytd=0;{}", "d".repeat(80)).into_bytes(),
+                ));
+                for c in 0..CUSTOMERS_PER_DISTRICT {
+                    data.push((
+                        Self::customer_key(w, d, c),
+                        format!("balance=0;payments=0;{}", "c".repeat(120)).into_bytes(),
+                    ));
+                }
+            }
+            for i in 0..STOCK_PER_WAREHOUSE {
+                data.push((
+                    Self::stock_key(w, i),
+                    format!("qty=100;{}", "s".repeat(60)).into_bytes(),
+                ));
+            }
+        }
+        data
+    }
+
+    fn next_txn(&self, rng: &mut StdRng) -> TxnSpec {
+        let roll = rng.random_range(0..100u32);
+        match roll {
+            0..=44 => self.new_order(rng),
+            45..=87 => self.payment(rng),
+            88..=91 => self.order_status(rng),
+            92..=95 => self.delivery(rng),
+            _ => self.stock_level(rng),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "tpcc-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_matches_the_standard_ratios_roughly() {
+        let w = TpccWorkload::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut writes = 0usize;
+        let n = 2000;
+        for _ in 0..n {
+            if w.next_txn(&mut rng).has_writes() {
+                writes += 1;
+            }
+        }
+        // NewOrder + Payment + Delivery ≈ 92% of transactions write.
+        let frac = writes as f64 / n as f64;
+        assert!((0.85..0.97).contains(&frac), "write fraction {frac}");
+    }
+
+    #[test]
+    fn initial_data_scales_with_warehouses() {
+        let rows_per_wh = 1
+            + DISTRICTS_PER_WAREHOUSE * (1 + CUSTOMERS_PER_DISTRICT)
+            + STOCK_PER_WAREHOUSE;
+        let one = TpccWorkload::new(1).initial_data().len() as u64;
+        let three = TpccWorkload::new(3).initial_data().len() as u64;
+        assert_eq!(one, rows_per_wh);
+        assert_eq!(three, 3 * rows_per_wh);
+    }
+
+    #[test]
+    fn new_orders_allocate_monotone_order_ids() {
+        let w = TpccWorkload::new(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = w.new_order(&mut rng);
+        let b = w.new_order(&mut rng);
+        let key_of = |t: &TxnSpec| match &t.ops[3] {
+            Op::Put(k, _) => k.clone(),
+            _ => panic!("expected order insert"),
+        };
+        assert!(key_of(&a) < key_of(&b));
+    }
+
+    #[test]
+    fn keys_partition_by_table_prefix() {
+        assert!(TpccWorkload::wh_key(1).starts_with(b"tpcc:w:"));
+        assert!(TpccWorkload::stock_key(1, 2).starts_with(b"tpcc:s:"));
+        assert!(TpccWorkload::order_line_key(1, 2, 3, 4).starts_with(b"tpcc:ol:"));
+    }
+}
