@@ -215,14 +215,8 @@ mod tests {
 
     #[test]
     fn taurus_executor_runs_a_small_sysbench() {
-        let db = TaurusDb::launch_with_clock(
-            TaurusConfig::test(),
-            4,
-            4,
-            ManualClock::shared(),
-            1,
-        )
-        .unwrap();
+        let db = TaurusDb::launch_with_clock(TaurusConfig::test(), 4, 4, ManualClock::shared(), 1)
+            .unwrap();
         let exec = TaurusExecutor::new(db);
         let w = SysbenchWorkload::new(SysbenchMode::Mixed, 200, 32);
         taurus_workload::driver::load_initial(&exec, &w).unwrap();
@@ -233,14 +227,8 @@ mod tests {
 
     #[test]
     fn replica_executor_rejects_writes() {
-        let db = TaurusDb::launch_with_clock(
-            TaurusConfig::test(),
-            4,
-            4,
-            ManualClock::shared(),
-            2,
-        )
-        .unwrap();
+        let db = TaurusDb::launch_with_clock(TaurusConfig::test(), 4, 4, ManualClock::shared(), 2)
+            .unwrap();
         let replica = db.add_replica().unwrap();
         let exec = ReplicaExecutor { replica };
         let w = SysbenchWorkload::new(SysbenchMode::WriteOnly, 100, 16);

@@ -29,7 +29,9 @@ pub mod quorum;
 pub mod socrates;
 pub mod streaming;
 
-pub use adapters::{LocalExecutor, QuorumExecutor, ReplicaExecutor, SocratesExecutor, TaurusExecutor};
+pub use adapters::{
+    LocalExecutor, QuorumExecutor, ReplicaExecutor, SocratesExecutor, TaurusExecutor,
+};
 pub use monolithic::LocalEngine;
 pub use quorum::QuorumEngine;
 pub use socrates::SocratesDb;

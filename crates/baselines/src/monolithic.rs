@@ -19,11 +19,11 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use taurus_common::config::StorageProfile;
 use taurus_common::clock::ClockRef;
+use taurus_common::config::StorageProfile;
 use taurus_common::lsn::LsnAllocator;
 use taurus_common::record::LogRecordGroup;
-use taurus_common::{Lsn, PageBuf, PageId, Result, DbId, PAGE_SIZE};
+use taurus_common::{DbId, Lsn, PageBuf, PageId, Result, PAGE_SIZE};
 use taurus_engine::btree::{BTree, MutCtx, PageFetch};
 use taurus_engine::pool::{EnginePool, Frame};
 use taurus_fabric::StorageDevice;
@@ -53,7 +53,11 @@ pub struct LocalEngine {
 
 impl LocalEngine {
     /// InnoDB-like defaults (the paper's "MySQL 8.0" bar).
-    pub fn vanilla(clock: ClockRef, storage: StorageProfile, pool_pages: usize) -> Result<Arc<Self>> {
+    pub fn vanilla(
+        clock: ClockRef,
+        storage: StorageProfile,
+        pool_pages: usize,
+    ) -> Result<Arc<Self>> {
         Self::with_profile(
             clock,
             storage,
@@ -66,7 +70,11 @@ impl LocalEngine {
     }
 
     /// The "optimized front end" port (cross-hatched bars in Fig. 8).
-    pub fn optimized(clock: ClockRef, storage: StorageProfile, pool_pages: usize) -> Result<Arc<Self>> {
+    pub fn optimized(
+        clock: ClockRef,
+        storage: StorageProfile,
+        pool_pages: usize,
+    ) -> Result<Arc<Self>> {
         Self::with_profile(
             clock,
             storage,
@@ -128,8 +136,11 @@ impl LocalEngine {
             } else {
                 Arc::new(PageBuf::new())
             };
-            self.pool
-                .put(id, Frame::new(Arc::clone(&buf), buf.lsn(), false), &|_, _| false);
+            self.pool.put(
+                id,
+                Frame::new(Arc::clone(&buf), buf.lsn(), false),
+                &|_, _| false,
+            );
             Ok(buf)
         }
     }

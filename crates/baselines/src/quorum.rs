@@ -52,7 +52,11 @@ impl QuorumEngine {
     }
 
     /// PolarDB-style: N=3, W=2.
-    pub fn polardb(fabric: Fabric, cfg: TaurusConfig, storage: StorageProfile) -> Result<Arc<Self>> {
+    pub fn polardb(
+        fabric: Fabric,
+        cfg: TaurusConfig,
+        storage: StorageProfile,
+    ) -> Result<Arc<Self>> {
         Self::new(fabric, cfg, storage, 3, 2)
     }
 
@@ -165,7 +169,10 @@ impl QuorumEngine {
     fn ship(&self, records: Vec<taurus_common::LogRecord>) -> Result<()> {
         let mut by_slice: HashMap<SliceKey, Vec<taurus_common::LogRecord>> = HashMap::new();
         for rec in records {
-            by_slice.entry(self.slice_of(rec.page)).or_default().push(rec);
+            by_slice
+                .entry(self.slice_of(rec.page))
+                .or_default()
+                .push(rec);
         }
         for (key, recs) in by_slice {
             self.cluster.create_slice(key, self.me)?;

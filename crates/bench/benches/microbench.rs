@@ -2,6 +2,9 @@
 //! record codec, slotted-page operations, Page Store ingestion and
 //! consolidation, and end-to-end single-transaction commit.
 
+// Harness code: aborting on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -157,7 +160,9 @@ fn bench_pagestore(c: &mut Criterion) {
                         ));
                     }
                     lsn += 9;
-                    server.write_logs(&SliceFragment::new(key, prev, recs)).unwrap();
+                    server
+                        .write_logs(&SliceFragment::new(key, prev, recs))
+                        .unwrap();
                 }
                 (server, Lsn(lsn))
             },
@@ -177,14 +182,8 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(20);
     group.bench_function("single_txn_commit_instant_profiles", |b| {
-        let db = TaurusDb::launch_with_clock(
-            TaurusConfig::test(),
-            4,
-            4,
-            ManualClock::shared(),
-            1,
-        )
-        .unwrap();
+        let db = TaurusDb::launch_with_clock(TaurusConfig::test(), 4, 4, ManualClock::shared(), 1)
+            .unwrap();
         let master = db.master();
         let mut i = 0u64;
         b.iter(|| {
@@ -197,5 +196,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_apply, bench_page, bench_pagestore, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_apply,
+    bench_page,
+    bench_pagestore,
+    bench_end_to_end
+);
 criterion_main!(benches);

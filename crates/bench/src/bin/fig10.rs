@@ -4,9 +4,14 @@
 //! ~linearly, the storage-bound ("1TB") regime sub-linearly, and TPC-C
 //! flattens between the two largest instances due to data contention.
 
+// Harness code: aborting on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use taurus_baselines::TaurusExecutor;
 use taurus_bench::{bench_config, header, launch_taurus_with, txns_per_conn, ScaleRegime};
-use taurus_workload::{driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, TpccWorkload, Workload};
+use taurus_workload::{
+    driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, TpccWorkload, Workload,
+};
 
 fn run_instance(workload: &dyn Workload, vcpus: usize, pool_pages: usize) -> f64 {
     let (db, guard) = launch_taurus_with(bench_config(pool_pages)).unwrap();
@@ -25,19 +30,43 @@ fn main() {
     let instances = [(4usize, 1024usize), (8, 2048), (15, 3072)];
 
     for (label, regime, mode) in [
-        ("SysBench read, cached", ScaleRegime::Cached, SysbenchMode::ReadOnly),
-        ("SysBench write, cached", ScaleRegime::Cached, SysbenchMode::WriteOnly),
-        ("SysBench read, storage-bound", ScaleRegime::StorageBound, SysbenchMode::ReadOnly),
-        ("SysBench write, storage-bound", ScaleRegime::StorageBound, SysbenchMode::WriteOnly),
+        (
+            "SysBench read, cached",
+            ScaleRegime::Cached,
+            SysbenchMode::ReadOnly,
+        ),
+        (
+            "SysBench write, cached",
+            ScaleRegime::Cached,
+            SysbenchMode::WriteOnly,
+        ),
+        (
+            "SysBench read, storage-bound",
+            ScaleRegime::StorageBound,
+            SysbenchMode::ReadOnly,
+        ),
+        (
+            "SysBench write, storage-bound",
+            ScaleRegime::StorageBound,
+            SysbenchMode::WriteOnly,
+        ),
     ] {
         header(label);
         let (rows, _) = regime.geometry();
         let w = SysbenchWorkload::new(mode, rows, 200);
         let mut prev = 0.0;
         for (vcpus, pool) in instances {
-            let pool = if regime == ScaleRegime::StorageBound { pool / 8 } else { pool };
+            let pool = if regime == ScaleRegime::StorageBound {
+                pool / 8
+            } else {
+                pool
+            };
             let tps = run_instance(&w, vcpus, pool);
-            let growth = if prev > 0.0 { format!("{:.2}x", tps / prev) } else { "-".into() };
+            let growth = if prev > 0.0 {
+                format!("{:.2}x", tps / prev)
+            } else {
+                "-".into()
+            };
             println!("  instance {vcpus:>2} conns: {tps:>10.0} tps (vs previous: {growth})");
             prev = tps;
         }
@@ -48,7 +77,11 @@ fn main() {
     let mut prev = 0.0;
     for (vcpus, pool) in instances {
         let tps = run_instance(&w, vcpus, pool);
-        let growth = if prev > 0.0 { format!("{:.2}x", tps / prev) } else { "-".into() };
+        let growth = if prev > 0.0 {
+            format!("{:.2}x", tps / prev)
+        } else {
+            "-".into()
+        };
         println!("  instance {vcpus:>2} conns: {tps:>10.0} tps (vs previous: {growth})");
         prev = tps;
     }

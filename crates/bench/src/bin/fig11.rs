@@ -2,9 +2,14 @@
 //! connections on a fixed instance. The paper scales to 500 connections and
 //! plateaus: beyond saturation, adding connections stops helping.
 
+// Harness code: aborting on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use taurus_baselines::TaurusExecutor;
 use taurus_bench::{bench_config, launch_taurus_with, ScaleRegime};
-use taurus_workload::{driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, Workload};
+use taurus_workload::{
+    driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, Workload,
+};
 
 fn main() {
     println!("Fig. 11 — scaling with number of connections");
@@ -22,7 +27,11 @@ fn main() {
             // Fixed total work so runs stay short at every width.
             let per_conn = (2400 / conns as u64).max(10);
             let report = run_workload(&exec, &w, conns, per_conn, 12);
-            let marker = if report.tps > best { "" } else { "  <- plateau" };
+            let marker = if report.tps > best {
+                ""
+            } else {
+                "  <- plateau"
+            };
             best = best.max(report.tps);
             println!(
                 "  conns={conns:<4} tps={:<10.0} p95={:>6}us{marker}",
@@ -32,6 +41,8 @@ fn main() {
         drop(guard);
         println!();
     }
-    println!("Throughput rises with connections and flattens once the log\n\
-              flush pipeline / storage round trips saturate — the Fig. 11 shape.");
+    println!(
+        "Throughput rises with connections and flattens once the log\n\
+              flush pipeline / storage round trips saturate — the Fig. 11 shape."
+    );
 }

@@ -6,9 +6,14 @@
 //! times higher. Write and TPC-C latencies sit in between, dominated by the
 //! durable Log Store write.
 
+// Harness code: aborting on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use taurus_baselines::TaurusExecutor;
 use taurus_bench::{bench_config, launch_taurus_with, txns_per_conn, ScaleRegime};
-use taurus_workload::{driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, TpccWorkload, Workload};
+use taurus_workload::{
+    driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, TpccWorkload, Workload,
+};
 
 fn run(workload: &dyn Workload, regime: ScaleRegime, conns: usize) -> (f64, u64, u64) {
     let (_, pool) = regime.geometry();
@@ -17,7 +22,11 @@ fn run(workload: &dyn Workload, regime: ScaleRegime, conns: usize) -> (f64, u64,
     load_initial(&exec, workload).unwrap();
     let report = run_workload(&exec, workload, conns, txns_per_conn(), 13);
     drop(guard);
-    (report.mean_latency_us, report.p95_latency_us, report.p99_latency_us)
+    (
+        report.mean_latency_us,
+        report.p95_latency_us,
+        report.p99_latency_us,
+    )
 }
 
 fn main() {
@@ -26,10 +35,26 @@ fn main() {
     let mut cached_read = 0.0;
     let mut bound_read = 0.0;
     for (label, regime, mode) in [
-        ("SysBench read, cached   ", ScaleRegime::Cached, SysbenchMode::ReadOnly),
-        ("SysBench read, stor-bnd ", ScaleRegime::StorageBound, SysbenchMode::ReadOnly),
-        ("SysBench write, cached  ", ScaleRegime::Cached, SysbenchMode::WriteOnly),
-        ("SysBench write, stor-bnd", ScaleRegime::StorageBound, SysbenchMode::WriteOnly),
+        (
+            "SysBench read, cached   ",
+            ScaleRegime::Cached,
+            SysbenchMode::ReadOnly,
+        ),
+        (
+            "SysBench read, stor-bnd ",
+            ScaleRegime::StorageBound,
+            SysbenchMode::ReadOnly,
+        ),
+        (
+            "SysBench write, cached  ",
+            ScaleRegime::Cached,
+            SysbenchMode::WriteOnly,
+        ),
+        (
+            "SysBench write, stor-bnd",
+            ScaleRegime::StorageBound,
+            SysbenchMode::WriteOnly,
+        ),
     ] {
         let (rows, _) = regime.geometry();
         let w = SysbenchWorkload::new(mode, rows, 200);
@@ -45,7 +70,10 @@ fn main() {
     }
     let w = TpccWorkload::new(2);
     let (mean, p95, p99) = run(&w, ScaleRegime::Cached, conns);
-    println!("TPC-C-like              : {:>8.0}us / {p95:>6}us / {p99:>6}us", mean);
+    println!(
+        "TPC-C-like              : {:>8.0}us / {p95:>6}us / {p99:>6}us",
+        mean
+    );
 
     println!();
     if cached_read > 0.0 {

@@ -9,10 +9,14 @@
 //! all six replicas).
 
 use taurus_baselines::{QuorumEngine, QuorumExecutor, TaurusExecutor};
-use taurus_bench::{bench_clock, bench_config, header, launch_taurus_with, rel, txns_per_conn, ScaleRegime};
+use taurus_bench::{
+    bench_clock, bench_config, header, launch_taurus_with, rel, txns_per_conn, ScaleRegime,
+};
 use taurus_common::config::NetworkProfile;
 use taurus_fabric::Fabric;
-use taurus_workload::{driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, TpccWorkload, Workload};
+use taurus_workload::{
+    driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, TpccWorkload, Workload,
+};
 
 fn run_pair(workload: &dyn Workload, regime: ScaleRegime, conns: usize) -> (f64, f64) {
     let (rows, pool) = regime.geometry();
@@ -55,10 +59,26 @@ fn main() {
     let mut total = 0;
 
     for (label, mode, regime) in [
-        ("SysBench read-only, cached dataset", SysbenchMode::ReadOnly, ScaleRegime::Cached),
-        ("SysBench read-only, storage-bound dataset", SysbenchMode::ReadOnly, ScaleRegime::StorageBound),
-        ("SysBench write-only, cached dataset", SysbenchMode::WriteOnly, ScaleRegime::Cached),
-        ("SysBench write-only, storage-bound dataset", SysbenchMode::WriteOnly, ScaleRegime::StorageBound),
+        (
+            "SysBench read-only, cached dataset",
+            SysbenchMode::ReadOnly,
+            ScaleRegime::Cached,
+        ),
+        (
+            "SysBench read-only, storage-bound dataset",
+            SysbenchMode::ReadOnly,
+            ScaleRegime::StorageBound,
+        ),
+        (
+            "SysBench write-only, cached dataset",
+            SysbenchMode::WriteOnly,
+            ScaleRegime::Cached,
+        ),
+        (
+            "SysBench write-only, storage-bound dataset",
+            SysbenchMode::WriteOnly,
+            ScaleRegime::StorageBound,
+        ),
     ] {
         header(label);
         let (rows, _) = regime.geometry();

@@ -8,10 +8,18 @@
 //! * Taurus vs *optimized* MySQL: −9% read-only (network hop on misses),
 //!   +87% write-only, +101% TPC-C.
 
+// Harness code: aborting on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use taurus_baselines::{LocalEngine, LocalExecutor, SocratesDb, SocratesExecutor, TaurusExecutor};
-use taurus_bench::{bench_clock, bench_config, header, launch_taurus_with, rel, txns_per_conn, ScaleRegime};
+use taurus_bench::{
+    bench_clock, bench_config, header, launch_taurus_with, rel, txns_per_conn, ScaleRegime,
+};
 use taurus_common::config::StorageProfile;
-use taurus_workload::{driver::load_initial, run_workload, Executor, SysbenchMode, SysbenchWorkload, TpccWorkload, Workload};
+use taurus_workload::{
+    driver::load_initial, run_workload, Executor, SysbenchMode, SysbenchWorkload, TpccWorkload,
+    Workload,
+};
 
 /// SATA-class device profile: with slower devices the storage architecture
 /// (append-only remote vs write-in-place local) dominates the simulation
@@ -77,7 +85,9 @@ fn main() {
         // Socrates-style 4-tier (reads pay the extra tier crossings).
         let sdb = SocratesDb::launch(fig8_config(pool), 6, 6, bench_clock(), 11).unwrap();
         let sguard = sdb.inner.start_background(500);
-        let socrates = SocratesExecutor { db: std::sync::Arc::new(sdb) };
+        let socrates = SocratesExecutor {
+            db: std::sync::Arc::new(sdb),
+        };
         let socrates_tps = measure(&socrates, workload.as_ref(), conns);
         drop(sguard);
 

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use taurus_baselines::StreamingReplicaSim;
 use taurus_bench::{bench_clock, bench_config, launch_taurus_with};
@@ -41,28 +41,31 @@ fn taurus_lag_at_rate(writes_per_sec: u64, duration: Duration) -> (f64, f64) {
         })
     };
 
-    let start = Instant::now();
+    let clock = bench_clock();
+    let duration_us = duration.as_micros() as u64;
+    let start_us = clock.now_us();
     let mut lags_us: Vec<u64> = Vec::new();
     let mut achieved_writes = 0u64;
     let mut counter = 0u64;
     // Continuous writes at the highest rate the host sustains (bounded by
     // `writes_per_sec` via a pacing check); every 25th commit is probed for
     // replica visibility, like the paper's stored-procedure sampling.
-    while start.elapsed() < duration {
+    while clock.now_us().saturating_sub(start_us) < duration_us {
         counter += 1;
         let mut t = master.begin();
-        t.put(b"probe", format!("{counter}").as_bytes()).expect("write");
+        t.put(b"probe", format!("{counter}").as_bytes())
+            .expect("write");
         let commit_lsn = t.commit().expect("commit");
         achieved_writes += 1;
         master.publish();
-        if counter % 25 == 0 {
-            let committed_at = Instant::now();
+        if counter.is_multiple_of(25) {
+            let committed_at_us = clock.now_us();
             loop {
                 if replica.visible_lsn() >= commit_lsn {
-                    lags_us.push(committed_at.elapsed().as_micros() as u64);
+                    lags_us.push(clock.now_us().saturating_sub(committed_at_us));
                     break;
                 }
-                if committed_at.elapsed() > Duration::from_millis(500) {
+                if clock.now_us().saturating_sub(committed_at_us) > 500_000 {
                     lags_us.push(500_000);
                     break;
                 }
@@ -70,15 +73,17 @@ fn taurus_lag_at_rate(writes_per_sec: u64, duration: Duration) -> (f64, f64) {
             }
         }
         // Pacing: stay at or below the requested rate.
-        let target_elapsed = Duration::from_nanos(1_000_000_000 * achieved_writes / writes_per_sec.max(1));
-        if start.elapsed() < target_elapsed {
-            std::thread::sleep(target_elapsed - start.elapsed());
+        let target_elapsed_us = 1_000_000 * achieved_writes / writes_per_sec.max(1);
+        let elapsed_us = clock.now_us().saturating_sub(start_us);
+        if elapsed_us < target_elapsed_us {
+            clock.sleep_us(target_elapsed_us - elapsed_us);
         }
     }
     stop.store(true, Ordering::Relaxed);
     let _ = poller.join();
     drop(guard);
-    let achieved_rate = achieved_writes as f64 / start.elapsed().as_secs_f64();
+    let wall_secs = (clock.now_us().saturating_sub(start_us) as f64 / 1e6).max(1e-9);
+    let achieved_rate = achieved_writes as f64 / wall_secs;
     lags_us.sort_unstable();
     let mean = lags_us.iter().sum::<u64>() as f64 / lags_us.len().max(1) as f64;
     (achieved_rate, mean / 1000.0)

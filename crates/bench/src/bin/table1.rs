@@ -52,13 +52,31 @@ fn main() {
                 )
             })
             .collect();
-        println!("{:<28} {:>7} {:>22} {:>22} {:>22}", cfg.label, "write", w[0], w[1], w[2]);
-        println!("{:<28} {:>7} {:>22} {:>22} {:>22}", "", "read", r[0], r[1], r[2]);
+        println!(
+            "{:<28} {:>7} {:>22} {:>22} {:>22}",
+            cfg.label, "write", w[0], w[1], w[2]
+        );
+        println!(
+            "{:<28} {:>7} {:>22} {:>22} {:>22}",
+            "", "read", r[0], r[1], r[2]
+        );
     }
-    let tw: Vec<String> = xs.iter().map(|&x| sci(taurus_write_unavailability(x))).collect();
-    let tr: Vec<String> = xs.iter().map(|&x| sci(taurus_read_unavailability(x))).collect();
-    println!("{:<28} {:>7} {:>22} {:>22} {:>22}", "Taurus", "write", tw[0], tw[1], tw[2]);
-    println!("{:<28} {:>7} {:>22} {:>22} {:>22}", "", "read", tr[0], tr[1], tr[2]);
+    let tw: Vec<String> = xs
+        .iter()
+        .map(|&x| sci(taurus_write_unavailability(x)))
+        .collect();
+    let tr: Vec<String> = xs
+        .iter()
+        .map(|&x| sci(taurus_read_unavailability(x)))
+        .collect();
+    println!(
+        "{:<28} {:>7} {:>22} {:>22} {:>22}",
+        "Taurus", "write", tw[0], tw[1], tw[2]
+    );
+    println!(
+        "{:<28} {:>7} {:>22} {:>22} {:>22}",
+        "", "read", tr[0], tr[1], tr[2]
+    );
 
     println!();
     println!("Monte Carlo cross-check at x = 0.05 ({trials} trials):");

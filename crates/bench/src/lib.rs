@@ -70,14 +70,18 @@ pub fn bench_config(pool_pages: usize) -> TaurusConfig {
 
 /// Launches a Taurus cluster on the system clock with background
 /// consolidation and housekeeping running.
-pub fn launch_taurus(pool_pages: usize) -> Result<(Arc<TaurusDb>, taurus_engine::db::BackgroundGuard)> {
+pub fn launch_taurus(
+    pool_pages: usize,
+) -> Result<(Arc<TaurusDb>, taurus_engine::db::BackgroundGuard)> {
     let db = TaurusDb::launch(bench_config(pool_pages), 6, 6)?;
     let guard = db.start_background(500);
     Ok((db, guard))
 }
 
 /// Launches with an explicit config.
-pub fn launch_taurus_with(cfg: TaurusConfig) -> Result<(Arc<TaurusDb>, taurus_engine::db::BackgroundGuard)> {
+pub fn launch_taurus_with(
+    cfg: TaurusConfig,
+) -> Result<(Arc<TaurusDb>, taurus_engine::db::BackgroundGuard)> {
     let db = TaurusDb::launch(cfg, 6, 6)?;
     let guard = db.start_background(500);
     Ok((db, guard))

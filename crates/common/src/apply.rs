@@ -158,7 +158,12 @@ mod tests {
         let before = p.nslots();
         apply_record(
             &mut p,
-            &rec(2, RecordBody::TxnCommit { txn: crate::TxnId(9) }),
+            &rec(
+                2,
+                RecordBody::TxnCommit {
+                    txn: crate::TxnId(9),
+                },
+            ),
         )
         .unwrap();
         assert_eq!(p.nslots(), before);

@@ -210,16 +210,22 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = TaurusConfig::default();
-        c.pages_per_slice = 0;
+        let c = TaurusConfig {
+            pages_per_slice: 0,
+            ..TaurusConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TaurusConfig::default();
-        c.log_replicas = 0;
+        let c = TaurusConfig {
+            log_replicas: 0,
+            ..TaurusConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = TaurusConfig::default();
-        c.plog_size_limit = 10;
+        let c = TaurusConfig {
+            plog_size_limit: 10,
+            ..TaurusConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -156,7 +156,7 @@ mod tests {
 
     #[test]
     fn io_error_conversion_preserves_source() {
-        let e: TaurusError = io::Error::new(io::ErrorKind::Other, "disk on fire").into();
+        let e: TaurusError = io::Error::other("disk on fire").into();
         assert!(std::error::Error::source(&e).is_some());
     }
 }

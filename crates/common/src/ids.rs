@@ -83,7 +83,9 @@ impl PageId {
 /// Globally unique identifier of a slice: a slice id qualified by its
 /// database. Page Stores host slices from many databases (paper §3.4), so all
 /// Page Store APIs take a `SliceKey`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct SliceKey {
     pub db: DbId,
     pub slice: SliceId,
@@ -105,7 +107,9 @@ impl fmt::Display for SliceKey {
 /// assigned by the cluster manager; we reproduce the same width as three
 /// 64-bit words: the database it belongs to, a per-database sequence number,
 /// and an incarnation counter that distinguishes re-created PLogs.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct PLogId {
     /// Owning database.
     pub db: DbId,
@@ -140,7 +144,11 @@ impl PLogId {
 
     /// Parses the fixed 24-byte wire form.
     pub fn from_bytes(b: &[u8; Self::WIDTH]) -> Self {
-        let word = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().unwrap());
+        let word = |i: usize| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[i..i + 8]);
+            u64::from_le_bytes(w)
+        };
         PLogId {
             db: DbId(word(0)),
             seq: word(8),

@@ -13,13 +13,16 @@
 //! * [`clock`] — pluggable time (system or manual/virtual) so failure drills
 //!   are deterministic;
 //! * [`config`] — all tunables of the system in one place;
-//! * [`metrics`] — small latency/throughput helpers used by the bench harness.
+//! * [`metrics`] — small latency/throughput helpers used by the bench harness;
+//! * [`invariants`] — the runtime invariant registry behind the
+//!   [`invariant!`](crate::invariant) macro (the `invariants` feature).
 
 pub mod apply;
 pub mod clock;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod invariants;
 pub mod lsn;
 pub mod metrics;
 pub mod page;

@@ -11,7 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A log sequence number. `Lsn::ZERO` sorts before every real record; the
 /// first record a database produces has LSN 1.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Lsn(pub u64);
 
 impl Lsn {

@@ -47,7 +47,7 @@ impl LatencyRecorder {
             p50_us: pct(0.50),
             p95_us: pct(0.95),
             p99_us: pct(0.99),
-            max_us: *s.last().unwrap(),
+            max_us: s.last().copied().unwrap_or(0),
         })
     }
 

@@ -120,13 +120,17 @@ impl PageBuf {
     }
 
     fn u16_at(&self, off: usize) -> u16 {
-        u16::from_le_bytes(self.data[off..off + 2].try_into().unwrap())
+        let mut w = [0u8; 2];
+        w.copy_from_slice(&self.data[off..off + 2]);
+        u16::from_le_bytes(w)
     }
     fn put_u16(&mut self, off: usize, v: u16) {
         self.data[off..off + 2].copy_from_slice(&v.to_le_bytes());
     }
     fn u64_at(&self, off: usize) -> u64 {
-        u64::from_le_bytes(self.data[off..off + 8].try_into().unwrap())
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&self.data[off..off + 8]);
+        u64::from_le_bytes(w)
     }
     fn put_u64(&mut self, off: usize, v: u64) {
         self.data[off..off + 8].copy_from_slice(&v.to_le_bytes());
@@ -293,7 +297,8 @@ impl PageBuf {
         // Shift the slot directory.
         let dir_start = HEADER_SIZE + idx * SLOT_SIZE;
         let dir_end = HEADER_SIZE + n * SLOT_SIZE;
-        self.data.copy_within(dir_start..dir_end, dir_start + SLOT_SIZE);
+        self.data
+            .copy_within(dir_start..dir_end, dir_start + SLOT_SIZE);
         self.set_slot(idx, off, cell_len);
         self.set_nslots(n + 1);
         Ok(())
@@ -308,7 +313,8 @@ impl PageBuf {
         }
         let dir_start = HEADER_SIZE + (idx + 1) * SLOT_SIZE;
         let dir_end = HEADER_SIZE + n * SLOT_SIZE;
-        self.data.copy_within(dir_start..dir_end, dir_start - SLOT_SIZE);
+        self.data
+            .copy_within(dir_start..dir_end, dir_start - SLOT_SIZE);
         self.set_nslots(n - 1);
         Ok(())
     }
@@ -422,7 +428,8 @@ mod tests {
     fn update_value_in_place_and_grow() {
         let mut p = leaf();
         p.insert(0, b"k", b"small").unwrap();
-        p.update_value(0, b"a much longer value than before").unwrap();
+        p.update_value(0, b"a much longer value than before")
+            .unwrap();
         assert_eq!(p.value(0).unwrap(), b"a much longer value than before");
         assert_eq!(p.key(0).unwrap(), b"k");
         assert_eq!(p.nslots(), 1);

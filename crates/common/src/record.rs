@@ -236,7 +236,13 @@ impl LogRecordGroup {
 
     /// Size of the encoded group in bytes.
     pub fn encoded_len(&self) -> usize {
-        4 + 8 + 4 + self.records.iter().map(LogRecord::encoded_len).sum::<usize>()
+        4 + 8
+            + 4
+            + self
+                .records
+                .iter()
+                .map(LogRecord::encoded_len)
+                .sum::<usize>()
     }
 
     /// Appends the wire encoding of the group to `out`.
@@ -317,8 +323,16 @@ mod tests {
             LogRecord::new(Lsn(4), PageId(5), RecordBody::Remove { idx: 0 }),
             LogRecord::new(Lsn(5), PageId(5), RecordBody::TruncateFrom { idx: 0 }),
             LogRecord::new(Lsn(6), PageId(5), RecordBody::SetLinks { next: 9, prev: 3 }),
-            LogRecord::new(Lsn(7), PageId::CONTROL, RecordBody::TxnCommit { txn: TxnId(42) }),
-            LogRecord::new(Lsn(8), PageId::CONTROL, RecordBody::TxnAbort { txn: TxnId(43) }),
+            LogRecord::new(
+                Lsn(7),
+                PageId::CONTROL,
+                RecordBody::TxnCommit { txn: TxnId(42) },
+            ),
+            LogRecord::new(
+                Lsn(8),
+                PageId::CONTROL,
+                RecordBody::TxnAbort { txn: TxnId(43) },
+            ),
         ]
     }
 

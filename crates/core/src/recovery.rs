@@ -84,10 +84,10 @@ impl RecoveryService {
                     }
                     // Rebuild every slice replica the node hosted (§5.2).
                     for key in sal.pages.slices() {
-                        if sal.pages.replicas_of(key).contains(&node) {
-                            if sal.pages.rebuild_replica(key, node, sal.me).is_ok() {
-                                report.slices_rebuilt += 1;
-                            }
+                        if sal.pages.replicas_of(key).contains(&node)
+                            && sal.pages.rebuild_replica(key, node, sal.me).is_ok()
+                        {
+                            report.slices_rebuilt += 1;
                         }
                     }
                     sal.refresh_placement();
@@ -108,7 +108,10 @@ impl RecoveryService {
         for key in sal.stalled_slices(sal.cfg.lag_repair_timeout_us) {
             report.gossip_triggered += 1;
             sal.trigger_gossip(key);
-            if !sal.stalled_slices(sal.cfg.lag_repair_timeout_us).contains(&key) {
+            if !sal
+                .stalled_slices(sal.cfg.lag_repair_timeout_us)
+                .contains(&key)
+            {
                 continue;
             }
             // Probe missing ranges on all replicas; any range missing from
@@ -129,10 +132,10 @@ impl RecoveryService {
             // A replica can also simply be behind with no pending fragment
             // at all (it was down during the sends); resending covers that
             // case too.
-            if missing_everywhere || !all_ranges.iter().any(|r| r.is_empty()) {
-                if sal.repair_slice_from_logstores(key).unwrap_or(0) > 0 {
-                    report.holes_resent += 1;
-                }
+            if (missing_everywhere || !all_ranges.iter().any(|r| r.is_empty()))
+                && sal.repair_slice_from_logstores(key).unwrap_or(0) > 0
+            {
+                report.holes_resent += 1;
             }
         }
 

@@ -266,6 +266,12 @@ impl Sal {
             g.encode_into(&mut buf);
         }
         // Step 2-3: durable on all Log Store replicas == commit point.
+        taurus_common::invariant!(
+            "log-flush-monotonic",
+            end >= first && first > self.durable_lsn.get(),
+            "flush [{first}..{end}] does not extend durable {}",
+            self.durable_lsn.get()
+        );
         self.stream.append_group(buf.freeze(), first, end)?;
         self.durable_lsn.advance(end);
         self.stats.log_flushes.inc();
@@ -275,7 +281,9 @@ impl Sal {
             for rec in g.records {
                 let key = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
                 self.ensure_slice_locked(st, key)?;
-                let slice = st.slices.get_mut(&key).expect("just ensured");
+                let slice = st.slices.get_mut(&key).ok_or_else(|| {
+                    TaurusError::Internal(format!("slice {key} vanished after ensure"))
+                })?;
                 if slice.buffer.is_empty() {
                     slice.buffer_opened_us = self.clock.now_us();
                 }
@@ -369,7 +377,9 @@ impl Sal {
     /// background pool (Step 4; SAL will consider it safe after ONE ack —
     /// Step 5).
     fn flush_slice_locked(&self, st: &mut SalState, key: SliceKey) {
-        let Some(slice) = st.slices.get_mut(&key) else { return };
+        let Some(slice) = st.slices.get_mut(&key) else {
+            return;
+        };
         if slice.buffer.is_empty() {
             return;
         }
@@ -389,10 +399,24 @@ impl Sal {
     /// Ack handler: first-replica acknowledgment releases the buffer and
     /// can advance the CV-LSN; every ack updates the piggybacked persistent
     /// LSN (§4.3).
-    pub(crate) fn on_write_ack(&self, key: SliceKey, node: NodeId, frag_last: Lsn, persistent: Lsn) {
+    pub(crate) fn on_write_ack(
+        &self,
+        key: SliceKey,
+        node: NodeId,
+        frag_last: Lsn,
+        persistent: Lsn,
+    ) {
         let mut st = self.state.lock();
         let now = self.clock.now_us();
         if let Some(slice) = st.slices.get_mut(&key) {
+            // A slice write can only be acked after its records were made
+            // durable on the Log Stores (step 2-3 precedes step 4).
+            taurus_common::invariant!(
+                "slice-ack-behind-durable",
+                frag_last <= self.durable_lsn.get(),
+                "{key}: ack {frag_last} past durable {}",
+                self.durable_lsn.get()
+            );
             slice.acked_lsn = slice.acked_lsn.max(frag_last);
             let prev = slice
                 .replica_persistent
@@ -418,7 +442,18 @@ impl Sal {
             if !satisfied {
                 break;
             }
-            let done = st.pending.pop_front().expect("front exists");
+            let Some(done) = st.pending.pop_front() else {
+                break;
+            };
+            // Quorum-before-ack: the CV-LSN (what replicas may read up to)
+            // never overtakes the commit point.
+            taurus_common::invariant!(
+                "quorum-before-ack",
+                done.end_lsn <= self.durable_lsn.get(),
+                "cv {} advancing past durable {}",
+                done.end_lsn,
+                self.durable_lsn.get()
+            );
             self.cv_lsn.advance(done.end_lsn);
         }
     }
@@ -673,6 +708,15 @@ impl Sal {
             };
             (st.slices.keys().copied().collect::<Vec<_>>(), capped)
         };
+        // Never recycle versions a reader could still request: the broadcast
+        // recycle LSN derives from replica read views, all capped at the
+        // durable watermark.
+        taurus_common::invariant!(
+            "recycle-below-durable",
+            capped <= self.durable_lsn.get(),
+            "recycle {capped} past durable {}",
+            self.durable_lsn.get()
+        );
         for key in keys {
             self.pages.set_recycle_lsn(key, self.me, capped);
         }

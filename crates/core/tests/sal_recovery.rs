@@ -1,6 +1,9 @@
 //! Integration tests for the SAL write/read paths, CV-LSN semantics, log
 //! truncation, and the recovery scenarios of paper Fig. 4.
 
+// Test harness: panicking on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -385,8 +388,7 @@ fn sal_restart_recovery_redoes_missing_records() {
     for &r in &replicas {
         h.fabric.set_down(r);
     }
-    let mut records = Vec::new();
-    records.push(LogRecord::new(
+    let records = vec![LogRecord::new(
         h.lsns.alloc(),
         PageId(1),
         RecordBody::Insert {
@@ -394,7 +396,7 @@ fn sal_restart_recovery_redoes_missing_records() {
             key: Bytes::from_static(b"aa"),
             val: Bytes::from_static(b"11"),
         },
-    ));
+    )];
     let group = LogRecordGroup::new(DbId(1), records);
     let end = group.end_lsn();
     sal.log_group(group).unwrap();
@@ -435,7 +437,8 @@ fn sal_restart_recovery_redoes_missing_records() {
             val: Bytes::from_static(b"crash"),
         },
     );
-    sal2.log_group(LogRecordGroup::new(DbId(1), vec![rec])).unwrap();
+    sal2.log_group(LogRecordGroup::new(DbId(1), vec![rec]))
+        .unwrap();
     sal2.flush().unwrap();
     h.settle(&sal2);
     let key2 = SliceKey::new(DbId(1), PageId(2).slice(h.cfg.pages_per_slice));

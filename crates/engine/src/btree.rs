@@ -67,11 +67,14 @@ impl<'a> MutCtx<'a> {
 
     /// Working copy of a page, fetched on first touch.
     pub fn page(&mut self, id: PageId) -> Result<&mut PageBuf> {
-        if !self.pages.contains_key(&id) {
-            let buf = self.fetch.fetch(id)?;
-            self.pages.insert(id, (*buf).clone());
+        use std::collections::hash_map::Entry;
+        match self.pages.entry(id) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(v) => {
+                let buf = self.fetch.fetch(id)?;
+                Ok(v.insert((*buf).clone()))
+            }
         }
-        Ok(self.pages.get_mut(&id).expect("just inserted"))
     }
 
     /// Emits one record and applies it to the working copy.
@@ -313,13 +316,21 @@ impl BTree {
         }
     }
 
-    fn put_into(ctx: &mut MutCtx<'_>, page_id: PageId, key: &[u8], val: &[u8]) -> Result<PutResult> {
+    fn put_into(
+        ctx: &mut MutCtx<'_>,
+        page_id: PageId,
+        key: &[u8],
+        val: &[u8],
+    ) -> Result<PutResult> {
         let (page_type, route_child) = {
             let page = ctx.page(page_id)?;
             match page.page_type() {
                 PageType::Internal => {
                     let idx = Self::route(page, key)?;
-                    (PageType::Internal, Some(PageId(cell_u64(page.value(idx)?)?)))
+                    (
+                        PageType::Internal,
+                        Some(PageId(cell_u64(page.value(idx)?)?)),
+                    )
                 }
                 PageType::Leaf => (PageType::Leaf, None),
                 _ => return Err(TaurusError::PageCorrupt("unexpected page type in tree")),
@@ -363,14 +374,16 @@ impl BTree {
                 }
             }
             PageType::Internal => {
-                let child = route_child.expect("internal routes");
+                let child = route_child
+                    .ok_or(TaurusError::PageCorrupt("internal page has no route child"))?;
                 let mut result = Self::put_into(ctx, child, key, val)?;
-                if let PutOutcome::Split { sep, right } = std::mem::replace(&mut result.outcome, PutOutcome::Done)
+                if let PutOutcome::Split { sep, right } =
+                    std::mem::replace(&mut result.outcome, PutOutcome::Done)
                 {
                     // Insert the separator for the new right sibling here.
                     let page = ctx.page(page_id)?;
                     let idx = match page.search(&sep) {
-                        Ok(i) => i,  // duplicate separator: overwrite route
+                        Ok(i) => i, // duplicate separator: overwrite route
                         Err(i) => i,
                     };
                     if page.usable_space() < cell_need(&sep, &[0u8; 8]) {
@@ -419,9 +432,7 @@ impl BTree {
             let n = left.nslots();
             let mid = n / 2;
             let moved: Vec<(Vec<u8>, Vec<u8>)> = (mid..n)
-                .map(|i| {
-                    Ok((left.key(i)?.to_vec(), left.value(i)?.to_vec()))
-                })
+                .map(|i| Ok((left.key(i)?.to_vec(), left.value(i)?.to_vec())))
                 .collect::<Result<_>>()?;
             (
                 left.page_type(),
@@ -628,7 +639,12 @@ mod tests {
         let mut log: Vec<LogRecord> = Vec::new();
         for i in 0..800u32 {
             let k = format!("key{:05}", i);
-            log.extend(put(&pages, &lsns, k.as_bytes(), format!("val{i}").as_bytes()));
+            log.extend(put(
+                &pages,
+                &lsns,
+                k.as_bytes(),
+                format!("val{i}").as_bytes(),
+            ));
         }
         // Replay everything (insert order) on a fresh page map. We need the
         // bootstrap records as well, so rebuild them with the same LSNs the
@@ -641,7 +657,7 @@ mod tests {
         BTree::bootstrap(&mut bctx).unwrap();
         let bootstrap_records = bctx.records.clone();
         for rec in bootstrap_records.iter().chain(log.iter()) {
-            let page = replica.entry(rec.page).or_insert_with(PageBuf::new);
+            let page = replica.entry(rec.page).or_default();
             apply_record(page, rec).unwrap();
         }
         // Compare every page byte-for-byte.

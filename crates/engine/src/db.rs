@@ -248,7 +248,7 @@ impl TaurusDb {
             while !stop2.load(Ordering::Relaxed) {
                 db.maintain();
                 beats += 1;
-                if beats % 64 == 0 {
+                if beats.is_multiple_of(64) {
                     let _ = db.run_recovery_round();
                 }
                 std::thread::sleep(std::time::Duration::from_micros(beat_us));

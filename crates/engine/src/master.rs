@@ -182,9 +182,8 @@ impl MasterEngine {
         let beat = self.maintain_beats.fetch_add(1, Ordering::Relaxed);
         // The clean sweep scans the whole pool under its lock; doing it on
         // every beat would contend with the read hot path, so amortize it.
-        if beat % 16 == 0 {
-            self.pool
-                .mark_clean_upto(&|p, l| self.sal.can_evict(p, l));
+        if beat.is_multiple_of(16) {
+            self.pool.mark_clean_upto(&|p, l| self.sal.can_evict(p, l));
             if let Some(min_tv) = self.bulletin.min_replica_tv() {
                 self.sal.set_recycle_lsn(min_tv);
             }

@@ -87,12 +87,7 @@ impl EnginePool {
     /// dirty-page rule via `can_evict(page, lsn)`. Dirty frames that cannot
     /// be evicted are skipped; the pool may temporarily exceed capacity when
     /// everything is pinned by the rule (the paper's guarantee demands it).
-    pub fn put(
-        &self,
-        page: PageId,
-        frame: Frame,
-        can_evict: &dyn Fn(PageId, Lsn) -> bool,
-    ) {
+    pub fn put(&self, page: PageId, frame: Frame, can_evict: &dyn Fn(PageId, Lsn) -> bool) {
         let mut guard = self.frames.lock();
         let (frames, tick) = &mut *guard;
         *tick += 1;

@@ -119,7 +119,11 @@ impl ReplicaEngine {
         // Discover new PLogs, then tail incrementally.
         self.stream.refresh()?;
         let mut cursor = self.cursor.lock();
-        let groups = self.stream.read_tail(&mut cursor)?;
+        // The horizon caps the read: groups past it stay unconsumed in the
+        // Log Stores (the cursor stops at their boundary), so a later poll
+        // picks them up once the horizon advances. Reading them here and
+        // dropping them would lose them forever — the cursor never re-reads.
+        let groups = self.stream.read_tail(&mut cursor, horizon)?;
         let mut applied = 0usize;
         for group in groups {
             let end = group.end_lsn();
@@ -147,13 +151,17 @@ impl ReplicaEngine {
                     }
                 }
             }
-            // The visible LSN moves only at group boundaries (§6).
+            // The visible LSN moves only at group boundaries (§6) and never
+            // past the horizon — read_tail already stopped there.
+            taurus_common::invariant!(
+                "replica-visible-capped",
+                end <= horizon,
+                "replica {} advancing visible to {end} past horizon {horizon}",
+                self.id
+            );
             self.visible_lsn.advance(end);
             self.groups_applied.fetch_add(1, Ordering::Relaxed);
             applied += 1;
-            if end >= horizon {
-                break;
-            }
         }
         Ok(applied)
     }

@@ -1,6 +1,9 @@
 //! End-to-end tests of the full Taurus stack through the public engine API:
 //! master transactions, read replicas, crash recovery, fail-over.
 
+// Test harness: panicking on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use taurus_common::clock::ManualClock;
@@ -226,8 +229,11 @@ fn master_crash_recovery_preserves_all_committed_data() {
         let master = db.master();
         for i in 0..200u32 {
             let mut t = master.begin();
-            t.put(format!("key{i:05}").as_bytes(), format!("val{i}").as_bytes())
-                .unwrap();
+            t.put(
+                format!("key{i:05}").as_bytes(),
+                format!("val{i}").as_bytes(),
+            )
+            .unwrap();
             t.commit().unwrap();
         }
     }
@@ -290,7 +296,10 @@ fn replica_promotion_takes_over_writes() {
     let mut t = new_master.begin();
     t.put(b"after", b"promotion").unwrap();
     t.commit().unwrap();
-    assert_eq!(new_master.get(b"after").unwrap(), Some(b"promotion".to_vec()));
+    assert_eq!(
+        new_master.get(b"after").unwrap(),
+        Some(b"promotion".to_vec())
+    );
     // The remaining replica follows the new master.
     settle(&db);
     let replicas = db.replicas();

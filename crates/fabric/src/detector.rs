@@ -71,10 +71,8 @@ impl FailureDetector {
                             events.push(FailureEvent::ShortTermFailure(node));
                         }
                     }
-                    Some(NodeStatus::Up) => {
-                        if self.reported_down.remove(&node) {
-                            events.push(FailureEvent::Recovered(node));
-                        }
+                    Some(NodeStatus::Up) if self.reported_down.remove(&node) => {
+                        events.push(FailureEvent::Recovered(node));
                     }
                     _ => {}
                 }

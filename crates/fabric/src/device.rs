@@ -46,7 +46,10 @@ impl std::fmt::Debug for StorageDevice {
         f.debug_struct("StorageDevice")
             .field("len", &self.len())
             .field("append_ios", &self.append_ios.load(Ordering::Relaxed))
-            .field("random_write_ios", &self.random_write_ios.load(Ordering::Relaxed))
+            .field(
+                "random_write_ios",
+                &self.random_write_ios.load(Ordering::Relaxed),
+            )
             .field("read_ios", &self.read_ios.load(Ordering::Relaxed))
             .finish()
     }
@@ -119,7 +122,8 @@ impl StorageDevice {
     pub fn append(&self, data: &[u8]) -> Result<u64> {
         self.charge(self.profile.append_us);
         self.append_ios.fetch_add(1, Ordering::Relaxed);
-        self.appended_bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.appended_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         let mut backend = self.backend.lock();
         match &mut *backend {
             Backend::Memory(buf) => {
@@ -177,7 +181,9 @@ impl StorageDevice {
                 }
                 Ok(buf[offset as usize..end].to_vec())
             }
-            Backend::File { file, len: flen, .. } => {
+            Backend::File {
+                file, len: flen, ..
+            } => {
                 if offset + len as u64 > *flen {
                     return Err(TaurusError::Io(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
@@ -291,8 +297,7 @@ mod tests {
     #[test]
     fn file_backend_roundtrip_and_cleanup() {
         let clock = ManualClock::shared();
-        let dev =
-            StorageDevice::in_temp_file(clock, StorageProfile::instant(), "test").unwrap();
+        let dev = StorageDevice::in_temp_file(clock, StorageProfile::instant(), "test").unwrap();
         dev.append(b"persist me").unwrap();
         dev.write_at(0, b"P").unwrap();
         assert_eq!(dev.read(0, 10).unwrap(), b"Persist me");

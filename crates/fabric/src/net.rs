@@ -25,7 +25,9 @@ pub enum NodeStatus {
     Up,
     /// Down since the given fabric time (µs). The failure detector uses the
     /// timestamp to distinguish short-term from long-term failures.
-    Down { since_us: u64 },
+    Down {
+        since_us: u64,
+    },
     /// Removed from the cluster after a long-term failure; never comes back
     /// under the same id.
     Decommissioned,
@@ -184,7 +186,11 @@ impl Fabric {
         if self.profile.jitter_us == 0 {
             base
         } else {
-            base + self.inner.rng.lock().random_range(0..=self.profile.jitter_us)
+            base + self
+                .inner
+                .rng
+                .lock()
+                .random_range(0..=self.profile.jitter_us)
         }
     }
 
@@ -324,7 +330,9 @@ mod tests {
         let (f, _) = test_fabric();
         let nodes = f.add_nodes(NodeKind::LogStore, 10);
         f.set_down(nodes[0]);
-        let picked = f.pick_nodes(NodeKind::LogStore, 3, &[nodes[1], nodes[2]]).unwrap();
+        let picked = f
+            .pick_nodes(NodeKind::LogStore, 3, &[nodes[1], nodes[2]])
+            .unwrap();
         assert_eq!(picked.len(), 3);
         let mut uniq = picked.clone();
         uniq.sort_unstable();
@@ -341,7 +349,10 @@ mod tests {
         f.add_nodes(NodeKind::LogStore, 2);
         assert!(matches!(
             f.pick_nodes(NodeKind::LogStore, 3, &[]),
-            Err(TaurusError::InsufficientHealthyNodes { needed: 3, available: 2 })
+            Err(TaurusError::InsufficientHealthyNodes {
+                needed: 3,
+                available: 2
+            })
         ));
     }
 
@@ -351,7 +362,9 @@ mod tests {
             let clock = ManualClock::shared();
             let f = Fabric::new(clock, NetworkProfile::instant(), seed);
             f.add_nodes(NodeKind::LogStore, 20);
-            (0..5).map(|_| f.pick_nodes(NodeKind::LogStore, 3, &[]).unwrap()).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| f.pick_nodes(NodeKind::LogStore, 3, &[]).unwrap())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

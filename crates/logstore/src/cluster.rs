@@ -77,7 +77,11 @@ impl LogStoreCluster {
     }
 
     /// Spawns `n` servers.
-    pub fn spawn_servers(&self, n: usize, profile: taurus_common::config::StorageProfile) -> Vec<NodeId> {
+    pub fn spawn_servers(
+        &self,
+        n: usize,
+        profile: taurus_common::config::StorageProfile,
+    ) -> Vec<NodeId> {
         (0..n).map(|_| self.spawn_server(profile)).collect()
     }
 
@@ -115,7 +119,9 @@ impl LogStoreCluster {
     /// Creates a PLog replicated on `self.replicas` healthy servers chosen by
     /// the cluster manager.
     pub fn create_plog(&self, id: PLogId, from: NodeId) -> Result<Vec<NodeId>> {
-        let nodes = self.fabric.pick_nodes(NodeKind::LogStore, self.replicas, &[])?;
+        let nodes = self
+            .fabric
+            .pick_nodes(NodeKind::LogStore, self.replicas, &[])?;
         for &n in &nodes {
             let server = self.server(n)?;
             self.fabric.call(from, n, || server.create_plog(id))?;
@@ -158,7 +164,12 @@ impl LogStoreCluster {
             if let Some(meta) = self.directory.write().get_mut(&id) {
                 meta.committed_len += data.len() as u64;
             }
-            return results.into_iter().next().expect("non-empty replica set");
+            return match results.into_iter().next() {
+                Some(r) => r,
+                None => Err(TaurusError::Internal(format!(
+                    "append to {id} had no replicas"
+                ))),
+            };
         }
         // Partial failure: seal everywhere reachable so the failed write can
         // never be half-visible, then tell the writer to move on.
@@ -240,11 +251,9 @@ impl LogStoreCluster {
             let mut content: Option<(Bytes, bool)> = None;
             for &s in &survivors {
                 let Ok(server) = self.server(s) else { continue };
-                let read = self
-                    .fabric
-                    .call(from, s, || -> Result<(Bytes, bool)> {
-                        Ok((server.read_from(id, 0)?, server.is_sealed(id)?))
-                    });
+                let read = self.fabric.call(from, s, || -> Result<(Bytes, bool)> {
+                    Ok((server.read_from(id, 0)?, server.is_sealed(id)?))
+                });
                 if let Ok(Ok(c)) = read {
                     content = Some(c);
                     break;
@@ -259,7 +268,7 @@ impl LogStoreCluster {
                 .fabric
                 .pick_nodes(NodeKind::LogStore, 1, &nodes)?
                 .pop()
-                .expect("pick_nodes(1) returned a node");
+                .ok_or_else(|| TaurusError::Internal("pick_nodes(1) returned no node".into()))?;
             let server = self.server(new_node)?;
             self.fabric.call(from, new_node, || -> Result<()> {
                 server.create_plog(id);
@@ -357,9 +366,14 @@ mod tests {
         ));
         // Survivors are sealed; even after the victim recovers, appends fail.
         fabric.set_up(victim);
-        assert!(c.append(id(1), me, Bytes::from_static(b"still fails")).is_err());
+        assert!(c
+            .append(id(1), me, Bytes::from_static(b"still fails"))
+            .is_err());
         // Reads still work and show only the acknowledged data.
-        assert_eq!(c.read_from(id(1), me, 0).unwrap(), Bytes::from_static(b"ok"));
+        assert_eq!(
+            c.read_from(id(1), me, 0).unwrap(),
+            Bytes::from_static(b"ok")
+        );
     }
 
     #[test]
@@ -396,7 +410,8 @@ mod tests {
     fn rereplication_restores_replica_count_and_content() {
         let (c, _, me) = cluster(6);
         c.create_plog(id(1), me).unwrap();
-        c.append(id(1), me, Bytes::from_static(b"precious")).unwrap();
+        c.append(id(1), me, Bytes::from_static(b"precious"))
+            .unwrap();
         c.seal(id(1), me);
         let old = c.replicas_of(id(1));
         let failed = old[1];
@@ -411,7 +426,10 @@ mod tests {
         let added: Vec<_> = new.iter().filter(|n| !old.contains(n)).collect();
         assert_eq!(added.len(), 1);
         let s = c.server_handle(*added[0]).unwrap();
-        assert_eq!(s.read_from(id(1), 0).unwrap(), Bytes::from_static(b"precious"));
+        assert_eq!(
+            s.read_from(id(1), 0).unwrap(),
+            Bytes::from_static(b"precious")
+        );
         assert!(s.is_sealed(id(1)).unwrap());
     }
 
@@ -428,7 +446,8 @@ mod tests {
         // The old plog may or may not be writable; a fresh plog must be.
         let fresh = id(2);
         c.create_plog(fresh, me).unwrap();
-        c.append(fresh, me, Bytes::from_static(b"still writable")).unwrap();
+        c.append(fresh, me, Bytes::from_static(b"still writable"))
+            .unwrap();
         // With only 2 healthy nodes, creation fails.
         c.fabric.set_down(nodes[7]);
         assert!(c.create_plog(id(3), me).is_err());

@@ -65,10 +65,7 @@ impl LogStoreServer {
         // PLogs is harmless.
         let dev_off = self.device.append(&data)?;
         let mut st = self.state.lock();
-        let replica = st
-            .plogs
-            .get_mut(&id)
-            .ok_or(TaurusError::PLogNotFound(id))?;
+        let replica = st.plogs.get_mut(&id).ok_or(TaurusError::PLogNotFound(id))?;
         if replica.sealed {
             return Err(TaurusError::PLogSealed(id));
         }
@@ -82,10 +79,7 @@ impl LogStoreServer {
     /// Seals a PLog replica: no further appends are accepted.
     pub fn seal(&self, id: PLogId) -> Result<()> {
         let mut st = self.state.lock();
-        let replica = st
-            .plogs
-            .get_mut(&id)
-            .ok_or(TaurusError::PLogNotFound(id))?;
+        let replica = st.plogs.get_mut(&id).ok_or(TaurusError::PLogNotFound(id))?;
         replica.sealed = true;
         Ok(())
     }
@@ -129,7 +123,9 @@ impl LogStoreServer {
             let seg_end = logical + len as u64;
             if seg_end > offset {
                 let skip = offset.saturating_sub(logical);
-                let data = self.device.read(dev_off + skip, (len as u64 - skip) as usize)?;
+                let data = self
+                    .device
+                    .read(dev_off + skip, (len as u64 - skip) as usize)?;
                 out.extend_from_slice(&data);
             }
             logical = seg_end;
@@ -192,7 +188,10 @@ mod tests {
         s.create_plog(id(1));
         assert_eq!(s.append(id(1), Bytes::from_static(b"aaa")).unwrap(), 0);
         assert_eq!(s.append(id(1), Bytes::from_static(b"bbbb")).unwrap(), 3);
-        assert_eq!(s.read_from(id(1), 0).unwrap(), Bytes::from_static(b"aaabbbb"));
+        assert_eq!(
+            s.read_from(id(1), 0).unwrap(),
+            Bytes::from_static(b"aaabbbb")
+        );
         assert_eq!(s.read_from(id(1), 3).unwrap(), Bytes::from_static(b"bbbb"));
         assert_eq!(s.plog_len(id(1)).unwrap(), 7);
     }
@@ -205,7 +204,10 @@ mod tests {
         s.append(id(1), Bytes::from_static(b"one")).unwrap();
         s.append(id(2), Bytes::from_static(b"TWO")).unwrap();
         s.append(id(1), Bytes::from_static(b"three")).unwrap();
-        assert_eq!(s.read_from(id(1), 0).unwrap(), Bytes::from_static(b"onethree"));
+        assert_eq!(
+            s.read_from(id(1), 0).unwrap(),
+            Bytes::from_static(b"onethree")
+        );
         assert_eq!(s.read_from(id(2), 0).unwrap(), Bytes::from_static(b"TWO"));
     }
 
@@ -256,7 +258,8 @@ mod tests {
         };
         let s = LogStoreServer::new(StorageDevice::in_memory(clock, profile), 1 << 20);
         s.create_plog(id(1));
-        s.append(id(1), Bytes::from_static(b"recently written")).unwrap();
+        s.append(id(1), Bytes::from_static(b"recently written"))
+            .unwrap();
         let (_, _, reads_before, _) = s.device_stats();
         let data = s.read_from(id(1), 0).unwrap();
         assert_eq!(data, Bytes::from_static(b"recently written"));

@@ -101,10 +101,15 @@ impl LogStream {
 
     /// Reopens an existing stream after a front-end restart by reading the
     /// newest snapshot from the metadata PLog.
-    pub fn open(cluster: LogStoreCluster, db: DbId, me: NodeId, plog_size_limit: usize) -> Result<LogStream> {
-        let meta_plog = cluster
-            .meta_plog(db)
-            .ok_or_else(|| TaurusError::Internal(format!("no metadata plog registered for {db}")))?;
+    pub fn open(
+        cluster: LogStoreCluster,
+        db: DbId,
+        me: NodeId,
+        plog_size_limit: usize,
+    ) -> Result<LogStream> {
+        let meta_plog = cluster.meta_plog(db).ok_or_else(|| {
+            TaurusError::Internal(format!("no metadata plog registered for {db}"))
+        })?;
         let raw = cluster.read_from(meta_plog, me, 0)?;
         let (entries, next_seq, incarnation) = decode_last_snapshot(raw)?;
         Ok(LogStream {
@@ -133,7 +138,10 @@ impl LogStream {
         // nodes, so repeated failure means the cluster is really out of
         // healthy capacity.
         for _ in 0..4 {
-            let entry = st.entries.last_mut().expect("stream always has a tail PLog");
+            let entry = st
+                .entries
+                .last_mut()
+                .ok_or_else(|| TaurusError::Internal("log stream has no tail PLog".into()))?;
             if entry.sealed {
                 self.roll_over_locked(&mut st)?;
                 continue;
@@ -141,7 +149,18 @@ impl LogStream {
             let id = entry.id;
             match self.cluster.append(id, self.me, data.clone()) {
                 Ok(_) => {
-                    let entry = st.entries.last_mut().unwrap();
+                    let entry = st.entries.last_mut().ok_or_else(|| {
+                        TaurusError::Internal("log stream has no tail PLog".into())
+                    })?;
+                    // Slice-log contiguity: successive appends to one PLog
+                    // carry strictly increasing, gap-free LSN ranges.
+                    taurus_common::invariant!(
+                        "plog-lsn-contiguous",
+                        !entry.last_lsn.is_valid() || first_lsn > entry.last_lsn,
+                        "append [{first_lsn}..{last_lsn}] overlaps tail {} of {}",
+                        entry.last_lsn,
+                        entry.id
+                    );
                     if !entry.first_lsn.is_valid() {
                         entry.first_lsn = first_lsn;
                     }
@@ -156,7 +175,9 @@ impl LogStream {
                 }
                 Err(_) => {
                     // Seal-and-switch (the cluster already sealed survivors).
-                    st.entries.last_mut().unwrap().sealed = true;
+                    if let Some(entry) = st.entries.last_mut() {
+                        entry.sealed = true;
+                    }
                     self.roll_over_locked(&mut st)?;
                 }
             }
@@ -279,10 +300,18 @@ impl LogStream {
     }
 
     /// Incremental tail read: returns every complete group appended since
-    /// the cursor's position and advances the cursor. Unlike
+    /// the cursor's position whose end LSN is `<= limit`, and advances the
+    /// cursor over exactly those groups. Unlike
     /// [`LogStream::read_groups_from`], this never re-reads bytes, so a
     /// replica tailing the log does O(new data) work per poll.
-    pub fn read_tail(&self, cursor: &mut TailCursor) -> Result<Vec<LogRecordGroup>> {
+    ///
+    /// Groups past `limit` are left *unconsumed*: the cursor stops at their
+    /// group boundary and a later call (with a higher limit) returns them.
+    /// This is what lets a read replica stop at the master's read horizon
+    /// without ever dropping log data — durable bytes may run ahead of the
+    /// horizon, and anything the cursor skipped would otherwise be lost
+    /// forever. Pass `Lsn(u64::MAX)` to read everything available.
+    pub fn read_tail(&self, cursor: &mut TailCursor, limit: Lsn) -> Result<Vec<LogRecordGroup>> {
         let entries: Vec<PLogEntry> = self.state.lock().entries.clone();
         let mut groups = Vec::new();
         // Locate the cursor's PLog; if it was truncated away, jump to the
@@ -298,9 +327,20 @@ impl LogStream {
             let entry = &entries[idx];
             cursor.plog = Some(entry.id);
             let data = self.cluster.read_from(entry.id, self.me, cursor.offset)?;
-            if !data.is_empty() {
-                cursor.offset += data.len() as u64;
-                groups.extend(LogRecordGroup::decode_all(data)?);
+            let mut buf = data.clone();
+            let mut deferred = false;
+            while buf.has_remaining() {
+                let before = buf.remaining();
+                let group = LogRecordGroup::decode(&mut buf)?;
+                if group.end_lsn() > limit {
+                    deferred = true;
+                    break;
+                }
+                cursor.offset += (before - buf.remaining()) as u64;
+                groups.push(group);
+            }
+            if deferred {
+                break;
             }
             // Move to the next PLog only once this one is sealed and fully
             // consumed; the unsealed tail may still grow.
@@ -376,8 +416,8 @@ mod tests {
     use super::*;
     use taurus_common::clock::ManualClock;
     use taurus_common::config::{NetworkProfile, StorageProfile};
-    use taurus_common::record::{LogRecord, RecordBody};
     use taurus_common::page::PageType;
+    use taurus_common::record::{LogRecord, RecordBody};
     use taurus_common::PageId;
     use taurus_fabric::{Fabric, NodeKind};
 
@@ -478,12 +518,14 @@ mod tests {
         let deleted = s.truncate_below(Lsn(7)).unwrap();
         assert!(deleted >= 1);
         let after = s.entries();
-        assert!(after.iter().all(|e| !e.sealed || e.last_lsn >= Lsn(7) || !e.last_lsn.is_valid()));
+        assert!(after
+            .iter()
+            .all(|e| !e.sealed || e.last_lsn >= Lsn(7) || !e.last_lsn.is_valid()));
         // Remaining log still serves the still-needed suffix.
         let groups = s.read_groups_from(Lsn(7)).unwrap();
         assert!(groups.iter().all(|g| g.end_lsn() >= Lsn(7)));
         // Deleted plogs are gone from the cluster directory too.
-        assert_eq!(cluster.plog_count() as i64 >= after.len() as i64, true);
+        assert!(cluster.plog_count() >= after.len());
     }
 
     #[test]
@@ -509,6 +551,50 @@ mod tests {
         // All groups are still readable after reopen.
         let groups = s2.read_groups_from(Lsn(1)).unwrap();
         assert_eq!(groups.len(), 8);
+    }
+
+    #[test]
+    fn tail_cursor_defers_groups_past_the_limit() {
+        let (s, _, _) = setup(1 << 20);
+        let (d1, f1, l1) = group(1..=4);
+        let (d2, f2, l2) = group(5..=6);
+        s.append_group(d1, f1, l1).unwrap();
+        s.append_group(d2, f2, l2).unwrap();
+        let mut cursor = TailCursor::default();
+        // Limit mid-stream: only the first group is consumed; the second
+        // must NOT be skipped — it stays in the plog for the next call.
+        let first = s.read_tail(&mut cursor, Lsn(4)).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].end_lsn(), Lsn(4));
+        // Same limit again: nothing new, cursor does not move or re-read.
+        assert!(s.read_tail(&mut cursor, Lsn(4)).unwrap().is_empty());
+        // Raised limit: the deferred group is delivered exactly once.
+        let second = s.read_tail(&mut cursor, Lsn(u64::MAX)).unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].end_lsn(), Lsn(6));
+        assert!(s.read_tail(&mut cursor, Lsn(u64::MAX)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tail_cursor_follows_rollover_across_sealed_plogs() {
+        let (s, _, _) = setup(96);
+        let mut lsn = 1u64;
+        for _ in 0..6 {
+            let (d, f, l) = group(lsn..=lsn + 1);
+            s.append_group(d, f, l).unwrap();
+            lsn += 2;
+        }
+        assert!(s.entries().len() > 1, "expected rollover");
+        let mut cursor = TailCursor::default();
+        let groups = s.read_tail(&mut cursor, Lsn(u64::MAX)).unwrap();
+        assert_eq!(groups.len(), 6);
+        assert_eq!(groups.last().unwrap().end_lsn(), Lsn(12));
+        // Appends after the cursor caught up are picked up incrementally.
+        let (d, f, l) = group(13..=14);
+        s.append_group(d, f, l).unwrap();
+        let more = s.read_tail(&mut cursor, Lsn(u64::MAX)).unwrap();
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].first_lsn(), Lsn(13));
     }
 
     #[test]

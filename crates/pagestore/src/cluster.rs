@@ -120,7 +120,9 @@ impl PageStoreCluster {
         if let Some(existing) = self.placement.read().get(&key) {
             return Ok(existing.clone());
         }
-        let nodes = self.fabric.pick_nodes(NodeKind::PageStore, self.replicas, &[])?;
+        let nodes = self
+            .fabric
+            .pick_nodes(NodeKind::PageStore, self.replicas, &[])?;
         for &n in &nodes {
             let server = self.server(n)?;
             self.fabric.call(from, n, || server.create_slice(key))?;
@@ -160,7 +162,9 @@ impl PageStoreCluster {
     pub fn set_recycle_lsn(&self, key: SliceKey, from: NodeId, lsn: Lsn) {
         for n in self.replicas_of(key) {
             if let Ok(server) = self.server(n) {
-                let _ = self.fabric.call(from, n, || server.set_recycle_lsn(key, lsn));
+                let _ = self
+                    .fabric
+                    .call(from, n, || server.set_recycle_lsn(key, lsn));
             }
         }
     }
@@ -184,13 +188,14 @@ impl PageStoreCluster {
         let nodes = self.replicas_of(key);
         let mut transferred = 0usize;
         // Gather fragment inventories and persistent LSNs from live replicas.
-        let mut inventories: HashMap<NodeId, (Lsn, Vec<(Lsn, Lsn, Lsn)>)> = HashMap::new();
+        type ReplicaInventory = (Lsn, Vec<(Lsn, Lsn, Lsn)>);
+        let mut inventories: HashMap<NodeId, ReplicaInventory> = HashMap::new();
         for &n in &nodes {
             if !self.fabric.is_up(n) {
                 continue;
             }
             let Ok(server) = self.server(n) else { continue };
-            let inv = self.fabric.call(n, n, || -> Result<(Lsn, Vec<(Lsn, Lsn, Lsn)>)> {
+            let inv = self.fabric.call(n, n, || -> Result<ReplicaInventory> {
                 Ok((server.get_persistent_lsn(key)?, server.inventory(key)?))
             });
             if let Ok(Ok(inv)) = inv {
@@ -210,12 +215,16 @@ impl PageStoreCluster {
                         continue;
                     }
                     // dst pulls the missing fragment from src.
-                    let Ok(src_server) = self.server(src) else { continue };
+                    let Ok(src_server) = self.server(src) else {
+                        continue;
+                    };
                     let frag = self
                         .fabric
                         .call(dst, src, || src_server.get_fragment(key, first, last));
                     if let Ok(Ok(frag)) = frag {
-                        let Ok(dst_server) = self.server(dst) else { continue };
+                        let Ok(dst_server) = self.server(dst) else {
+                            continue;
+                        };
                         if dst_server.write_logs(&frag).is_ok() {
                             have_set.insert((first, last));
                             transferred += 1;
@@ -257,7 +266,7 @@ impl PageStoreCluster {
             .fabric
             .pick_nodes(NodeKind::PageStore, 1, &nodes)?
             .pop()
-            .expect("pick_nodes(1)");
+            .ok_or_else(|| TaurusError::Internal("pick_nodes(1) returned no node".into()))?;
         let new_server = self.server(new_node)?;
         let (plsn, rlsn) = (export.persistent_lsn, export.recycle_lsn);
         self.fabric.call(from, new_node, || {
@@ -316,7 +325,7 @@ impl PageStoreCluster {
                         idle_spins = 0;
                     } else {
                         idle_spins += 1;
-                        if idle_spins % 64 == 0 {
+                        if idle_spins.is_multiple_of(64) {
                             let _ = server.flush_dirty();
                         }
                         std::thread::sleep(std::time::Duration::from_micros(50));
@@ -472,7 +481,9 @@ mod tests {
         assert!(!c.replicas_of(key()).contains(&failed));
         assert!(c.replicas_of(key()).contains(&new_node));
         // The rebuilt replica serves reads at the donor's persistent LSN.
-        let (page, lsn) = c.read_page_from(new_node, me, key(), PageId(7), Lsn(2)).unwrap();
+        let (page, lsn) = c
+            .read_page_from(new_node, me, key(), PageId(7), Lsn(2))
+            .unwrap();
         assert_eq!(lsn, Lsn(2));
         assert_eq!(page.nslots(), 1);
     }

@@ -200,7 +200,10 @@ mod tests {
     fn vp(lsn: u64, off: u64) -> VersionPtr {
         VersionPtr {
             lsn: Lsn(lsn),
-            loc: DiskLoc { offset: off, len: 8192 },
+            loc: DiskLoc {
+                offset: off,
+                len: 8192,
+            },
         }
     }
 

@@ -35,7 +35,10 @@ impl SliceFragment {
             "fragment records out of LSN order"
         );
         debug_assert!(
-            records.first().map(|r| r.lsn > prev_last_lsn).unwrap_or(true),
+            records
+                .first()
+                .map(|r| r.lsn > prev_last_lsn)
+                .unwrap_or(true),
             "fragment records at or below the chain link"
         );
         SliceFragment {

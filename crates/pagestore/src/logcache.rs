@@ -75,7 +75,12 @@ impl LogCache {
     /// Loads a backlog fragment into the cache once space allows (the caller
     /// re-reads the records from disk). Returns `false` if it still doesn't
     /// fit.
-    pub fn load_from_backlog(&self, key: FragKey, records: Arc<Vec<LogRecord>>, bytes: usize) -> bool {
+    pub fn load_from_backlog(
+        &self,
+        key: FragKey,
+        records: Arc<Vec<LogRecord>>,
+        bytes: usize,
+    ) -> bool {
         let mut inner = self.inner.lock();
         if inner.resident_bytes + bytes > self.capacity_bytes {
             return false;
@@ -91,10 +96,9 @@ impl LogCache {
     /// policy). Does not remove it; call [`LogCache::complete`] afterwards.
     pub fn next_for_consolidation(&self) -> Option<(FragKey, Arc<Vec<LogRecord>>)> {
         let inner = self.inner.lock();
-        inner
-            .queue
-            .front()
-            .map(|k| (*k, inner.resident.get(k).expect("queued => resident").clone()))
+        let key = *inner.queue.front()?;
+        let records = inner.resident.get(&key)?.clone();
+        Some((key, records))
     }
 
     /// Reads the records of a resident fragment (consolidation fast path).

@@ -130,7 +130,9 @@ impl PagePool {
                     .map(|(k, _)| *k),
             };
             let Some(key) = victim else { break };
-            let e = inner.map.remove(&key).expect("victim exists");
+            let Some(e) = inner.map.remove(&key) else {
+                break;
+            };
             if e.page.dirty {
                 flushed.push((key, e.page));
             }

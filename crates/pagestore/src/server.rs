@@ -21,9 +21,7 @@ use parking_lot::{Mutex, RwLock};
 
 use taurus_common::apply::apply_record;
 use taurus_common::metrics::Counter;
-use taurus_common::{
-    LogRecord, Lsn, PageBuf, PageId, Result, SliceKey, TaurusError,
-};
+use taurus_common::{LogRecord, Lsn, PageBuf, PageId, Result, SliceKey, TaurusError};
 use taurus_fabric::StorageDevice;
 
 use crate::directory::{DiskLoc, LogDirectory, RecordPtr, VersionPtr};
@@ -167,8 +165,10 @@ impl PageStoreServer {
     /// §5.3). Returns the slice persistent LSN, which the SAL piggybacks.
     pub fn write_logs(&self, frag: &SliceFragment) -> Result<Lsn> {
         let replica = self.replica(frag.slice)?;
+        let persistent_before;
         {
             let r = replica.lock();
+            persistent_before = r.persistent_lsn();
             if frag.last_lsn() <= r.persistent_lsn()
                 || r.has_equivalent(frag.first_lsn(), frag.last_lsn())
             {
@@ -205,6 +205,17 @@ impl PageStoreServer {
             self.log_cache
                 .admit((frag.slice, frag_id), records, frag.payload_bytes());
         }
+        // The persistent LSN is a watermark: ingesting a fragment never
+        // moves it backwards (out-of-order arrivals may park it, but it
+        // must not regress).
+        taurus_common::invariant!(
+            "persistent-lsn-monotonic",
+            r.persistent_lsn() >= persistent_before,
+            "{}: persistent regressed {} -> {}",
+            frag.slice,
+            persistent_before,
+            r.persistent_lsn()
+        );
         Ok(r.persistent_lsn())
     }
 
@@ -396,21 +407,15 @@ impl PageStoreServer {
         // Find the hottest page across all slices.
         let mut best: Option<(SliceKey, PageId, usize)> = None;
         for key in self.slice_keys() {
-            let Ok(replica) = self.replica(key) else { continue };
+            let Ok(replica) = self.replica(key) else {
+                continue;
+            };
             let persistent = replica.lock().persistent_lsn();
             let Ok(dir) = self.dir(key) else { continue };
             for page in dir.page_ids() {
                 if let Some(entry) = dir.get(page) {
-                    let consolidated = entry
-                        .versions
-                        .last()
-                        .map(|v| v.lsn)
-                        .unwrap_or(Lsn::ZERO);
-                    let pool_lsn = self
-                        .pool
-                        .get(key, page)
-                        .map(|p| p.lsn)
-                        .unwrap_or(Lsn::ZERO);
+                    let consolidated = entry.versions.last().map(|v| v.lsn).unwrap_or(Lsn::ZERO);
+                    let pool_lsn = self.pool.get(key, page).map(|p| p.lsn).unwrap_or(Lsn::ZERO);
                     let done = consolidated.max(pool_lsn);
                     let chain = entry
                         .records
@@ -427,7 +432,9 @@ impl PageStoreServer {
             // Nothing pending: fall back to completing covered fragments.
             return self.sweep_completed_fragments();
         };
-        let Ok(replica) = self.replica(key) else { return false };
+        let Ok(replica) = self.replica(key) else {
+            return false;
+        };
         let persistent = replica.lock().persistent_lsn();
         if self.consolidate_page(key, page, persistent).is_err() {
             return false;
@@ -716,7 +723,9 @@ mod tests {
         s.create_slice(key());
         let p = s.write_logs(&frag(0, vec![format_rec(1, 5)])).unwrap();
         assert_eq!(p, Lsn(1));
-        let p = s.write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")])).unwrap();
+        let p = s
+            .write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")]))
+            .unwrap();
         assert_eq!(p, Lsn(2));
     }
 
@@ -759,17 +768,16 @@ mod tests {
         s.create_slice(key());
         s.write_logs(&frag(0, vec![format_rec(1, 5)])).unwrap();
         // Fragment 2 arrives before fragment 1.
-        s.write_logs(&frag(2, vec![insert_rec(3, 5, "b", "2")])).unwrap();
+        s.write_logs(&frag(2, vec![insert_rec(3, 5, "b", "2")]))
+            .unwrap();
         assert_eq!(s.get_persistent_lsn(key()).unwrap(), Lsn(1));
-        assert_eq!(
-            s.missing_lsn_ranges(key()).unwrap(),
-            vec![(Lsn(1), Lsn(3))]
-        );
+        assert_eq!(s.missing_lsn_ranges(key()).unwrap(), vec![(Lsn(1), Lsn(3))]);
         // Consolidation gets through fragment 0 then stalls at the hole.
         s.consolidate_all();
         assert!(s.log_cache.queue_len() >= 1);
         // Fill the hole: everything consolidates.
-        s.write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")])).unwrap();
+        s.write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")]))
+            .unwrap();
         assert_eq!(s.get_persistent_lsn(key()).unwrap(), Lsn(3));
         s.consolidate_all();
         assert_eq!(s.log_cache.queue_len(), 0);
@@ -824,8 +832,10 @@ mod tests {
         let s = server();
         s.create_slice(key());
         s.write_logs(&frag(0, vec![format_rec(1, 5)])).unwrap();
-        s.write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")])).unwrap();
-        s.write_logs(&frag(2, vec![insert_rec(3, 5, "b", "2")])).unwrap();
+        s.write_logs(&frag(1, vec![insert_rec(2, 5, "a", "1")]))
+            .unwrap();
+        s.write_logs(&frag(2, vec![insert_rec(3, 5, "b", "2")]))
+            .unwrap();
         s.consolidate_all();
         s.flush_dirty().unwrap();
         s.set_recycle_lsn(key(), Lsn(3)).unwrap();
@@ -849,10 +859,7 @@ mod tests {
         // served from disk.
         s.consolidate_all();
         assert_eq!(s.get_fragment(key(), Lsn(1), Lsn(1)).unwrap(), f1);
-        assert_eq!(
-            s.inventory(key()).unwrap(),
-            vec![(Lsn(1), Lsn(1), Lsn(0))]
-        );
+        assert_eq!(s.inventory(key()).unwrap(), vec![(Lsn(1), Lsn(1), Lsn(0))]);
     }
 
     #[test]
@@ -911,7 +918,11 @@ mod tests {
         let s = server();
         let missing = SliceKey::new(DbId(9), SliceId(9));
         assert!(matches!(
-            s.write_logs(&SliceFragment::new(missing, Lsn::ZERO, vec![format_rec(1, 1)])),
+            s.write_logs(&SliceFragment::new(
+                missing,
+                Lsn::ZERO,
+                vec![format_rec(1, 1)]
+            )),
             Err(TaurusError::SliceNotFound(_))
         ));
         assert!(s.read_page(missing, PageId(1), Lsn(1)).is_err());

@@ -117,7 +117,9 @@ impl SliceReplica {
             let ext = self
                 .frags
                 .values()
-                .filter(|m| m.prev_last_lsn <= self.persistent_lsn && m.last_lsn > self.persistent_lsn)
+                .filter(|m| {
+                    m.prev_last_lsn <= self.persistent_lsn && m.last_lsn > self.persistent_lsn
+                })
                 .map(|m| m.last_lsn)
                 .max();
             match ext {
@@ -201,9 +203,8 @@ impl SliceReplica {
         let recycle = self.recycle_lsn;
         let referenced = self.directory.referenced_frag_ids();
         let before = self.frags.len();
-        self.frags.retain(|id, m| {
-            referenced.contains(id) || !(m.consolidated && m.last_lsn < recycle)
-        });
+        self.frags
+            .retain(|id, m| referenced.contains(id) || !(m.consolidated && m.last_lsn < recycle));
         before - self.frags.len()
     }
 
@@ -242,9 +243,15 @@ mod tests {
     fn persistent_lsn_advances_with_chained_fragments() {
         let mut r = replica();
         assert_eq!(r.persistent_lsn(), Lsn::ZERO);
-        assert!(matches!(r.ingest(meta(0, 1, 5)), IngestOutcome::Accepted(_)));
+        assert!(matches!(
+            r.ingest(meta(0, 1, 5)),
+            IngestOutcome::Accepted(_)
+        ));
         assert_eq!(r.persistent_lsn(), Lsn(5));
-        assert!(matches!(r.ingest(meta(5, 6, 9)), IngestOutcome::Accepted(_)));
+        assert!(matches!(
+            r.ingest(meta(5, 6, 9)),
+            IngestOutcome::Accepted(_)
+        ));
         assert_eq!(r.persistent_lsn(), Lsn(9));
     }
 
@@ -266,7 +273,10 @@ mod tests {
     #[test]
     fn duplicates_and_covered_fragments_are_rejected() {
         let mut r = replica();
-        assert!(matches!(r.ingest(meta(0, 1, 5)), IngestOutcome::Accepted(_)));
+        assert!(matches!(
+            r.ingest(meta(0, 1, 5)),
+            IngestOutcome::Accepted(_)
+        ));
         assert_eq!(r.ingest(meta(0, 1, 5)), IngestOutcome::Duplicate);
         // Entirely below persistent: covered.
         assert_eq!(r.ingest(meta(0, 1, 3)), IngestOutcome::Duplicate);
@@ -281,7 +291,10 @@ mod tests {
         // Recovery resends an overlapping fragment [3..9] linked below the
         // persistent LSN: it connects and bridges straight to the pending
         // fragment.
-        assert!(matches!(r.ingest(meta(2, 3, 9)), IngestOutcome::Accepted(_)));
+        assert!(matches!(
+            r.ingest(meta(2, 3, 9)),
+            IngestOutcome::Accepted(_)
+        ));
         assert_eq!(r.persistent_lsn(), Lsn(12));
     }
 
@@ -317,15 +330,15 @@ mod tests {
 
     #[test]
     fn rebuilding_replica_reflects_donor_horizon() {
-        let mut r = SliceReplica::new_rebuilding(
-            SliceKey::new(DbId(1), SliceId(0)),
-            Lsn(40),
-            Lsn(10),
-        );
+        let mut r =
+            SliceReplica::new_rebuilding(SliceKey::new(DbId(1), SliceId(0)), Lsn(40), Lsn(10));
         assert_eq!(r.persistent_lsn(), Lsn(40));
         assert!(r.rebuilding);
         // New fragments chained at the donor horizon extend normally.
-        assert!(matches!(r.ingest(meta(40, 41, 45)), IngestOutcome::Accepted(_)));
+        assert!(matches!(
+            r.ingest(meta(40, 41, 45)),
+            IngestOutcome::Accepted(_)
+        ));
         assert_eq!(r.persistent_lsn(), Lsn(45));
         // Fragments chained beyond it are pending (SAL will detect the
         // persistent-LSN regression and resend — Fig. 4(b)).
@@ -340,7 +353,10 @@ mod tests {
         r.ingest(meta(0, 1, 5));
         r.ingest(meta(5, 6, 9));
         let inv = r.inventory();
-        assert_eq!(inv, vec![(Lsn(1), Lsn(5), Lsn(0)), (Lsn(6), Lsn(9), Lsn(5))]);
+        assert_eq!(
+            inv,
+            vec![(Lsn(1), Lsn(5), Lsn(0)), (Lsn(6), Lsn(9), Lsn(5))]
+        );
         assert!(r.find_fragment(Lsn(1), Lsn(5)).is_some());
         assert!(r.find_fragment(Lsn(1), Lsn(9)).is_none());
     }

@@ -67,7 +67,9 @@ pub fn simulate_taurus(
     let mut read_failures = 0u64;
     for _ in 0..trials {
         // Write: any `log_replicas` healthy Log Stores anywhere suffice.
-        let healthy_logstores = (0..cluster_nodes).filter(|_| rng.random::<f64>() >= x).count() as u32;
+        let healthy_logstores = (0..cluster_nodes)
+            .filter(|_| rng.random::<f64>() >= x)
+            .count() as u32;
         if healthy_logstores < log_replicas {
             write_failures += 1;
         }

@@ -117,8 +117,16 @@ mod tests {
     fn approximations_match_paper_table1_formulas() {
         // Aurora: write ≈ 20x³, read ≈ 15x⁴.
         let aurora = TABLE1_ROWS[0];
-        assert!(close(approx_write(aurora, 0.1), 20.0 * 0.1f64.powi(3), 1e-12));
-        assert!(close(approx_read(aurora, 0.1), 15.0 * 0.1f64.powi(4), 1e-12));
+        assert!(close(
+            approx_write(aurora, 0.1),
+            20.0 * 0.1f64.powi(3),
+            1e-12
+        ));
+        assert!(close(
+            approx_read(aurora, 0.1),
+            15.0 * 0.1f64.powi(4),
+            1e-12
+        ));
         // PolarDB: both ≈ 3x².
         let polar = TABLE1_ROWS[1];
         assert!(close(approx_write(polar, 0.1), 3.0 * 0.01, 1e-12));
@@ -151,7 +159,8 @@ mod tests {
     fn taurus_read_always_at_least_as_good_as_3_replica_quorums() {
         for x in [0.15, 0.05, 0.01, 0.001] {
             let t = taurus_read_unavailability(x);
-            for cfg in [TABLE1_ROWS[1]] {
+            {
+                let cfg = TABLE1_ROWS[1];
                 assert!(
                     t <= quorum_read_unavailability(cfg, x) + 1e-15,
                     "x={x} {}",
@@ -159,7 +168,11 @@ mod tests {
                 );
             }
             // And matches RAID-1's read (both are x³).
-            assert!(close(t, quorum_read_unavailability(TABLE1_ROWS[2], x), 1e-9));
+            assert!(close(
+                t,
+                quorum_read_unavailability(TABLE1_ROWS[2], x),
+                1e-9
+            ));
         }
     }
 
@@ -169,7 +182,11 @@ mod tests {
             for x in [0.01, 0.001] {
                 let exact = quorum_write_unavailability(cfg, x);
                 let approx = approx_write(cfg, x);
-                assert!(close(exact, approx, 0.25), "{} x={x}: {exact} vs {approx}", cfg.label);
+                assert!(
+                    close(exact, approx, 0.25),
+                    "{} x={x}: {exact} vs {approx}",
+                    cfg.label
+                );
             }
         }
     }
@@ -182,7 +199,11 @@ mod tests {
                     quorum_write_unavailability(cfg, x),
                     quorum_read_unavailability(cfg, x),
                 ] {
-                    assert!((0.0..=1.0 + 1e-12).contains(&p), "{} x={x} p={p}", cfg.label);
+                    assert!(
+                        (0.0..=1.0 + 1e-12).contains(&p),
+                        "{} x={x} p={p}",
+                        cfg.label
+                    );
                 }
             }
             // At x = 1 everything is down.

@@ -5,11 +5,11 @@
 //! transactions per connection, reporting throughput and latency.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use taurus_common::clock::{ClockRef, SystemClock};
 use taurus_common::metrics::LatencyRecorder;
 use taurus_common::Result;
 
@@ -62,7 +62,8 @@ impl DriverReport {
     }
 }
 
-/// Runs `txns_per_conn` transactions on each of `connections` threads.
+/// Runs `txns_per_conn` transactions on each of `connections` threads,
+/// timing against the real clock.
 pub fn run_workload(
     executor: &dyn Executor,
     workload: &dyn Workload,
@@ -70,25 +71,47 @@ pub fn run_workload(
     txns_per_conn: u64,
     seed: u64,
 ) -> DriverReport {
+    run_workload_with_clock(
+        executor,
+        workload,
+        connections,
+        txns_per_conn,
+        seed,
+        SystemClock::shared(),
+    )
+}
+
+/// Same as [`run_workload`] but timing against a caller-supplied [`ClockRef`],
+/// so deterministic harnesses can drive the benchmark machinery on virtual
+/// time. All timestamps in the report come from this clock.
+pub fn run_workload_with_clock(
+    executor: &dyn Executor,
+    workload: &dyn Workload,
+    connections: usize,
+    txns_per_conn: u64,
+    seed: u64,
+    clock: ClockRef,
+) -> DriverReport {
     let latency = LatencyRecorder::new();
     let committed = AtomicU64::new(0);
     let ops = AtomicU64::new(0);
     let aborts = AtomicU64::new(0);
-    let start = Instant::now();
+    let start_us = clock.now_us();
     std::thread::scope(|scope| {
         for conn in 0..connections {
             let latency = &latency;
             let committed = &committed;
             let ops = &ops;
             let aborts = &aborts;
+            let clock = &clock;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ (conn as u64).wrapping_mul(0x9e37_79b9));
                 for _ in 0..txns_per_conn {
                     let txn = workload.next_txn(&mut rng);
-                    let t0 = Instant::now();
+                    let t0 = clock.now_us();
                     match executor.execute(&txn) {
                         Ok(()) => {
-                            latency.record(t0.elapsed().as_micros() as u64);
+                            latency.record(clock.now_us().saturating_sub(t0));
                             committed.fetch_add(1, Ordering::Relaxed);
                             ops.fetch_add(txn.ops.len() as u64, Ordering::Relaxed);
                         }
@@ -100,7 +123,7 @@ pub fn run_workload(
             });
         }
     });
-    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let wall = (clock.now_us().saturating_sub(start_us) as f64 / 1e6).max(1e-9);
     let committed = committed.load(Ordering::Relaxed);
     let summary = latency.summary();
     DriverReport {

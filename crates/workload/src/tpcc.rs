@@ -87,10 +87,18 @@ impl TpccWorkload {
             } else {
                 rng.random_range(0..self.warehouses)
             };
-            ops.push(Op::Get(Self::stock_key(supply_w, item % STOCK_PER_WAREHOUSE)));
+            ops.push(Op::Get(Self::stock_key(
+                supply_w,
+                item % STOCK_PER_WAREHOUSE,
+            )));
             ops.push(Op::Put(
                 Self::order_line_key(w, d, o, l),
-                format!("item={item};qty={};amount={}", rng.random_range(1..10), rng.random_range(1..10_000)).into_bytes(),
+                format!(
+                    "item={item};qty={};amount={}",
+                    rng.random_range(1..10),
+                    rng.random_range(1..10_000)
+                )
+                .into_bytes(),
             ));
         }
         TxnSpec { ops }
@@ -102,7 +110,10 @@ impl TpccWorkload {
         TxnSpec {
             ops: vec![
                 Op::Put(Self::wh_key(w), format!("ytd+={amount}").into_bytes()),
-                Op::Put(Self::district_key(w, d), format!("ytd+={amount}").into_bytes()),
+                Op::Put(
+                    Self::district_key(w, d),
+                    format!("ytd+={amount}").into_bytes(),
+                ),
                 Op::Put(
                     Self::customer_key(w, d, c),
                     format!("balance-={amount};payments+=1").into_bytes(),
@@ -147,7 +158,10 @@ impl Workload for TpccWorkload {
     fn initial_data(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
         let mut data = Vec::new();
         for w in 0..self.warehouses {
-            data.push((Self::wh_key(w), format!("name=WH{w};ytd=0;{}", "t".repeat(80)).into_bytes()));
+            data.push((
+                Self::wh_key(w),
+                format!("name=WH{w};ytd=0;{}", "t".repeat(80)).into_bytes(),
+            ));
             for d in 0..DISTRICTS_PER_WAREHOUSE {
                 data.push((
                     Self::district_key(w, d),
@@ -209,9 +223,8 @@ mod tests {
 
     #[test]
     fn initial_data_scales_with_warehouses() {
-        let rows_per_wh = 1
-            + DISTRICTS_PER_WAREHOUSE * (1 + CUSTOMERS_PER_DISTRICT)
-            + STOCK_PER_WAREHOUSE;
+        let rows_per_wh =
+            1 + DISTRICTS_PER_WAREHOUSE * (1 + CUSTOMERS_PER_DISTRICT) + STOCK_PER_WAREHOUSE;
         let one = TpccWorkload::new(1).initial_data().len() as u64;
         let three = TpccWorkload::new(3).initial_data().len() as u64;
         assert_eq!(one, rows_per_wh);

@@ -92,7 +92,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let samples: Vec<u64> = (0..50_000).map(|_| z.sample(&mut rng)).collect();
         let head = samples.iter().filter(|&&s| s < 100).count() as f64 / samples.len() as f64;
-        assert!(head > 0.3, "1% of keys should draw >30% of traffic, got {head}");
+        assert!(
+            head > 0.3,
+            "1% of keys should draw >30% of traffic, got {head}"
+        );
     }
 
     #[test]

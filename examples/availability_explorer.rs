@@ -41,7 +41,11 @@ fn main() {
     let tr = taurus_read_unavailability(x);
     println!(
         "{:<30} {:>14} {:>14.3e} {:>12} {:>12}",
-        "Taurus", "0 (uncorr.)", tr, "∞ nines", nines(tr)
+        "Taurus",
+        "0 (uncorr.)",
+        tr,
+        "∞ nines",
+        nines(tr)
     );
 
     println!("\nMonte Carlo sanity check (500k trials):");

@@ -13,7 +13,6 @@
 //!
 //! Run with: `cargo run --example failover_drill`
 
-
 use taurus::common::clock::ManualClock;
 use taurus::prelude::*;
 
@@ -67,7 +66,10 @@ fn main() -> Result<()> {
     let replicas = db.pages.replicas_of(slice);
     db.fabric.set_down(replicas[0]);
     db.fabric.set_down(replicas[1]);
-    println!("  killed {} and {}; wait-for-one keeps writes flowing", replicas[0], replicas[1]);
+    println!(
+        "  killed {} and {}; wait-for-one keeps writes flowing",
+        replicas[0], replicas[1]
+    );
     write_batch(&db, "ps-down", 30)?;
     verify_batch(&db, "ps-down", 30)?;
     db.fabric.set_up(replicas[0]);
@@ -93,7 +95,11 @@ fn main() -> Result<()> {
     db.crash_and_recover_master()?;
     println!("  master restarted from the Log Stores");
     for prefix in ["pre", "ls-down", "ps-down", "rebuilt"] {
-        let n = if prefix == "pre" || prefix == "ls-down" { 50 } else { 30 };
+        let n = if prefix == "pre" || prefix == "ls-down" {
+            50
+        } else {
+            30
+        };
         verify_batch(&db, prefix, n)?;
     }
     write_batch(&db, "post-crash", 20)?;

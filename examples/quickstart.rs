@@ -32,7 +32,11 @@ fn main() -> Result<()> {
 
     println!("\n== range scans walk the B+tree leaf chain ==");
     for (k, v) in master.scan(b"user:", 10)? {
-        println!("  {} = {}", String::from_utf8_lossy(&k), String::from_utf8_lossy(&v));
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(&k),
+            String::from_utf8_lossy(&v)
+        );
     }
 
     println!("\n== transactions: read-your-writes, conflicts, rollback ==");
@@ -63,14 +67,28 @@ fn main() -> Result<()> {
     println!("  replica visible LSN: {}", replica.visible_lsn());
     println!(
         "  replica reads balance = {:?}",
-        replica.get(b"balance")?.map(|v| String::from_utf8_lossy(&v).into_owned())
+        replica
+            .get(b"balance")?
+            .map(|v| String::from_utf8_lossy(&v).into_owned())
     );
 
     println!("\n== the SAL's watermark family (paper §3.5, §4.3) ==");
-    println!("  durable LSN (on Log Stores):        {}", master.sal.durable_lsn());
-    println!("  cluster-visible LSN:                {}", master.sal.cv_lsn());
-    println!("  database persistent LSN:            {}", master.sal.database_persistent_lsn());
-    println!("  slices created:                     {}", master.sal.slice_keys().len());
+    println!(
+        "  durable LSN (on Log Stores):        {}",
+        master.sal.durable_lsn()
+    );
+    println!(
+        "  cluster-visible LSN:                {}",
+        master.sal.cv_lsn()
+    );
+    println!(
+        "  database persistent LSN:            {}",
+        master.sal.database_persistent_lsn()
+    );
+    println!(
+        "  slices created:                     {}",
+        master.sal.slice_keys().len()
+    );
 
     drop(guard);
     println!("\ndone.");

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --example read_replicas`
 
+// Harness code: aborting on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use taurus::prelude::*;
 
 fn main() -> Result<()> {
@@ -14,7 +17,10 @@ fn main() -> Result<()> {
     // Seed a small table.
     let mut t = master.begin();
     for i in 0..100u32 {
-        t.put(format!("item:{i:03}").as_bytes(), format!("v{i}").as_bytes())?;
+        t.put(
+            format!("item:{i:03}").as_bytes(),
+            format!("v{i}").as_bytes(),
+        )?;
     }
     t.commit()?;
 
@@ -22,7 +28,10 @@ fn main() -> Result<()> {
     let replicas: Vec<_> = (0..3).map(|_| db.add_replica().unwrap()).collect();
     for _ in 0..200 {
         db.maintain();
-        if replicas.iter().all(|r| r.visible_lsn() >= master.sal.durable_lsn()) {
+        if replicas
+            .iter()
+            .all(|r| r.visible_lsn() >= master.sal.durable_lsn())
+        {
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(1));
@@ -32,7 +41,8 @@ fn main() -> Result<()> {
             "  replica {} visible LSN {} — item:050 = {:?}",
             r.id,
             r.visible_lsn(),
-            r.get(b"item:050")?.map(|v| String::from_utf8_lossy(&v).into_owned())
+            r.get(b"item:050")?
+                .map(|v| String::from_utf8_lossy(&v).into_owned())
         );
     }
 
@@ -51,12 +61,15 @@ fn main() -> Result<()> {
     }
     println!(
         "  pinned snapshot still reads: {:?}",
-        snap.get(b"item:050")?.map(|v| String::from_utf8_lossy(&v).into_owned())
+        snap.get(b"item:050")?
+            .map(|v| String::from_utf8_lossy(&v).into_owned())
     );
     let fresh = replicas[0].begin();
     println!(
         "  fresh transaction reads:     {:?}",
-        fresh.get(b"item:050")?.map(|v| String::from_utf8_lossy(&v).into_owned())
+        fresh
+            .get(b"item:050")?
+            .map(|v| String::from_utf8_lossy(&v).into_owned())
     );
     drop(snap);
     drop(fresh);

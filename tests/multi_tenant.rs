@@ -2,6 +2,9 @@
 //! "multi-tenant cloud database system"; Page Stores host slices from
 //! different databases, Log Stores host PLogs from different databases).
 
+// Test harness: panicking on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use taurus::common::clock::ManualClock;
@@ -22,7 +25,11 @@ fn shared_fleet() -> (Fabric, LogStoreCluster, PageStoreCluster, TaurusConfig) {
     );
     let logs = LogStoreCluster::new(fabric.clone(), cfg.log_replicas, cfg.logstore_cache_bytes);
     logs.spawn_servers(5, StorageProfile::instant());
-    let pages = PageStoreCluster::new(fabric.clone(), cfg.page_replicas, PageStoreOptions::default());
+    let pages = PageStoreCluster::new(
+        fabric.clone(),
+        cfg.page_replicas,
+        PageStoreOptions::default(),
+    );
     pages.spawn_servers(5, StorageProfile::instant());
     (fabric, logs, pages, cfg)
 }
@@ -30,7 +37,14 @@ fn shared_fleet() -> (Fabric, LogStoreCluster, PageStoreCluster, TaurusConfig) {
 #[test]
 fn tenants_share_storage_but_stay_isolated() {
     let (fabric, logs, pages, cfg) = shared_fleet();
-    let db_a = TaurusDb::launch_tenant(cfg.clone(), fabric.clone(), logs.clone(), pages.clone(), DbId(1)).unwrap();
+    let db_a = TaurusDb::launch_tenant(
+        cfg.clone(),
+        fabric.clone(),
+        logs.clone(),
+        pages.clone(),
+        DbId(1),
+    )
+    .unwrap();
     let db_b = TaurusDb::launch_tenant(cfg, fabric, logs, pages.clone(), DbId(2)).unwrap();
 
     let a = db_a.master();
@@ -55,7 +69,14 @@ fn tenants_share_storage_but_stay_isolated() {
 #[test]
 fn tenant_crash_recovery_does_not_disturb_the_other_tenant() {
     let (fabric, logs, pages, cfg) = shared_fleet();
-    let db_a = TaurusDb::launch_tenant(cfg.clone(), fabric.clone(), logs.clone(), pages.clone(), DbId(1)).unwrap();
+    let db_a = TaurusDb::launch_tenant(
+        cfg.clone(),
+        fabric.clone(),
+        logs.clone(),
+        pages.clone(),
+        DbId(1),
+    )
+    .unwrap();
     let db_b = TaurusDb::launch_tenant(cfg, fabric, logs, pages, DbId(2)).unwrap();
 
     for i in 0..30u32 {
@@ -69,8 +90,16 @@ fn tenant_crash_recovery_does_not_disturb_the_other_tenant() {
     // Tenant A's master crashes and recovers from the shared Log Stores.
     db_a.crash_and_recover_master().unwrap();
     for i in (0..30u32).step_by(5) {
-        assert!(db_a.master().get(format!("a{i:03}").as_bytes()).unwrap().is_some());
-        assert!(db_b.master().get(format!("b{i:03}").as_bytes()).unwrap().is_some());
+        assert!(db_a
+            .master()
+            .get(format!("a{i:03}").as_bytes())
+            .unwrap()
+            .is_some());
+        assert!(db_b
+            .master()
+            .get(format!("b{i:03}").as_bytes())
+            .unwrap()
+            .is_some());
     }
     // B keeps writing normally throughout.
     let mut t = db_b.master().begin();
@@ -82,7 +111,14 @@ fn tenant_crash_recovery_does_not_disturb_the_other_tenant() {
 #[test]
 fn tenants_log_streams_are_independent() {
     let (fabric, logs, pages, cfg) = shared_fleet();
-    let db_a = TaurusDb::launch_tenant(cfg.clone(), fabric.clone(), logs.clone(), pages.clone(), DbId(1)).unwrap();
+    let db_a = TaurusDb::launch_tenant(
+        cfg.clone(),
+        fabric.clone(),
+        logs.clone(),
+        pages.clone(),
+        DbId(1),
+    )
+    .unwrap();
     let db_b = TaurusDb::launch_tenant(cfg, fabric, logs.clone(), pages, DbId(2)).unwrap();
 
     // Both databases registered distinct metadata PLogs.

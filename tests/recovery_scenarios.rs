@@ -2,6 +2,9 @@
 //! driven through the full public stack (TaurusDb), plus durability
 //! invariants under combined failures and log truncation.
 
+// Harness code: aborting on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use taurus::common::clock::ManualClock;
@@ -56,7 +59,9 @@ fn fig4a_short_term_failure_repaired_by_gossip_through_recovery_service() {
     assert!(report.gossip_triggered >= 1, "{report:?}");
     let compute = master.sal.me;
     assert_eq!(
-        db.pages.persistent_lsn_of(replica3, compute, slice).unwrap(),
+        db.pages
+            .persistent_lsn_of(replica3, compute, slice)
+            .unwrap(),
         master.sal.durable_lsn()
     );
 }
@@ -209,7 +214,10 @@ fn truncated_log_never_strands_data() {
     }
     settle(&db);
     let report = db.run_recovery_round();
-    assert!(report.plogs_truncated > 0, "log should have truncated: {report:?}");
+    assert!(
+        report.plogs_truncated > 0,
+        "log should have truncated: {report:?}"
+    );
     // After truncation a master crash must still recover everything:
     // whatever left the log is on all three Page Store replicas.
     db.crash_and_recover_master().unwrap();

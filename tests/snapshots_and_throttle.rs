@@ -2,6 +2,9 @@
 //! the §7 master write throttle, plus a concurrent-writer consistency
 //! stress test.
 
+// Harness code: aborting on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::Arc;
 
 use taurus::common::clock::ManualClock;
@@ -105,7 +108,8 @@ fn snapshot_creation_is_constant_time() {
     let master = db.master();
     for i in 0..200u32 {
         let mut t = master.begin();
-        t.put(format!("row{i:05}").as_bytes(), &[b'x'; 128]).unwrap();
+        t.put(format!("row{i:05}").as_bytes(), &[b'x'; 128])
+            .unwrap();
         t.commit().unwrap();
     }
     settle(&db);
