@@ -1,0 +1,53 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only *tags* types with `#[derive(Serialize, Deserialize)]`
+//! — nothing serializes through a serde data format (there is no serde_json
+//! in the dependency tree). The derives therefore emit a marker-trait impl
+//! and nothing else, keeping the attribute valid while avoiding a full
+//! derive implementation (which would require syn/quote, unavailable
+//! offline).
+
+use proc_macro::TokenStream;
+
+/// Extracts the bare type name following `struct`/`enum`/`union` and emits
+/// `impl serde::Serialize for Name {}` — enough for marker-trait bounds.
+/// Generic types get no impl (none in this workspace carry the derive).
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        let is_kw = matches!(
+            &tok,
+            proc_macro::TokenTree::Ident(i)
+                if { let s = i.to_string(); s == "struct" || s == "enum" || s == "union" }
+        );
+        if is_kw {
+            if let Some(proc_macro::TokenTree::Ident(name)) = tokens.next() {
+                // A `<` right after the name means generics; skip the impl.
+                if let Some(proc_macro::TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        return TokenStream::new();
+                    }
+                }
+                let impl_generics = if trait_path.contains("<'serde_de>") {
+                    "<'serde_de>"
+                } else {
+                    ""
+                };
+                return format!("impl{impl_generics} {trait_path} for {name} {{}}")
+                    .parse()
+                    .unwrap_or_default();
+            }
+        }
+    }
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'serde_de>")
+}
