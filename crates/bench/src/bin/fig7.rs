@@ -31,6 +31,13 @@ fn run_pair(workload: &dyn Workload, regime: ScaleRegime, conns: usize) -> (f64,
     let taurus = TaurusExecutor::new(db);
     load_initial(&taurus, workload).expect("load taurus");
     let t_report = run_workload(&taurus, workload, conns, txns_per_conn(), 7);
+    let sal = &taurus.db.master().sal;
+    println!("  taurus SAL: {}", sal.stats.snapshot());
+    for (node, queued, in_flight) in sal.pipeline_gauges() {
+        if queued > 0 || in_flight > 0 {
+            println!("  taurus SAL pipe {node}: queued={queued} in_flight={in_flight}");
+        }
+    }
     drop(guard);
 
     // Aurora-style 6/4 quorum on identical hardware profiles.

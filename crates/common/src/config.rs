@@ -128,6 +128,21 @@ pub struct TaurusConfig {
     pub consolidation_backlog_limit: usize,
     /// Engine buffer pool capacity in pages.
     pub engine_buffer_pool_pages: usize,
+    /// Per-replica SAL send-queue depth (fragments). When a replica's queue
+    /// is full the fragment is shed for that replica (durability already
+    /// comes from the Log Stores) and the replica is scheduled for repair.
+    pub sal_send_queue_depth: usize,
+    /// How many times a SAL sender worker re-attempts a failed `WriteLogs`
+    /// before parking the fragment and marking the replica suspect.
+    pub sal_write_retry_limit: u32,
+    /// Base backoff between `WriteLogs` retries, microseconds; doubles per
+    /// attempt, plus seeded jitter in `0..=backoff/2`.
+    pub sal_write_backoff_us: u64,
+    /// Per-attempt `WriteLogs` latency budget, microseconds. Failed attempts
+    /// that exceed it are counted as timeouts in `SalStats` (the fabric's
+    /// synchronous RPC cannot be abandoned mid-flight, so a *successful*
+    /// slow call is still accepted).
+    pub sal_write_attempt_timeout_us: u64,
 }
 
 impl Default for TaurusConfig {
@@ -150,6 +165,10 @@ impl Default for TaurusConfig {
             network: NetworkProfile::default(),
             consolidation_backlog_limit: 64 << 20,
             engine_buffer_pool_pages: 16384,
+            sal_send_queue_depth: 256,
+            sal_write_retry_limit: 4,
+            sal_write_backoff_us: 500,
+            sal_write_attempt_timeout_us: 20_000,
         }
     }
 }
@@ -173,6 +192,12 @@ impl TaurusConfig {
             storage: StorageProfile::instant(),
             network: NetworkProfile::instant(),
             engine_buffer_pool_pages: 1024,
+            sal_send_queue_depth: 16,
+            // Small backoffs: retry sleeps advance ManualClock virtual time,
+            // and large burns would distort failure-classification windows.
+            sal_write_retry_limit: 3,
+            sal_write_backoff_us: 50,
+            sal_write_attempt_timeout_us: 5_000,
             ..TaurusConfig::default()
         }
     }
@@ -192,6 +217,11 @@ impl TaurusConfig {
         if self.plog_size_limit < self.log_buffer_bytes {
             return Err(crate::TaurusError::Internal(
                 "plog_size_limit must be >= log_buffer_bytes".into(),
+            ));
+        }
+        if self.sal_send_queue_depth == 0 {
+            return Err(crate::TaurusError::Internal(
+                "sal_send_queue_depth must be > 0".into(),
             ));
         }
         Ok(())
@@ -224,6 +254,12 @@ mod tests {
 
         let c = TaurusConfig {
             plog_size_limit: 10,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            sal_send_queue_depth: 0,
             ..TaurusConfig::default()
         };
         assert!(c.validate().is_err());

@@ -30,12 +30,20 @@ impl LatencyRecorder {
     }
 
     /// Snapshot of summary statistics; `None` if no samples were recorded.
+    ///
+    /// Sorts the sample vector **in place under the lock** instead of
+    /// cloning it: benches call this per-iteration in ablation sweeps, and a
+    /// clone per call made `summary` O(n) allocations per report. Sorting is
+    /// idempotent, so repeated calls are stable and cheap (re-sorting an
+    /// already-sorted vector is a linear scan); samples recorded between
+    /// calls are merged by the next sort.
     pub fn summary(&self) -> Option<LatencySummary> {
-        let mut s = self.samples.lock().clone();
-        if s.is_empty() {
+        let mut guard = self.samples.lock();
+        if guard.is_empty() {
             return None;
         }
-        s.sort_unstable();
+        guard.sort_unstable();
+        let s = &*guard;
         let pct = |p: f64| -> u64 {
             let idx = ((s.len() as f64 - 1.0) * p).round() as usize;
             s[idx]
@@ -49,6 +57,11 @@ impl LatencyRecorder {
             p99_us: pct(0.99),
             max_us: s.last().copied().unwrap_or(0),
         })
+    }
+
+    /// Drains all samples, returning them (unsorted order unspecified).
+    pub fn drain(&self) -> Vec<u64> {
+        std::mem::take(&mut *self.samples.lock())
     }
 
     pub fn clear(&self) {
@@ -95,6 +108,49 @@ impl Counter {
 
     pub fn reset(&self) -> u64 {
         self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, in-flight requests). Unlike
+/// [`Counter`] it moves both ways; `sub` saturates at zero rather than
+/// wrapping so a racy decrement cannot report 2^64 items queued.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .value
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
     }
 }
 
@@ -155,6 +211,36 @@ mod tests {
         assert_eq!(c.get(), 10);
         assert_eq!(c.reset(), 10);
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn summary_is_stable_across_repeated_calls() {
+        let r = LatencyRecorder::new();
+        // Reverse order on purpose: the in-place sort must not disturb the
+        // result of later calls, and recording between calls must merge.
+        for v in (1..=50u64).rev() {
+            r.record(v);
+        }
+        let a = r.summary().unwrap();
+        let b = r.summary().unwrap();
+        assert_eq!(a, b);
+        r.record(1000);
+        let c = r.summary().unwrap();
+        assert_eq!(c.count, 51);
+        assert_eq!(c.max_us, 1000);
+        assert_eq!(r.summary().unwrap(), c);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_saturates() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.sub(100); // saturates, no wrap
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
     }
 
     #[test]

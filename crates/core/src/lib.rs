@@ -32,4 +32,4 @@ pub mod recovery;
 pub mod sal;
 
 pub use recovery::RecoveryService;
-pub use sal::{Sal, SalStats};
+pub use sal::{Sal, SalStats, SalStatsSnapshot};

@@ -31,6 +31,7 @@ pub struct RecoveryReport {
     pub regressions_repaired: usize,
     pub gossip_triggered: usize,
     pub holes_resent: usize,
+    pub parked_unparked: usize,
     pub plogs_truncated: usize,
 }
 
@@ -139,7 +140,12 @@ impl RecoveryService {
             }
         }
 
-        // 4. Periodic full gossip sweep (§5.2's 30-minute cadence, scaled).
+        // 4. Parked-slice drain: slices whose fragments a sender worker
+        // abandoned after the retry budget. Repair-from-log + targeted
+        // gossip until every replica reaches the flush LSN.
+        report.parked_unparked = sal.repair_parked();
+
+        // 5. Periodic full gossip sweep (§5.2's 30-minute cadence, scaled).
         let now = sal.logs.fabric.clock.now_us();
         if now.saturating_sub(self.last_gossip_us) >= sal.cfg.gossip_interval_us {
             self.last_gossip_us = now;
@@ -147,7 +153,7 @@ impl RecoveryService {
             let _ = sal.poll_persistent_lsns();
         }
 
-        // 5. Log truncation (Fig. 3 steps 7-8).
+        // 6. Log truncation (Fig. 3 steps 7-8).
         report.plogs_truncated = sal.truncate_log().unwrap_or(0);
 
         report

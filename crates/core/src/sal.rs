@@ -1,15 +1,25 @@
 //! The Storage Abstraction Layer.
+//!
+//! Write-pipeline topology (see DESIGN.md §"Write-pipeline robustness"):
+//! the SAL runs one bounded queue and one sender worker **per Page Store
+//! replica node**. A slice flush enqueues one shared `Arc<SliceFragment>`
+//! on each replica's queue; workers retry failed `WriteLogs` with
+//! exponential backoff, and after the retry budget is spent they *park*
+//! the slice for repair-from-Log-Stores and demote the replica to
+//! *suspect* (deprioritized for reads) until it proves itself alive again.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::Rng;
 
 use taurus_common::clock::ClockRef;
 use taurus_common::lsn::LsnWatermark;
-use taurus_common::metrics::Counter;
+use taurus_common::metrics::{Counter, Gauge};
 use taurus_common::{
     DbId, LogRecord, LogRecordGroup, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusConfig,
     TaurusError,
@@ -102,12 +112,99 @@ pub struct SalStats {
     pub read_retries: Counter,
     pub resends: Counter,
     pub gossip_triggers: Counter,
+    /// `WriteLogs` re-attempts after a failed attempt (per attempt, not per
+    /// fragment).
+    pub write_retries: Counter,
+    /// Failed attempts that also blew the per-attempt latency budget.
+    pub write_timeouts: Counter,
+    /// Fragments abandoned by a sender worker after the retry budget —
+    /// their slice is parked for repair from the Log Stores.
+    pub fragments_parked: Counter,
+    /// Fragments shed because a replica's send queue was full.
+    pub queue_full_drops: Counter,
+    /// Healthy → suspect transitions.
+    pub suspect_demotions: Counter,
+    /// Suspect → healthy transitions.
+    pub suspect_resurrections: Counter,
 }
 
-/// A write-ack job processed by the background sender pool.
-struct SendJob {
-    node: NodeId,
-    frag: SliceFragment,
+impl SalStats {
+    /// Point-in-time copy of every counter (benches print this).
+    pub fn snapshot(&self) -> SalStatsSnapshot {
+        SalStatsSnapshot {
+            log_flushes: self.log_flushes.get(),
+            slice_flushes: self.slice_flushes.get(),
+            page_reads: self.page_reads.get(),
+            read_retries: self.read_retries.get(),
+            resends: self.resends.get(),
+            gossip_triggers: self.gossip_triggers.get(),
+            write_retries: self.write_retries.get(),
+            write_timeouts: self.write_timeouts.get(),
+            fragments_parked: self.fragments_parked.get(),
+            queue_full_drops: self.queue_full_drops.get(),
+            suspect_demotions: self.suspect_demotions.get(),
+            suspect_resurrections: self.suspect_resurrections.get(),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`SalStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SalStatsSnapshot {
+    pub log_flushes: u64,
+    pub slice_flushes: u64,
+    pub page_reads: u64,
+    pub read_retries: u64,
+    pub resends: u64,
+    pub gossip_triggers: u64,
+    pub write_retries: u64,
+    pub write_timeouts: u64,
+    pub fragments_parked: u64,
+    pub queue_full_drops: u64,
+    pub suspect_demotions: u64,
+    pub suspect_resurrections: u64,
+}
+
+impl std::fmt::Display for SalStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "log_flushes={} slice_flushes={} page_reads={} read_retries={} \
+             resends={} gossip_triggers={} write_retries={} write_timeouts={} \
+             fragments_parked={} queue_full_drops={} suspect_demotions={} \
+             suspect_resurrections={}",
+            self.log_flushes,
+            self.slice_flushes,
+            self.page_reads,
+            self.read_retries,
+            self.resends,
+            self.gossip_triggers,
+            self.write_retries,
+            self.write_timeouts,
+            self.fragments_parked,
+            self.queue_full_drops,
+            self.suspect_demotions,
+            self.suspect_resurrections,
+        )
+    }
+}
+
+/// One fragment awaiting shipment to one replica. The fragment is shared
+/// (`Arc`) across all replica pipes — the send path performs one encode
+/// and zero deep clones per flush.
+struct PipeJob {
+    key: SliceKey,
+    frag: Arc<SliceFragment>,
+}
+
+/// The send pipe to one Page Store replica node: a bounded queue drained by
+/// a dedicated worker thread. A slow or dead replica fills its own queue
+/// and loses fragments to shedding; it can no longer stall other replicas
+/// or grow an unbounded backlog (the failure mode of the old shared
+/// unbounded channel).
+struct ReplicaPipe {
+    tx: Sender<PipeJob>,
+    in_flight: Arc<Gauge>,
 }
 
 /// The Storage Abstraction Layer: one per database front end process.
@@ -130,7 +227,17 @@ pub struct Sal {
     /// purposes"). Modeled as a durable control-plane cell that survives
     /// front-end crashes.
     anchor: Arc<LsnWatermark>,
-    sender: Sender<SendJob>,
+    /// One bounded send pipe per Page Store replica node, spawned lazily on
+    /// first fragment to that node.
+    pipes: Mutex<HashMap<NodeId, ReplicaPipe>>,
+    /// Slices with fragments abandoned by a sender worker; drained by
+    /// [`Sal::repair_parked`] (tick, recovery sweep, resurrection).
+    parked: Mutex<HashSet<SliceKey>>,
+    /// Replica nodes that exhausted a retry budget and have not proven
+    /// themselves alive since. Deprioritized by read routing.
+    suspects: Mutex<HashSet<NodeId>>,
+    /// Self-handle for lazily spawned worker threads.
+    myself: Weak<Sal>,
     /// Microseconds of delay injected per log flush while Page Store
     /// consolidation is behind ("the SAL throttles log writes on the
     /// master" to bound Log Directory growth — paper §7).
@@ -173,9 +280,11 @@ impl Sal {
         stream: LogStream,
         anchor: Arc<LsnWatermark>,
     ) -> Arc<Sal> {
-        let (tx, rx) = unbounded::<SendJob>();
         let clock = logs.fabric.clock.clone();
-        let sal = Arc::new(Sal {
+        // `new_cyclic`: the SAL needs a `Weak` handle to itself so that
+        // per-replica sender workers (spawned lazily, long after build)
+        // can reach it without keeping it alive.
+        Arc::new_cyclic(|myself| Sal {
             db,
             me,
             cfg,
@@ -187,37 +296,167 @@ impl Sal {
             cv_lsn: LsnWatermark::new(Lsn::ZERO),
             durable_lsn: LsnWatermark::new(Lsn::ZERO),
             anchor,
-            sender: tx,
+            pipes: Mutex::new(HashMap::new()),
+            parked: Mutex::new(HashSet::new()),
+            suspects: Mutex::new(HashSet::new()),
+            myself: myself.clone(),
             throttle_us: AtomicU64::new(0),
             stats: SalStats::default(),
-        });
-        // Background sender pool: ships slice fragments to Page Store
-        // replicas and feeds acks back (the "wait for one" model means no
-        // foreground thread ever blocks on these).
-        for _ in 0..4 {
-            let weak: Weak<Sal> = Arc::downgrade(&sal);
-            let rx = rx.clone();
-            std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    let Some(sal) = weak.upgrade() else { break };
-                    sal.process_send_job(job);
-                }
-            });
-        }
-        sal
+        })
     }
 
-    fn process_send_job(&self, job: SendJob) {
-        let key = job.frag.slice;
+    // ==================================================================
+    // Per-replica send pipeline
+    // ==================================================================
+
+    /// Enqueues a fragment on `node`'s pipe, spawning the pipe on first
+    /// use. Returns `false` if the queue was full and the fragment was
+    /// shed for this replica.
+    ///
+    /// Lock order: callers hold `state`; this takes `pipes`. Never blocks —
+    /// the foreground write path must not wait on a slow replica.
+    fn enqueue_for(&self, node: NodeId, job: PipeJob) -> bool {
+        let mut pipes = self.pipes.lock();
+        let pipe = pipes.entry(node).or_insert_with(|| self.spawn_pipe(node));
+        match pipe.tx.try_send(job) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+
+    /// Spawns the bounded queue + worker thread for one replica node. The
+    /// worker owns a jitter RNG derived from the fabric seed and the node
+    /// id: draws never touch the shared placement stream, so retry storms
+    /// do not perturb placement determinism.
+    fn spawn_pipe(&self, node: NodeId) -> ReplicaPipe {
+        let (tx, rx) = bounded::<PipeJob>(self.cfg.sal_send_queue_depth);
+        let in_flight = Arc::new(Gauge::new());
+        let weak = self.myself.clone();
+        let gauge = Arc::clone(&in_flight);
+        let mut rng = self.pages.fabric.derive_rng(0x5A4C_0000 ^ node.0);
+        std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                let Some(sal) = weak.upgrade() else { break };
+                gauge.add(1);
+                sal.ship_with_retry(node, &job, &mut rng);
+                gauge.sub(1);
+            }
+        });
+        ReplicaPipe { tx, in_flight }
+    }
+
+    /// Delivers one fragment to one replica, retrying failed attempts with
+    /// exponential backoff + seeded jitter up to the configured budget.
+    /// Exhausting the budget parks the slice and demotes the replica.
+    fn ship_with_retry(&self, node: NodeId, job: &PipeJob, rng: &mut StdRng) {
         let last = job.frag.last_lsn();
-        match self.pages.write_logs_to(job.node, self.me, &job.frag) {
-            Ok(persistent) => self.on_write_ack(key, job.node, last, persistent),
-            Err(_) => {
-                // The replica is down or behind; gossip and the recovery
-                // service will repair it. Durability is already guaranteed
-                // by the Log Stores.
+        let limit = self.cfg.sal_write_retry_limit;
+        let mut attempt: u32 = 0;
+        loop {
+            let start = self.clock.now_us();
+            match self.pages.write_logs_to(node, self.me, &job.frag) {
+                Ok(persistent) => {
+                    self.on_write_ack(job.key, node, last, persistent);
+                    self.note_replica_alive(node);
+                    return;
+                }
+                Err(_) => {
+                    let elapsed = self.clock.now_us().saturating_sub(start);
+                    if elapsed > self.cfg.sal_write_attempt_timeout_us {
+                        self.stats.write_timeouts.inc();
+                    }
+                    if attempt >= limit {
+                        break;
+                    }
+                    attempt += 1;
+                    self.stats.write_retries.inc();
+                    let base = self.cfg.sal_write_backoff_us.max(1);
+                    let backoff = base.saturating_mul(1u64 << (attempt - 1).min(16));
+                    let jitter = rng.random_range(0..=(base / 2).max(1));
+                    self.clock.sleep_us(backoff.saturating_add(jitter));
+                }
             }
         }
+        // Budget spent. Durability is already guaranteed by the Log
+        // Stores; the slice is parked for repair-from-log instead of
+        // waiting for the stall detector to notice the gap.
+        self.stats.fragments_parked.inc();
+        self.mark_suspect(node);
+        self.parked.lock().insert(job.key);
+        // A replica that is *up* but failing calls (flaky link, transient
+        // overload) can be repaired right now; a dead one must wait for
+        // the recovery sweep.
+        if self.pages.is_live(node) {
+            self.repair_parked();
+        }
+    }
+
+    fn mark_suspect(&self, node: NodeId) {
+        if self.suspects.lock().insert(node) {
+            self.stats.suspect_demotions.inc();
+        }
+    }
+
+    /// Resurrects a suspect replica after evidence it is serving again (a
+    /// successful write ack or persistent-LSN progress). On the
+    /// suspect→healthy *transition* — and only then, which bounds the
+    /// repair→gossip→poll→resurrect recursion — parked slices are drained.
+    fn note_replica_alive(&self, node: NodeId) {
+        let resurrected = self.suspects.lock().remove(&node);
+        if resurrected {
+            self.stats.suspect_resurrections.inc();
+            self.repair_parked();
+        }
+    }
+
+    /// Whether a replica is currently demoted to suspect.
+    pub fn is_suspect(&self, node: NodeId) -> bool {
+        self.suspects.lock().contains(&node)
+    }
+
+    /// Slices currently parked for repair.
+    pub fn parked_slices(&self) -> Vec<SliceKey> {
+        let mut v: Vec<SliceKey> = self.parked.lock().iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Per-replica pipeline gauges: `(node, queued fragments, in-flight
+    /// fragments)`, sorted by node. Exposed to benches and tests.
+    pub fn pipeline_gauges(&self) -> Vec<(NodeId, u64, u64)> {
+        let pipes = self.pipes.lock();
+        let mut v: Vec<(NodeId, u64, u64)> = pipes
+            .iter()
+            .map(|(n, p)| (*n, p.tx.len() as u64, p.in_flight.get()))
+            .collect();
+        v.sort_by_key(|e| e.0);
+        v
+    }
+
+    /// Repairs every parked slice from the Log Stores and triggers
+    /// targeted gossip; a slice is unparked once every replica has caught
+    /// up to its flush LSN. Returns the number of slices unparked.
+    ///
+    /// Must not be called while holding `state`, `pipes`, `parked`, or
+    /// `suspects`.
+    pub fn repair_parked(&self) -> usize {
+        let keys: Vec<SliceKey> = self.parked.lock().iter().copied().collect();
+        let mut unparked = 0usize;
+        for key in keys {
+            let _ = self.repair_slice_from_logstores(key);
+            self.trigger_gossip(key);
+            let caught_up = {
+                let st = self.state.lock();
+                st.slices
+                    .get(&key)
+                    .map(|s| s.min_replica_persistent() >= s.flush_lsn)
+                    .unwrap_or(true)
+            };
+            if caught_up && self.parked.lock().remove(&key) {
+                unparked += 1;
+            }
+        }
+        unparked
     }
 
     // ==================================================================
@@ -258,8 +497,19 @@ impl Sal {
         }
         let groups = std::mem::take(&mut st.log_buffer);
         st.log_buffer_bytes = 0;
-        let first = groups.first().map(|g| g.first_lsn()).unwrap_or(Lsn::ZERO);
-        let end = groups.last().map(|g| g.end_lsn()).unwrap_or(Lsn::ZERO);
+        // min/max over all groups, not first/last: group *allocation* order
+        // (LSN) and buffer *arrival* order can differ under concurrent
+        // writers, and the monotonicity invariant below keys off the range.
+        let first = groups
+            .iter()
+            .map(|g| g.first_lsn())
+            .min()
+            .unwrap_or(Lsn::ZERO);
+        let end = groups
+            .iter()
+            .map(|g| g.end_lsn())
+            .max()
+            .unwrap_or(Lsn::ZERO);
         // Encode all groups into one durable write.
         let mut buf = bytes::BytesMut::new();
         for g in &groups {
@@ -288,10 +538,22 @@ impl Sal {
                     slice.buffer_opened_us = self.clock.now_us();
                 }
                 slice.buffer_bytes += rec.encoded_len();
-                touched.insert(key, rec.lsn);
+                // Max, not last-iterated: with out-of-LSN-order iteration a
+                // plain insert could record a mid-buffer LSN as the slice's
+                // requirement, letting the CV-LSN advance before the
+                // buffer's true tail reached a replica.
+                touched
+                    .entry(key)
+                    .and_modify(|l| *l = (*l).max(rec.lsn))
+                    .or_insert(rec.lsn);
                 slice.buffer.push(rec);
             }
         }
+        taurus_common::invariant!(
+            "pending-needs-bounded",
+            touched.values().all(|l| *l <= end),
+            "slice requirement exceeds buffer end {end}"
+        );
         // Track the buffer for CV-LSN advancement (§3.5).
         st.pending.push_back(PendingBuffer {
             end_lsn: end,
@@ -330,23 +592,37 @@ impl Sal {
         self.throttle_us.load(Ordering::Relaxed)
     }
 
-    /// Periodic driver: flushes slice buffers whose timeout expired. Call
-    /// this from a timer (or rely on the next log flush).
+    /// Periodic driver: flushes slice buffers whose timeout expired and
+    /// drains parked repairs once their replicas look reachable. Call this
+    /// from a timer (or rely on the next log flush).
     pub fn tick(&self) {
         self.update_throttle();
         let now = self.clock.now_us();
-        let mut st = self.state.lock();
-        let keys: Vec<SliceKey> = st
-            .slices
-            .iter()
-            .filter(|(_, s)| {
-                !s.buffer.is_empty()
-                    && now.saturating_sub(s.buffer_opened_us) >= self.cfg.slice_flush_timeout_us
-            })
-            .map(|(k, _)| *k)
-            .collect();
-        for key in keys {
-            self.flush_slice_locked(&mut st, key);
+        {
+            let mut st = self.state.lock();
+            let keys: Vec<SliceKey> = st
+                .slices
+                .iter()
+                .filter(|(_, s)| {
+                    !s.buffer.is_empty()
+                        && now.saturating_sub(s.buffer_opened_us) >= self.cfg.slice_flush_timeout_us
+                })
+                .map(|(k, _)| *k)
+                .collect();
+            for key in keys {
+                self.flush_slice_locked(&mut st, key);
+            }
+        }
+        // Parked repairs: skip while every suspect is still unreachable —
+        // repair-from-log cannot land anywhere and gossip would spin.
+        if !self.parked.lock().is_empty() {
+            let worth_trying = {
+                let suspects = self.suspects.lock();
+                suspects.is_empty() || suspects.iter().any(|n| self.pages.is_live(*n))
+            };
+            if worth_trying {
+                self.repair_parked();
+            }
         }
     }
 
@@ -373,9 +649,13 @@ impl Sal {
         Ok(())
     }
 
-    /// Ships the slice buffer as one fragment to all replicas via the
-    /// background pool (Step 4; SAL will consider it safe after ONE ack —
-    /// Step 5).
+    /// Ships the slice buffer as one fragment to all replicas via their
+    /// per-replica pipes (Step 4; SAL will consider it safe after ONE ack —
+    /// Step 5). One fragment is built and shared by `Arc` — no deep clone
+    /// per replica. A replica whose queue is full loses the fragment
+    /// (shedding): its slice is parked for repair-from-log and the replica
+    /// is demoted to suspect, so one slow node cannot grow an unbounded
+    /// backlog or stall the foreground write path.
     fn flush_slice_locked(&self, st: &mut SalState, key: SliceKey) {
         let Some(slice) = st.slices.get_mut(&key) else {
             return;
@@ -383,16 +663,34 @@ impl Sal {
         if slice.buffer.is_empty() {
             return;
         }
-        let records = std::mem::take(&mut slice.buffer);
+        let mut records = std::mem::take(&mut slice.buffer);
         slice.buffer_bytes = 0;
-        let frag = SliceFragment::new(key, slice.flush_lsn, records);
+        records.sort_by_key(|r| r.lsn);
+        let frag = Arc::new(SliceFragment::new(key, slice.flush_lsn, records));
         slice.flush_lsn = frag.last_lsn();
         self.stats.slice_flushes.inc();
-        for &node in &slice.replicas {
-            let _ = self.sender.send(SendJob {
+        let replicas = slice.replicas.clone();
+        let mut shed: Vec<NodeId> = Vec::new();
+        for &node in &replicas {
+            let sent = self.enqueue_for(
                 node,
-                frag: frag.clone(),
-            });
+                PipeJob {
+                    key,
+                    frag: Arc::clone(&frag),
+                },
+            );
+            if !sent {
+                shed.push(node);
+            }
+        }
+        for node in shed {
+            self.stats.queue_full_drops.inc();
+            self.stats.fragments_parked.inc();
+            self.mark_suspect(node);
+            self.parked.lock().insert(key);
+            // No immediate repair here: `state` is held, and the node's
+            // worker is still busy draining a full queue. tick()/recovery
+            // will drain the parked set.
         }
     }
 
@@ -484,6 +782,18 @@ impl Sal {
                 // once (paper §4.2: "SAL recognizes this situation and
                 // repairs data using Log Stores").
                 self.repair_slice_from_logstores(key)?;
+                // Re-snapshot the replica list: the repair (or a concurrent
+                // rebuild) may have moved the slice to different nodes, and
+                // the pre-repair snapshot would retry exactly the replicas
+                // that just failed.
+                self.refresh_placement();
+                let replicas = {
+                    let st = self.state.lock();
+                    match st.slices.get(&key) {
+                        Some(slice) => self.replicas_by_latency(slice),
+                        None => replicas,
+                    }
+                };
                 self.try_read(key, page, as_of, &replicas)
             }
         }
@@ -505,6 +815,12 @@ impl Sal {
                     return Ok(buf);
                 }
                 Err(e) => {
+                    // Feed the EWMA on failure too, with a penalty: a
+                    // replica that errors instantly must not keep the best
+                    // (lowest) latency score and stay first in the routing
+                    // order — that starves the healthy replicas.
+                    let elapsed = self.clock.now_us().saturating_sub(start);
+                    self.note_read_latency(key, node, elapsed.max(1).saturating_mul(4));
                     self.stats.read_retries.inc();
                     last_err = e;
                 }
@@ -513,12 +829,35 @@ impl Sal {
         Err(last_err)
     }
 
+    /// Replicas in preferred read order: healthy before suspect, then by
+    /// EWMA latency. A replica with no recorded latency gets the mean of
+    /// the known ones (not 0.0, which would always route the first read of
+    /// every slice to an unmeasured — possibly failing — replica).
     fn replicas_by_latency(&self, slice: &SliceState) -> Vec<NodeId> {
+        let known: Vec<f64> = slice.read_latency_us.values().copied().collect();
+        let unknown_default = if known.is_empty() {
+            0.0
+        } else {
+            known.iter().sum::<f64>() / known.len() as f64
+        };
+        let suspects = self.suspects.lock();
         let mut nodes = slice.replicas.clone();
         nodes.sort_by(|a, b| {
-            let la = slice.read_latency_us.get(a).copied().unwrap_or(0.0);
-            let lb = slice.read_latency_us.get(b).copied().unwrap_or(0.0);
-            la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal)
+            let sa = suspects.contains(a);
+            let sb = suspects.contains(b);
+            let la = slice
+                .read_latency_us
+                .get(a)
+                .copied()
+                .unwrap_or(unknown_default);
+            let lb = slice
+                .read_latency_us
+                .get(b)
+                .copied()
+                .unwrap_or(unknown_default);
+            (sa, la)
+                .partial_cmp(&(sb, lb))
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         nodes
     }
@@ -576,9 +915,12 @@ impl Sal {
                 let Ok(persistent) = self.pages.persistent_lsn_of(node, self.me, key) else {
                     continue;
                 };
-                let mut st = self.state.lock();
-                let now = self.clock.now_us();
-                if let Some(slice) = st.slices.get_mut(&key) {
+                let progressed = {
+                    let mut st = self.state.lock();
+                    let now = self.clock.now_us();
+                    let Some(slice) = st.slices.get_mut(&key) else {
+                        continue;
+                    };
                     let prev = slice
                         .replica_persistent
                         .insert(node, persistent)
@@ -589,6 +931,13 @@ impl Sal {
                     if persistent > prev {
                         slice.last_progress_us = now;
                     }
+                    persistent > prev
+                };
+                // A suspect that reports persistent-LSN progress is serving
+                // again (outside the state lock: resurrection may drain
+                // parked repairs).
+                if progressed {
+                    self.note_replica_alive(node);
                 }
             }
         }
@@ -612,6 +961,9 @@ impl Sal {
                             slice.replica_persistent.insert(*new, prev);
                         }
                         slice.read_latency_us.remove(old);
+                        // The replaced node is out of the placement; its
+                        // suspect mark must not shadow the fresh replica.
+                        self.suspects.lock().remove(old);
                     }
                 }
                 slice.replicas = current;
@@ -677,6 +1029,7 @@ impl Sal {
             let last = frag.last_lsn();
             if let Ok(new_persistent) = self.pages.write_logs_to(node, self.me, &frag) {
                 self.on_write_ack(key, node, last, new_persistent);
+                self.note_replica_alive(node);
                 resent += 1;
                 self.stats.resends.inc();
             }

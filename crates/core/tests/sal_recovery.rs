@@ -334,38 +334,66 @@ fn fig4b_persistent_lsn_regression_is_detected_and_repaired() {
 }
 
 #[test]
-fn fig4c_hole_on_every_replica_is_found_and_resent() {
+fn fig4c_hole_on_every_replica_is_parked_and_resent() {
     let h = Harness::new(4, 6);
     let sal = h.sal();
     h.write_kv(&sal, 1, "r1", "v", true); // record 1
     h.settle(&sal);
     let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
     let replicas = h.pages.replicas_of(key);
-    // Record 2 is lost by everyone: all replicas down during the send.
+    // Record 2 is lost by everyone: all replicas down during the send. Each
+    // sender worker burns its retry budget, then parks the slice and
+    // demotes its replica to suspect.
     for &r in &replicas {
         h.fabric.set_down(r);
     }
     h.write_kv(&sal, 1, "r2", "v", false); // record 2: nowhere
     sal.flush_all_slices();
-    std::thread::sleep(std::time::Duration::from_millis(5));
+    for _ in 0..500 {
+        if sal.parked_slices().contains(&key) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    assert!(
+        sal.parked_slices().contains(&key),
+        "slice must be parked after the retry budget"
+    );
+    assert!(
+        sal.stats.write_retries.get() >= 1,
+        "retries must be counted"
+    );
+    assert!(sal.stats.fragments_parked.get() >= 1);
+    // Every replica missed the fragment, so every replica is suspect and
+    // the hole exists nowhere but the Log Stores — gossip cannot help.
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    assert_eq!(h.pages.gossip(key), 0);
     for &r in &replicas {
         h.fabric.set_up(r);
     }
-    // Record 3 arrives everywhere, chained after record 2 — every replica
-    // now has a pending fragment beyond a hole; persistent LSNs are stuck.
+    // Record 3 arrives everywhere. The first successful ack resurrects a
+    // suspect, and the resurrection drains the parked slice by resending
+    // record 2 from the Log Stores (Fig. 4(c) step 7) — proactively,
+    // without waiting for the stall detector.
     let end = h.write_kv(&sal, 1, "r3", "v", false);
     h.settle(&sal);
     for &r in &replicas {
-        let ranges = h.pages.missing_ranges_of(r, h.me, key).unwrap();
-        assert!(!ranges.is_empty(), "replica {r} must report the hole");
+        let mut ok = false;
+        for _ in 0..500 {
+            if h.pages.persistent_lsn_of(r, h.me, key).unwrap() == end {
+                ok = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        assert!(ok, "replica {r} must be repaired to {end}");
     }
-    // Gossip cannot help: nobody has the fragment. The SAL resends from the
-    // Log Stores (Fig. 4(c) step 7).
-    assert_eq!(h.pages.gossip(key), 0);
-    assert!(sal.repair_slice_from_logstores(key).unwrap() >= 1);
-    for &r in &replicas {
-        assert_eq!(h.pages.persistent_lsn_of(r, h.me, key).unwrap(), end);
-    }
+    assert!(sal.stats.resends.get() >= 1, "repair must resend from log");
+    assert!(sal.stats.suspect_resurrections.get() >= 1);
+    assert!(
+        sal.parked_slices().is_empty(),
+        "slice must unpark once all replicas caught up"
+    );
     let page = sal.read_page(PageId(1), Some(end)).unwrap();
     assert_eq!(page.nslots(), 3);
 }

@@ -1,0 +1,273 @@
+//! Tests for the per-replica SAL write pipeline and the read-routing
+//! bugfixes that shipped with it: out-of-order flush accounting, EWMA
+//! penalties for failed reads, and suspect-replica demotion.
+
+// Test harness: panicking on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use taurus_common::clock::ManualClock;
+use taurus_common::config::{NetworkProfile, StorageProfile};
+use taurus_common::lsn::{LsnAllocator, LsnWatermark};
+use taurus_common::page::PageType;
+use taurus_common::record::{LogRecord, LogRecordGroup, RecordBody};
+use taurus_common::{DbId, Lsn, NodeId, PageId, SliceKey, TaurusConfig};
+use taurus_core::Sal;
+use taurus_fabric::{Fabric, NodeKind};
+use taurus_logstore::LogStoreCluster;
+use taurus_pagestore::cluster::PageStoreOptions;
+use taurus_pagestore::PageStoreCluster;
+
+struct Harness {
+    fabric: Fabric,
+    logs: LogStoreCluster,
+    pages: PageStoreCluster,
+    anchor: Arc<LsnWatermark>,
+    me: NodeId,
+    cfg: TaurusConfig,
+    lsns: LsnAllocator,
+}
+
+impl Harness {
+    fn new(log_nodes: usize, page_nodes: usize) -> Harness {
+        let clock = ManualClock::shared();
+        let fabric = Fabric::new(clock.clone(), NetworkProfile::instant(), 4321);
+        let me = fabric.add_node(NodeKind::Compute);
+        let cfg = TaurusConfig {
+            log_buffer_bytes: 1, // flush on every group: deterministic tests
+            slice_buffer_bytes: 1,
+            ..TaurusConfig::test()
+        };
+        let logs = LogStoreCluster::new(fabric.clone(), cfg.log_replicas, cfg.logstore_cache_bytes);
+        logs.spawn_servers(log_nodes, StorageProfile::instant());
+        let pages = PageStoreCluster::new(
+            fabric.clone(),
+            cfg.page_replicas,
+            PageStoreOptions::default(),
+        );
+        pages.spawn_servers(page_nodes, StorageProfile::instant());
+        Harness {
+            fabric,
+            logs,
+            pages,
+            anchor: Arc::new(LsnWatermark::new(Lsn::ZERO)),
+            me,
+            cfg,
+            lsns: LsnAllocator::new(Lsn::ZERO),
+        }
+    }
+
+    fn sal(&self) -> Arc<Sal> {
+        self.sal_with(self.cfg.clone())
+    }
+
+    fn sal_with(&self, cfg: TaurusConfig) -> Arc<Sal> {
+        Sal::create(
+            cfg,
+            DbId(1),
+            self.me,
+            self.logs.clone(),
+            self.pages.clone(),
+            Arc::clone(&self.anchor),
+        )
+        .unwrap()
+    }
+
+    fn group(&self, page: u64, k: &str, format: bool) -> LogRecordGroup {
+        let mut records = Vec::new();
+        if format {
+            records.push(LogRecord::new(
+                self.lsns.alloc(),
+                PageId(page),
+                RecordBody::Format {
+                    ty: PageType::Leaf,
+                    level: 0,
+                },
+            ));
+        }
+        records.push(LogRecord::new(
+            self.lsns.alloc(),
+            PageId(page),
+            RecordBody::Insert {
+                idx: 0,
+                key: Bytes::copy_from_slice(k.as_bytes()),
+                val: Bytes::from_static(b"v"),
+            },
+        ));
+        LogRecordGroup::new(DbId(1), records)
+    }
+
+    fn write_kv(&self, sal: &Sal, page: u64, k: &str, format: bool) -> Lsn {
+        let group = self.group(page, k, format);
+        let end = group.end_lsn();
+        sal.log_group(group).unwrap();
+        sal.flush().unwrap();
+        end
+    }
+
+    fn settle(&self, sal: &Sal) {
+        sal.flush_all_slices();
+        for _ in 0..300 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            if sal.cv_lsn() == sal.durable_lsn() {
+                break;
+            }
+        }
+    }
+}
+
+/// Regression: `flush_locked` must take the min/max LSN range over all
+/// buffered groups and the per-slice max requirement, not the first/last
+/// iterated values. Groups appended out of LSN order used to record an
+/// inverted flush range (tripping the monotonicity invariant) and could let
+/// the CV-LSN advance before a buffer's true tail was replicated.
+#[test]
+fn out_of_lsn_order_groups_flush_with_correct_range() {
+    let h = Harness::new(4, 5);
+    // A roomy log buffer: both groups below must land in ONE flush so the
+    // flush range is computed across multiple buffered groups.
+    let sal = h.sal_with(TaurusConfig {
+        log_buffer_bytes: 1 << 20,
+        plog_size_limit: 1 << 22,
+        ..h.cfg.clone()
+    });
+    // Seed so the buffer isn't gated on slice creation ordering.
+    h.write_kv(&sal, 1, "seed", true);
+    h.settle(&sal);
+
+    // Allocate group A (lower LSNs) then group B, but buffer B before A:
+    // the flush range must be [min first, max end], not first/last iterated.
+    let a = h.group(1, "a", false);
+    let b = h.group(1, "b", false);
+    let end = b.end_lsn();
+    assert!(a.first_lsn() < b.first_lsn());
+    sal.log_group(b).unwrap();
+    sal.log_group(a).unwrap();
+    sal.flush().unwrap();
+    h.settle(&sal);
+    assert_eq!(sal.durable_lsn(), end);
+    assert_eq!(sal.cv_lsn(), end);
+
+    // No flush-accounting invariant may have fired.
+    let bad: Vec<_> = taurus_common::invariants::violations()
+        .into_iter()
+        .filter(|v| v.name == "log-flush-monotonic" || v.name == "pending-needs-bounded")
+        .collect();
+    assert!(bad.is_empty(), "invariant violations: {bad:?}");
+
+    // And the data is all there.
+    let page = sal.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(page.nslots(), 3);
+}
+
+/// A replica that fails reads must sink in the routing order: the failed
+/// attempt feeds the EWMA with a penalty, so only the *first* read pays the
+/// detour. Before the fix, an unmeasured replica defaulted to 0.0 latency
+/// and stayed at the front of the order forever, costing one failed
+/// attempt on every read.
+#[test]
+fn failed_reads_penalize_the_replica_in_routing_order() {
+    let h = Harness::new(4, 5);
+    let sal = h.sal();
+    let end = h.write_kv(&sal, 1, "k", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+
+    // No latencies recorded yet: routing falls back to placement order.
+    // Kill the first-choice replica.
+    h.fabric.set_down(replicas[0]);
+    sal.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(
+        sal.stats.read_retries.get(),
+        1,
+        "first read pays exactly one failed attempt"
+    );
+    // The penalty recorded for the dead replica must push it to the back:
+    // subsequent reads go straight to a healthy replica.
+    for _ in 0..5 {
+        sal.read_page(PageId(1), Some(end)).unwrap();
+    }
+    assert_eq!(
+        sal.stats.read_retries.get(),
+        1,
+        "penalized replica must not be retried first on every read"
+    );
+}
+
+/// A replica demoted to *suspect* by the write pipeline is deprioritized
+/// for reads even though the fabric reports it up — it is known to be
+/// missing recent fragments until repair catches it up.
+#[test]
+fn suspect_replicas_are_read_last() {
+    let h = Harness::new(4, 5);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "k1", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+    let victim = replicas[0];
+
+    // The victim misses a fragment: its sender worker exhausts the retry
+    // budget and demotes it.
+    h.fabric.set_down(victim);
+    let end = h.write_kv(&sal, 1, "k2", false);
+    sal.flush_all_slices();
+    for _ in 0..2500 {
+        if sal.is_suspect(victim) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    assert!(sal.is_suspect(victim), "victim must be demoted to suspect");
+    assert!(sal.stats.suspect_demotions.get() >= 1);
+
+    // The node returns, still stale (repair has not run). Wait until the
+    // healthy replicas have the fragment, then reads at the acked horizon
+    // must route around the suspect without paying a failed attempt.
+    h.fabric.set_up(victim);
+    for _ in 0..2500 {
+        let healthy_caught_up = replicas.iter().filter(|&&r| r != victim).all(|&r| {
+            h.pages
+                .persistent_lsn_of(r, h.me, key)
+                .is_ok_and(|l| l >= end)
+        });
+        if healthy_caught_up {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let before = sal.stats.read_retries.get();
+    let page = sal.read_page(PageId(1), Some(end)).unwrap();
+    assert_eq!(page.nslots(), 2);
+    assert_eq!(
+        sal.stats.read_retries.get(),
+        before,
+        "suspect replica must not be the first read target"
+    );
+}
+
+/// Queue-depth and in-flight gauges are visible per replica pipe.
+#[test]
+fn pipeline_gauges_report_per_replica_pipes() {
+    let h = Harness::new(4, 5);
+    let sal = h.sal();
+    h.write_kv(&sal, 1, "k", true);
+    h.settle(&sal);
+    let key = SliceKey::new(DbId(1), PageId(1).slice(h.cfg.pages_per_slice));
+    let replicas = h.pages.replicas_of(key);
+    let gauges = sal.pipeline_gauges();
+    for r in &replicas {
+        assert!(
+            gauges.iter().any(|(n, _, _)| n == r),
+            "replica {r} must have a pipe"
+        );
+    }
+    // Drained pipeline: nothing queued, nothing in flight.
+    for (_, queued, in_flight) in gauges {
+        assert_eq!(queued, 0);
+        assert_eq!(in_flight, 0);
+    }
+}

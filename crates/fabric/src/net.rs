@@ -39,6 +39,11 @@ struct NodeState {
     status: NodeStatus,
     /// Accumulated µs at which this node's NIC is next free (bandwidth model).
     nic_free_at_us: u64,
+    /// Probability (per mille) that an RPC *to* this node fails even though
+    /// the node is up — the "flaky replica" injection used by fault drills.
+    fail_permille: u16,
+    /// Extra latency charged per RPC to this node (slow-node injection).
+    extra_call_delay_us: u64,
 }
 
 #[derive(Debug)]
@@ -46,6 +51,7 @@ struct Inner {
     nodes: RwLock<HashMap<NodeId, NodeState>>,
     rng: Mutex<StdRng>,
     next_node: Mutex<u64>,
+    seed: u64,
 }
 
 /// The cluster fabric: every RPC, failure, and placement decision flows
@@ -68,6 +74,7 @@ impl Fabric {
                 nodes: RwLock::new(HashMap::new()),
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 next_node: Mutex::new(1),
+                seed,
             }),
         }
     }
@@ -84,6 +91,8 @@ impl Fabric {
                 kind,
                 status: NodeStatus::Up,
                 nic_free_at_us: 0,
+                fail_permille: 0,
+                extra_call_delay_us: 0,
             },
         );
         id
@@ -120,6 +129,34 @@ impl Fabric {
         if let Some(n) = self.inner.nodes.write().get_mut(&id) {
             n.status = NodeStatus::Decommissioned;
         }
+    }
+
+    /// Makes RPCs *to* a node fail with probability `permille`/1000 even
+    /// while the node is up — the flaky-replica failure injection. Draws
+    /// come from the fabric's seeded RNG, so drills replay with the seed.
+    /// `0` clears the injection.
+    pub fn set_flaky(&self, id: NodeId, permille: u16) {
+        if let Some(n) = self.inner.nodes.write().get_mut(&id) {
+            n.fail_permille = permille.min(1000);
+        }
+    }
+
+    /// Charges `us` of extra latency on every RPC to a node (slow-node
+    /// injection; lets tests exercise per-attempt timeout accounting). A
+    /// node that goes down mid-delay fails the call, like a real timeout.
+    /// `0` clears the injection.
+    pub fn set_call_delay(&self, id: NodeId, us: u64) {
+        if let Some(n) = self.inner.nodes.write().get_mut(&id) {
+            n.extra_call_delay_us = us;
+        }
+    }
+
+    /// A deterministic RNG derived from the fabric seed and a caller salt.
+    /// Use this for randomness owned by one component (e.g. per-replica
+    /// retry jitter) so its draws do not perturb the shared placement
+    /// stream's sequence.
+    pub fn derive_rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.inner.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Current status of a node (`None` if never registered).
@@ -201,12 +238,29 @@ impl Fabric {
     /// The *caller thread* is the network in this model: concurrency comes
     /// from the many front-end/flusher threads issuing calls in parallel.
     pub fn call<T>(&self, _from: NodeId, to: NodeId, f: impl FnOnce() -> T) -> Result<T> {
+        let (fail_permille, extra_delay_us) = {
+            let nodes = self.inner.nodes.read();
+            match nodes.get(&to) {
+                Some(n) if matches!(n.status, NodeStatus::Up) => {
+                    (n.fail_permille, n.extra_call_delay_us)
+                }
+                _ => return Err(TaurusError::NodeUnavailable(to)),
+            }
+        };
+        self.clock.sleep_us(self.hop_latency_us());
+        if extra_delay_us > 0 {
+            self.clock.sleep_us(extra_delay_us);
+        }
+        // The target may have died while the request was in flight (or
+        // while an injected slow-node delay was being served).
         if !self.is_up(to) {
             return Err(TaurusError::NodeUnavailable(to));
         }
-        self.clock.sleep_us(self.hop_latency_us());
-        // The target may have died while the request was in flight.
-        if !self.is_up(to) {
+        // Flaky-node injection: the request is lost despite the node being
+        // up; the caller sees it exactly like a crashed target.
+        if fail_permille > 0
+            && self.inner.rng.lock().random_range(0..1000u32) < fail_permille as u32
+        {
             return Err(TaurusError::NodeUnavailable(to));
         }
         let out = f();
@@ -368,6 +422,65 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn flaky_injection_fails_a_fraction_of_calls() {
+        let (f, _) = test_fabric();
+        let a = f.add_node(NodeKind::Compute);
+        let b = f.add_node(NodeKind::PageStore);
+        f.set_flaky(b, 500); // ~50%
+        let mut failures = 0;
+        for _ in 0..200 {
+            if f.call(a, b, || ()).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(
+            (40..=160).contains(&failures),
+            "expected ~100 failures at 50%, got {failures}"
+        );
+        f.set_flaky(b, 0);
+        for _ in 0..50 {
+            f.call(a, b, || ()).unwrap();
+        }
+    }
+
+    #[test]
+    fn call_delay_charges_extra_latency_and_loses_races_with_death() {
+        let (f, clock) = test_fabric();
+        let a = f.add_node(NodeKind::Compute);
+        let b = f.add_node(NodeKind::PageStore);
+        f.set_call_delay(b, 5_000);
+        let before = clock.now_us();
+        f.call(a, b, || ()).unwrap();
+        assert_eq!(clock.now_us() - before, 5_200); // 2 hops + injected delay
+        f.set_call_delay(b, 0);
+        let before = clock.now_us();
+        f.call(a, b, || ()).unwrap();
+        assert_eq!(clock.now_us() - before, 200);
+    }
+
+    #[test]
+    fn derived_rngs_are_seed_stable_and_salt_distinct() {
+        let (f, _) = test_fabric();
+        let mut a1 = f.derive_rng(7);
+        let mut a2 = f.derive_rng(7);
+        let mut b = f.derive_rng(8);
+        let s1: Vec<u32> = (0..8).map(|_| a1.random_range(0..1000u32)).collect();
+        let s2: Vec<u32> = (0..8).map(|_| a2.random_range(0..1000u32)).collect();
+        let s3: Vec<u32> = (0..8).map(|_| b.random_range(0..1000u32)).collect();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        // Deriving does not consume from the shared placement stream.
+        f.add_nodes(NodeKind::LogStore, 5);
+        let picked_before = f.pick_nodes(NodeKind::LogStore, 3, &[]).unwrap();
+        let (f2, _) = test_fabric();
+        f2.add_nodes(NodeKind::LogStore, 5); // mirror node registration order
+        assert_eq!(
+            picked_before,
+            f2.pick_nodes(NodeKind::LogStore, 3, &[]).unwrap()
+        );
     }
 
     #[test]

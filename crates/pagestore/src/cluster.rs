@@ -103,6 +103,14 @@ impl PageStoreCluster {
         v
     }
 
+    /// Whether `node` is a registered Page Store server that the fabric
+    /// currently considers up. The SAL consults this when a fragment is
+    /// parked: a live node can be repaired immediately, a dead one must
+    /// wait for the recovery sweep.
+    pub fn is_live(&self, node: NodeId) -> bool {
+        self.servers.read().contains_key(&node) && self.fabric.is_up(node)
+    }
+
     /// Current replica placement of a slice.
     pub fn replicas_of(&self, key: SliceKey) -> Vec<NodeId> {
         self.placement.read().get(&key).cloned().unwrap_or_default()

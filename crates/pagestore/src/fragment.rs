@@ -11,20 +11,45 @@
 //! resends (paper §5.3) heal holes without knowing the original fragment
 //! boundaries.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use taurus_common::{DbId, LogRecord, Lsn, Result, SliceId, SliceKey, TaurusError};
 
 const FRAGMENT_MAGIC: u32 = 0x5446_5247; // "TFRG"
 
+/// Process-wide count of [`SliceFragment::clone`] calls. The SAL's send
+/// path must ship one fragment to all replicas by `Arc` sharing — a deep
+/// clone per replica was a 3× allocation tax on every slice flush — and
+/// tests pin that property by asserting this counter does not move across
+/// a workload (see `tests/fragment_sharing.rs`).
+static DEEP_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Total `SliceFragment` deep clones since process start.
+pub fn deep_clone_count() -> u64 {
+    DEEP_CLONES.load(Ordering::Relaxed)
+}
+
 /// One ordered batch of log records for one slice.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct SliceFragment {
     pub slice: SliceKey,
     /// LSN of the last record the writer previously sent to this slice
     /// (`Lsn::ZERO` for the first fragment of a slice). The chain link.
     pub prev_last_lsn: Lsn,
     pub records: Vec<LogRecord>,
+}
+
+impl Clone for SliceFragment {
+    fn clone(&self) -> Self {
+        DEEP_CLONES.fetch_add(1, Ordering::Relaxed);
+        SliceFragment {
+            slice: self.slice,
+            prev_last_lsn: self.prev_last_lsn,
+            records: self.records.clone(),
+        }
+    }
 }
 
 impl SliceFragment {

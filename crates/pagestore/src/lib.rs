@@ -37,6 +37,6 @@ pub mod server;
 pub mod slice;
 
 pub use cluster::PageStoreCluster;
-pub use fragment::SliceFragment;
+pub use fragment::{deep_clone_count, SliceFragment};
 pub use pool::{EvictionPolicy, PagePool};
 pub use server::{ConsolidationPolicy, PageStoreServer};

@@ -1,10 +1,13 @@
 //! Offline shim for `crossbeam`.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` — an
-//! unbounded MPMC channel built on `Mutex` + `Condvar`. Both endpoints are
-//! `Clone`; `recv` unblocks with `Err(RecvError)` once every sender is
-//! dropped and the queue drains, which is the disconnect contract the
-//! workspace's worker loops (`while let Ok(x) = rx.recv()`) rely on.
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}` —
+//! MPMC channels built on `Mutex` + `Condvar`. Both endpoints are `Clone`;
+//! `recv` unblocks with `Err(RecvError)` once every sender is dropped and
+//! the queue drains, which is the disconnect contract the workspace's
+//! worker loops (`while let Ok(x) = rx.recv()`) rely on. Bounded channels
+//! additionally expose `try_send`, which reports `TrySendError::Full`
+//! instead of blocking — the backpressure primitive the SAL's per-replica
+//! write pipeline is built on.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -16,15 +19,20 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Woken when a bounded queue frees a slot.
+        space: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel_with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -34,6 +42,19 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` queued values.
+    /// `send` blocks while full; `try_send` returns [`TrySendError::Full`].
+    /// A capacity of 0 is rounded up to 1 (the real crate's rendezvous
+    /// semantics are not needed by this workspace).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(Some(cap.max(1)))
     }
 
     pub struct Sender<T> {
@@ -46,6 +67,14 @@ pub mod channel {
 
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The (bounded) queue is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -71,6 +100,39 @@ pub mod channel {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 drop(queue);
                 return Err(SendError(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                while queue.len() >= cap {
+                    queue = self
+                        .shared
+                        .space
+                        .wait(queue)
+                        .unwrap_or_else(|p| p.into_inner());
+                    if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                        drop(queue);
+                        return Err(SendError(value));
+                    }
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send. On a full bounded queue returns
+        /// [`TrySendError::Full`] immediately instead of waiting.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                drop(queue);
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if queue.len() >= cap {
+                    drop(queue);
+                    return Err(TrySendError::Full(value));
+                }
             }
             queue.push_back(value);
             drop(queue);
@@ -124,6 +186,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(v) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -140,7 +204,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             match queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(queue);
+                    self.shared.space.notify_one();
+                    Ok(v)
+                }
                 None if self.shared.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -153,6 +221,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
             loop {
                 if let Some(v) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -170,7 +240,11 @@ pub mod channel {
                 queue = q;
                 if r.timed_out() {
                     return match queue.pop_front() {
-                        Some(v) => Ok(v),
+                        Some(v) => {
+                            drop(queue);
+                            self.shared.space.notify_one();
+                            Ok(v)
+                        }
                         None => Err(RecvTimeoutError::Timeout),
                     };
                 }
@@ -216,6 +290,9 @@ pub mod channel {
                 // any send that already holds the queue lock completes its
                 // enqueue first; any later send observes zero receivers.
                 drop(self.shared.queue.lock().unwrap_or_else(|p| p.into_inner()));
+                // Wake senders blocked on a full bounded queue so they can
+                // observe the disconnect instead of waiting forever.
+                self.shared.space.notify_all();
             }
         }
     }
@@ -315,6 +392,46 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_and_drains() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_blocked_send_observes_receiver_disconnect() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(h.join().unwrap(), Err(SendError(2)));
+    }
+
+    #[test]
+    fn try_send_to_dropped_receiver_disconnects() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.try_send(7), Err(TrySendError::Disconnected(7)));
     }
 
     #[test]
