@@ -22,12 +22,12 @@ fn run_pair(workload: &dyn Workload, regime: ScaleRegime, conns: usize) -> (f64,
     let (rows, pool) = regime.geometry();
     let _ = rows;
     // Taurus.
-    let (db, guard) = launch_taurus_with({
+    let taurus_cfg = {
         let mut cfg = bench_config(pool);
         cfg.engine_buffer_pool_pages = pool;
         cfg
-    })
-    .expect("launch taurus");
+    };
+    let (db, guard) = launch_taurus_with(taurus_cfg.clone()).expect("launch taurus");
     let taurus = TaurusExecutor::new(db);
     load_initial(&taurus, workload).expect("load taurus");
     let t_report = run_workload(&taurus, workload, conns, txns_per_conn(), 7);
@@ -38,6 +38,8 @@ fn run_pair(workload: &dyn Workload, regime: ScaleRegime, conns: usize) -> (f64,
             println!("  taurus SAL pipe {node}: queued={queued} in_flight={in_flight}");
         }
     }
+    let log = sal.log_stats().snapshot();
+    println!("  taurus log store: {log}");
     drop(guard);
 
     // Aurora-style 6/4 quorum on identical hardware profiles.
@@ -54,6 +56,54 @@ fn run_pair(workload: &dyn Workload, regime: ScaleRegime, conns: usize) -> (f64,
     println!("  aurora : {}", a_report.row());
     println!("  taurus vs aurora: {}", rel(t_report.tps, a_report.tps));
     (t_report.tps, a_report.tps)
+}
+
+/// CI smoke (`TAURUS_FIG7_ASSERT=1`): on the bench's non-instant network,
+/// the mean 3/3 Log Store append ack must cost about one replica round
+/// trip (max-of-three), strictly under twice it — serial fan-out would sit
+/// at ~3x. Runs single-connection on a quiet cluster, and calibrates the
+/// bound on this machine first: `thread::sleep` overshoot dwarfs the
+/// simulated microsecond latencies, so a bound computed from the profile
+/// alone would be fiction.
+fn append_latency_smoke() {
+    header("Log Store append smoke: ack latency = max-of-three, not sum");
+    let mut cfg = bench_config(4096);
+    // A hop big enough that the network model dominates the measurement:
+    // at the default 50us hop, thread scheduling noise (~1ms on a busy CI
+    // host) swamps the difference between one round trip and three.
+    cfg.network.hop_us = 2_000;
+    cfg.network.jitter_us = 0;
+    let clock = bench_clock();
+    let trips = 20u64;
+    let t0 = clock.now_us();
+    for _ in 0..trips {
+        // One replica round trip: request hop, append charge, response hop.
+        clock.sleep_us(cfg.network.hop_us);
+        clock.sleep_us(cfg.storage.append_us);
+        clock.sleep_us(cfg.network.hop_us);
+    }
+    let single_trip_us = (clock.now_us().saturating_sub(t0) / trips).max(1);
+
+    let (db, guard) = launch_taurus_with(cfg).expect("launch taurus");
+    let taurus = TaurusExecutor::new(db);
+    let w = SysbenchWorkload::new(SysbenchMode::WriteOnly, 512, 200);
+    load_initial(&taurus, &w).expect("load smoke workload");
+    let sal = &taurus.db.master().sal;
+    sal.log_stats().append_latency.clear();
+    let _ = run_workload(&taurus, &w, 1, 150, 11);
+    let snap = sal.log_stats().snapshot();
+    drop(guard);
+
+    println!("  calibrated single replica trip: {single_trip_us}us");
+    println!("  log store: {snap}");
+    let mean = snap.append_latency.map(|l| l.mean_us).unwrap_or(f64::MAX);
+    let bound = (2 * single_trip_us) as f64;
+    assert!(
+        mean < bound,
+        "mean log append ack {mean:.0}us >= 2x one replica trip ({bound:.0}us) \
+         — the 3/3 fan-out is not running in parallel"
+    );
+    println!("  mean append ack {mean:.0}us < {bound:.0}us: parallel fan-out OK");
 }
 
 fn main() {
@@ -107,4 +157,8 @@ fn main() {
 
     println!();
     println!("Summary: Taurus ahead in {wins}/{total} benchmarks (paper: 5/5).");
+
+    if std::env::var("TAURUS_FIG7_ASSERT").as_deref() == Ok("1") {
+        append_latency_smoke();
+    }
 }

@@ -86,6 +86,11 @@ fn taurus_lag_at_rate(writes_per_sec: u64, duration: Duration) -> (f64, f64) {
         writes_per_sec,
         db.master().sal.stats.snapshot()
     );
+    println!(
+        "  [{} w/s target] log store: {}",
+        writes_per_sec,
+        db.master().sal.log_stats().snapshot()
+    );
     drop(guard);
     let wall_secs = (clock.now_us().saturating_sub(start_us) as f64 / 1e6).max(1e-9);
     let achieved_rate = achieved_writes as f64 / wall_secs;

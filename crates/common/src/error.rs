@@ -54,6 +54,15 @@ pub enum TaurusError {
     InsufficientHealthyNodes { needed: usize, available: usize },
     /// Operation attempted on a read-only replica front end.
     ReadOnlyReplica,
+    /// A replica's log-tail cursor fell behind truncation: records it had not
+    /// yet consumed were deleted with their PLog, so resuming the tail read
+    /// would silently skip them. The replica must resync its page state up to
+    /// `truncated_through` (everything below it is persistent on all Page
+    /// Store replicas) before reading the tail again.
+    ReplicaBehindTruncation {
+        consumed: Lsn,
+        truncated_through: Lsn,
+    },
     /// Catch-all for invariant violations with context.
     Internal(String),
 }
@@ -89,6 +98,14 @@ impl fmt::Display for TaurusError {
                 "insufficient healthy nodes: need {needed}, have {available}"
             ),
             ReadOnlyReplica => write!(f, "write attempted on a read-only replica"),
+            ReplicaBehindTruncation {
+                consumed,
+                truncated_through,
+            } => write!(
+                f,
+                "replica tail cursor behind truncation: consumed through lsn {consumed}, \
+                 log truncated through {truncated_through}"
+            ),
             Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -139,6 +156,12 @@ mod tests {
         .is_retryable());
         assert!(!TaurusError::KeyNotFound.is_retryable());
         assert!(!TaurusError::WriteConflict { page: PageId(1) }.is_retryable());
+        // Not retryable: the replica must resync, not re-issue the read.
+        assert!(!TaurusError::ReplicaBehindTruncation {
+            consumed: Lsn(10),
+            truncated_through: Lsn(20),
+        }
+        .is_retryable());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod lsn;
 pub mod metrics;
 pub mod page;
 pub mod record;
+pub mod sync;
 
 pub use config::TaurusConfig;
 pub use error::{Result, TaurusError};

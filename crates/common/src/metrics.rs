@@ -154,6 +154,66 @@ impl Gauge {
     }
 }
 
+/// Observability for the Log Store append hot path (paper §3.2–§3.3): one
+/// instance per `LogStream`, printed by the fig7/fig9 harnesses. The append
+/// latency histogram times the replicated 3/3 write alone (reservation to
+/// last replica ack), so with per-hop latency L a parallel fan-out reports
+/// ~max-of-3 (~one round trip) rather than ~3 round trips.
+#[derive(Debug, Default)]
+pub struct LogStoreStats {
+    /// Latency of each replicated group append, microseconds.
+    pub append_latency: LatencyRecorder,
+    /// Replicated appends currently between reservation and commit.
+    pub appends_in_flight: Gauge,
+    /// Completed group appends (reservation committed).
+    pub appends: Counter,
+    /// Seal-and-switch events: a reservation lost its PLog to a failed
+    /// append and re-reserved on a fresh one.
+    pub seal_switches: Counter,
+}
+
+impl LogStoreStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn snapshot(&self) -> LogStoreStatsSnapshot {
+        LogStoreStatsSnapshot {
+            appends: self.appends.get(),
+            appends_in_flight: self.appends_in_flight.get(),
+            seal_switches: self.seal_switches.get(),
+            append_latency: self.append_latency.summary(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`LogStoreStats`] for reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct LogStoreStatsSnapshot {
+    pub appends: u64,
+    pub appends_in_flight: u64,
+    pub seal_switches: u64,
+    pub append_latency: Option<LatencySummary>,
+}
+
+impl std::fmt::Display for LogStoreStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "log appends={} in_flight={} seal_switches={}",
+            self.appends, self.appends_in_flight, self.seal_switches
+        )?;
+        if let Some(l) = self.append_latency {
+            write!(
+                f,
+                " append_us mean={:.1} p50={} p95={} p99={} max={}",
+                l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.max_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Hit-rate tracker for caches (buffer pools, log caches).
 #[derive(Debug, Default)]
 pub struct HitRate {
@@ -241,6 +301,26 @@ mod tests {
         assert_eq!(g.get(), 0);
         g.set(7);
         assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn log_store_stats_snapshot_and_display() {
+        let s = LogStoreStats::new();
+        assert!(s.snapshot().append_latency.is_none());
+        s.appends_in_flight.add(2);
+        s.append_latency.record(100);
+        s.append_latency.record(300);
+        s.appends.add(2);
+        s.seal_switches.inc();
+        let snap = s.snapshot();
+        assert_eq!(snap.appends, 2);
+        assert_eq!(snap.appends_in_flight, 2);
+        assert_eq!(snap.seal_switches, 1);
+        let lat = snap.append_latency.unwrap();
+        assert!((lat.mean_us - 200.0).abs() < 1e-9);
+        let text = snap.to_string();
+        assert!(text.contains("seal_switches=1"));
+        assert!(text.contains("mean=200.0"));
     }
 
     #[test]

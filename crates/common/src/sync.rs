@@ -1,0 +1,94 @@
+//! Small synchronization helpers shared across the workspace.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A ticket turnstile: threads holding consecutive tickets pass through one
+/// at a time, in ticket order, regardless of the order they arrive in.
+///
+/// The SAL flush pipeline uses two of these to keep its *ordered* sections
+/// ordered while the expensive middle (the replicated 3/3 log append) runs
+/// concurrently: tickets are assigned under the SAL lock in LSN order, each
+/// flush reserves its log-tail slot inside `wait_for(ticket)`/`advance()`,
+/// fans out to the Log Stores unordered, then commits bookkeeping inside a
+/// second turnstile.
+///
+/// Every ticket holder **must** call [`Sequencer::advance`] exactly once —
+/// including on error paths — or every later ticket blocks forever.
+#[derive(Debug, Default)]
+pub struct Sequencer {
+    current: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Sequencer {
+    /// A turnstile whose first admitted ticket is 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until `ticket` is the current turn. Tickets must be obtained
+    /// from a dense counter starting at 0; waiting on a ticket that was
+    /// already admitted returns immediately (and indicates a caller bug if
+    /// the holder also advances again).
+    pub fn wait_for(&self, ticket: u64) {
+        let mut current = self.current.lock();
+        while *current < ticket {
+            self.cv.wait(&mut current);
+        }
+    }
+
+    /// Ends the current turn, admitting the next ticket.
+    pub fn advance(&self) {
+        let mut current = self.current.lock();
+        *current += 1;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn tickets_pass_in_order_regardless_of_arrival() {
+        let seq = Arc::new(Sequencer::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        // Spawn in reverse ticket order so later tickets arrive first.
+        for ticket in (0..8u64).rev() {
+            let seq = Arc::clone(&seq);
+            let order = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                seq.wait_for(ticket);
+                order.lock().push(ticket);
+                seq.advance();
+            }));
+        }
+        for h in handles {
+            h.join().map_err(|_| "worker panicked").unwrap();
+        }
+        assert_eq!(*order.lock(), (0..8u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn turnstile_admits_one_holder_at_a_time() {
+        let seq = Arc::new(Sequencer::new());
+        let inside = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for ticket in 0..6u64 {
+            let seq = Arc::clone(&seq);
+            let inside = Arc::clone(&inside);
+            handles.push(std::thread::spawn(move || {
+                seq.wait_for(ticket);
+                assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0);
+                inside.fetch_sub(1, Ordering::SeqCst);
+                seq.advance();
+            }));
+        }
+        for h in handles {
+            h.join().map_err(|_| "worker panicked").unwrap();
+        }
+    }
+}

@@ -13,13 +13,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use taurus_common::clock::ClockRef;
 use taurus_common::lsn::LsnWatermark;
-use taurus_common::metrics::{Counter, Gauge};
+use taurus_common::metrics::{Counter, Gauge, LogStoreStats};
+use taurus_common::sync::Sequencer;
 use taurus_common::{
     DbId, LogRecord, LogRecordGroup, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusConfig,
     TaurusError,
@@ -90,10 +91,30 @@ struct PendingBuffer {
     needs: HashMap<SliceKey, Lsn>,
 }
 
+/// One log-buffer's worth of groups on its way through the flush pipeline:
+/// prepared (ticketed) under the state lock, appended to the Log Stores with
+/// no lock held, then committed back in ticket order.
+struct PreparedFlush {
+    ticket: u64,
+    first: Lsn,
+    end: Lsn,
+    groups: Vec<LogRecordGroup>,
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct SalState {
     log_buffer: Vec<LogRecordGroup>,
     log_buffer_bytes: usize,
+    /// Ticket of the next prepared flush (log-write pipeline order).
+    next_flush_ticket: u64,
+    /// End LSN of the newest *prepared* flush — it may still be in flight.
+    /// `flush()` waits for the durable LSN to catch up to this.
+    last_prepared_end: Lsn,
+    /// End LSN of the first log flush that failed outright (the cluster
+    /// could not host a new PLog). Everything at or below the durable LSN
+    /// stays valid; later flushes sit behind the gap and the durable LSN
+    /// stops advancing.
+    failed_at: Lsn,
     pub slices: HashMap<SliceKey, SliceState>,
     pending: VecDeque<PendingBuffer>,
     /// Named snapshots: LSNs pinned against version recycling. Because Page
@@ -218,6 +239,15 @@ pub struct Sal {
     pub pages: PageStoreCluster,
     stream: LogStream,
     state: Mutex<SalState>,
+    /// Log-write pipeline, ordered by flush ticket: the log-tail slot is
+    /// reserved inside `reserve_turn`, the replicated 3/3 append then runs
+    /// with no lock and no turnstile (this is where concurrent flushes
+    /// overlap), and durability bookkeeping commits inside `post_turn`.
+    reserve_turn: Sequencer,
+    post_turn: Sequencer,
+    /// Signals waiters in [`Sal::flush`] whenever an in-flight log write
+    /// completes (or fails). Paired with `state`.
+    flush_cv: Condvar,
     /// Cluster-visible LSN (§3.5).
     cv_lsn: LsnWatermark,
     /// Highest LSN durable on Log Stores.
@@ -267,7 +297,13 @@ impl Sal {
         anchor: Arc<LsnWatermark>,
     ) -> Result<Arc<Sal>> {
         cfg.validate()?;
-        let stream = LogStream::create(logs.clone(), db, me, cfg.plog_size_limit)?;
+        let stream = LogStream::create(
+            logs.clone(),
+            db,
+            me,
+            cfg.plog_size_limit,
+            cfg.log_append_window,
+        )?;
         Ok(Self::build(cfg, db, me, logs, pages, stream, anchor))
     }
 
@@ -293,6 +329,9 @@ impl Sal {
             pages,
             stream,
             state: Mutex::new(SalState::default()),
+            reserve_turn: Sequencer::new(),
+            post_turn: Sequencer::new(),
+            flush_cv: Condvar::new(),
             cv_lsn: LsnWatermark::new(Lsn::ZERO),
             durable_lsn: LsnWatermark::new(Lsn::ZERO),
             anchor,
@@ -467,33 +506,58 @@ impl Sal {
     /// the buffer is full. Does **not** guarantee durability — call
     /// [`Sal::flush`] for that (the engine does at commit).
     pub fn log_group(&self, group: LogRecordGroup) -> Result<()> {
-        let mut st = self.state.lock();
-        st.log_buffer_bytes += group.encoded_len();
-        st.log_buffer.push(group);
-        if st.log_buffer_bytes >= self.cfg.log_buffer_bytes {
-            self.flush_locked(&mut st)?;
+        let prepared = {
+            let mut st = self.state.lock();
+            st.log_buffer_bytes += group.encoded_len();
+            st.log_buffer.push(group);
+            if st.log_buffer_bytes >= self.cfg.log_buffer_bytes {
+                self.prepare_flush_locked(&mut st)
+            } else {
+                None
+            }
+        };
+        match prepared {
+            Some(p) => self.run_flush(p),
+            None => Ok(()),
         }
-        Ok(())
     }
 
     /// Forces the database log buffer to the Log Stores. On return, every
     /// record passed to [`Sal::log_group`] so far is durable (3/3) and the
-    /// transaction ack may be sent. Returns the durable LSN.
+    /// transaction ack may be sent — including records handed to flushes
+    /// still in flight on other threads when this call started. Returns the
+    /// durable LSN.
     pub fn flush(&self) -> Result<Lsn> {
-        let mut st = self.state.lock();
-        self.flush_locked(&mut st)?;
+        let (prepared, target) = {
+            let mut st = self.state.lock();
+            let p = self.prepare_flush_locked(&mut st);
+            (p, st.last_prepared_end)
+        };
+        if let Some(p) = prepared {
+            self.run_flush(p)?;
+        } else if target > self.durable_lsn.get() {
+            // Nothing new to write, but earlier flushes are still in
+            // flight: durability of *our* caller's records rides on them.
+            let mut st = self.state.lock();
+            while self.durable_lsn.get() < target {
+                if st.failed_at.is_valid() && st.failed_at <= target {
+                    return Err(TaurusError::Internal(format!(
+                        "log flush failed at {}",
+                        st.failed_at
+                    )));
+                }
+                self.flush_cv.wait(&mut st);
+            }
+        }
         Ok(self.durable_lsn.get())
     }
 
-    fn flush_locked(&self, st: &mut SalState) -> Result<()> {
+    /// Takes the current log buffer as one pipelined flush unit, assigning
+    /// it the next flush ticket. Cheap; called under the state lock. The
+    /// caller must then drive [`Sal::run_flush`] (off the lock).
+    fn prepare_flush_locked(&self, st: &mut SalState) -> Option<PreparedFlush> {
         if st.log_buffer.is_empty() {
-            return Ok(());
-        }
-        // Backpressure: while consolidation is behind, each flush pays a
-        // small delay so the Log Directories stop growing (§7).
-        let throttle = self.throttle_us.load(Ordering::Relaxed);
-        if throttle > 0 {
-            self.clock.sleep_us(throttle);
+            return None;
         }
         let groups = std::mem::take(&mut st.log_buffer);
         st.log_buffer_bytes = 0;
@@ -510,27 +574,95 @@ impl Sal {
             .map(|g| g.end_lsn())
             .max()
             .unwrap_or(Lsn::ZERO);
-        // Encode all groups into one durable write.
-        let mut buf = bytes::BytesMut::new();
-        for g in &groups {
-            g.encode_into(&mut buf);
-        }
-        // Step 2-3: durable on all Log Store replicas == commit point.
+        // Successive flushes carry strictly increasing LSN ranges; the
+        // durable LSN itself may lag — earlier tickets can still be in
+        // flight.
         taurus_common::invariant!(
             "log-flush-monotonic",
-            end >= first && first > self.durable_lsn.get(),
-            "flush [{first}..{end}] does not extend durable {}",
+            end >= first && first > st.last_prepared_end.max(self.durable_lsn.get()),
+            "flush [{first}..{end}] does not extend prepared {} / durable {}",
+            st.last_prepared_end,
             self.durable_lsn.get()
         );
-        self.stream.append_group(buf.freeze(), first, end)?;
+        st.last_prepared_end = end;
+        let ticket = st.next_flush_ticket;
+        st.next_flush_ticket += 1;
+        Some(PreparedFlush {
+            ticket,
+            first,
+            end,
+            groups,
+        })
+    }
+
+    /// Drives one prepared flush through the log-write pipeline. The state
+    /// lock is never held across the Log Store round trip: the log-tail
+    /// reservation happens in ticket order inside `reserve_turn`, the
+    /// replicated append runs unordered (concurrent flushes overlap here,
+    /// bounded by the stream's append window), and the durability
+    /// bookkeeping commits in ticket order inside `post_turn`.
+    fn run_flush(&self, p: PreparedFlush) -> Result<()> {
+        // Backpressure: while consolidation is behind, each flush pays a
+        // small delay so the Log Directories stop growing (§7).
+        let throttle = self.throttle_us.load(Ordering::Relaxed);
+        if throttle > 0 {
+            self.clock.sleep_us(throttle);
+        }
+        // Encode all groups into one durable write (no lock held).
+        let mut buf = bytes::BytesMut::new();
+        for g in &p.groups {
+            g.encode_into(&mut buf);
+        }
+        let data = buf.freeze();
+        // Step 2: reserve the log-tail slot, in LSN order.
+        self.reserve_turn.wait_for(p.ticket);
+        let reserved = self
+            .stream
+            .reserve_append(p.first, p.end, data.len() as u64);
+        self.reserve_turn.advance();
+        // Step 3: durable on all Log Store replicas == commit point. This
+        // is the slow (two network hops) part — and the parallel one.
+        let appended = reserved.and_then(|res| self.stream.complete_append(res, data));
+        self.post_turn.wait_for(p.ticket);
+        let result = match appended {
+            Ok(()) => self.finish_flush(p),
+            Err(e) => {
+                let mut st = self.state.lock();
+                if !st.failed_at.is_valid() {
+                    st.failed_at = p.end;
+                }
+                self.flush_cv.notify_all();
+                Err(e)
+            }
+        };
+        self.post_turn.advance();
+        result
+    }
+
+    /// Ordered post-append bookkeeping for one flush: advance the durable
+    /// LSN, distribute records into per-slice buffers, and track the buffer
+    /// for CV-LSN advancement. Runs inside the flush's `post_turn`.
+    fn finish_flush(&self, p: PreparedFlush) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.failed_at.is_valid() {
+            // An earlier flush failed: our records are durable but sit
+            // behind a hole in the log, so they can never be acknowledged
+            // or made visible.
+            self.flush_cv.notify_all();
+            return Err(TaurusError::Internal(format!(
+                "log flush failed at {}",
+                st.failed_at
+            )));
+        }
+        let end = p.end;
         self.durable_lsn.advance(end);
         self.stats.log_flushes.inc();
         // Step 4: distribute records into per-slice buffers.
         let mut touched: HashMap<SliceKey, Lsn> = HashMap::new();
-        for g in groups {
+        for g in p.groups {
             for rec in g.records {
                 let key = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
-                self.ensure_slice_locked(st, key)?;
+                self.ensure_slice_locked(&mut st, key)?;
                 let slice = st.slices.get_mut(&key).ok_or_else(|| {
                     TaurusError::Internal(format!("slice {key} vanished after ensure"))
                 })?;
@@ -567,9 +699,10 @@ impl Sal {
             .map(|(k, _)| *k)
             .collect();
         for key in keys {
-            self.flush_slice_locked(st, key);
+            self.flush_slice_locked(&mut st, key);
         }
-        self.advance_cv_locked(st);
+        self.advance_cv_locked(&mut st);
+        self.flush_cv.notify_all();
         Ok(())
     }
 
@@ -1167,6 +1300,13 @@ impl Sal {
         self.stream.read_groups_from(from)
     }
 
+    /// Log Store append-path metrics of this SAL's log stream (latency,
+    /// in-flight window, seal-switches). Benches print this next to
+    /// [`SalStats`].
+    pub fn log_stats(&self) -> &LogStoreStats {
+        self.stream.stats()
+    }
+
     /// The saved recovery anchor (database persistent LSN at last save).
     pub fn recovery_anchor(&self) -> Lsn {
         self.anchor.get()
@@ -1197,7 +1337,13 @@ impl Sal {
         anchor: Arc<LsnWatermark>,
     ) -> Result<(Arc<Sal>, Lsn)> {
         cfg.validate()?;
-        let stream = LogStream::open(logs.clone(), db, me, cfg.plog_size_limit)?;
+        let stream = LogStream::open(
+            logs.clone(),
+            db,
+            me,
+            cfg.plog_size_limit,
+            cfg.log_append_window,
+        )?;
         let sal = Self::build(cfg, db, me, logs, pages, stream, anchor);
 
         let start = sal.anchor.get();
@@ -1232,6 +1378,9 @@ impl Sal {
             }
         }
         sal.durable_lsn.advance(max_lsn);
+        // The flush pipeline's monotonicity baseline starts where the
+        // recovered log ends.
+        sal.state.lock().last_prepared_end = max_lsn;
         // Redo: resend per replica exactly what it is missing, chained at
         // its own persistent LSN. Page Stores disregard duplicates.
         for key in keys {

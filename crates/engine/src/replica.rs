@@ -77,7 +77,7 @@ impl ReplicaEngine {
         pages: PageStoreCluster,
         bulletin: Arc<Bulletin>,
     ) -> Result<Arc<ReplicaEngine>> {
-        let stream = LogStream::open(logs, db, me, cfg.plog_size_limit)?;
+        let stream = LogStream::open(logs, db, me, cfg.plog_size_limit, cfg.log_append_window)?;
         Ok(Arc::new(ReplicaEngine {
             id,
             me,
@@ -123,7 +123,26 @@ impl ReplicaEngine {
         // Log Stores (the cursor stops at their boundary), so a later poll
         // picks them up once the horizon advances. Reading them here and
         // dropping them would lose them forever — the cursor never re-reads.
-        let groups = self.stream.read_tail(&mut cursor, horizon)?;
+        let groups = match self.stream.read_tail(&mut cursor, horizon) {
+            Ok(groups) => groups,
+            Err(TaurusError::ReplicaBehindTruncation {
+                truncated_through, ..
+            }) => {
+                // The master truncated log this replica never consumed: the
+                // missing records can never be replayed, so cached pages can
+                // not be rolled forward. Resync wholesale — drop the pool
+                // (pages re-read from the Page Stores at the right version
+                // on demand), jump the visible LSN over the truncated range
+                // (truncation only happens below the database persistent
+                // LSN, so every page is readable there), and restart the
+                // cursor at the surviving log.
+                self.pool.clear();
+                *cursor = TailCursor::default();
+                self.visible_lsn.advance(truncated_through);
+                self.stream.read_tail(&mut cursor, horizon)?
+            }
+            Err(e) => return Err(e),
+        };
         let mut applied = 0usize;
         for group in groups {
             let end = group.end_lsn();

@@ -6,10 +6,11 @@
 //!
 //! * [`LogStoreCluster::create_plog`] — pick three healthy servers
 //!   (paper §3.3: "the cluster manager chooses three Log Store servers");
-//! * [`LogStoreCluster::append`] — synchronous 3/3 write: acknowledged only
-//!   when **all** replicas report success; any failure seals the PLog so
-//!   the writer allocates a fresh one elsewhere (writes are never retried to
-//!   the old location — paper §3.3);
+//! * [`LogStoreCluster::append`] — synchronous 3/3 write with the replica
+//!   writes issued in parallel (ack latency = max of three, paper §3.2):
+//!   acknowledged only when **all** replicas report success; any failure
+//!   seals the PLog so the writer allocates a fresh one elsewhere (writes
+//!   are never retried to the old location — paper §3.3);
 //! * [`LogStoreCluster::read_from`] — succeeds as long as *one* replica is
 //!   alive;
 //! * [`LogStoreCluster::rereplicate_from`] — long-term failure repair:
@@ -37,6 +38,27 @@ use crate::server::LogStoreServer;
 struct PLogMeta {
     nodes: Vec<NodeId>,
     committed_len: u64,
+    /// Next per-plog append sequence number to hand out ([`reserve_seq`]).
+    next_seq: u64,
+    /// First sequence number not yet covered by `committed_len`.
+    committed_seq: u64,
+    /// Acknowledged appends whose predecessors are still in flight:
+    /// seq → byte length. `committed_len` only advances over the contiguous
+    /// prefix, so it is monotone and never counts a write that could still
+    /// fail ahead of it.
+    acked: std::collections::BTreeMap<u64, u64>,
+}
+
+impl PLogMeta {
+    fn new(nodes: Vec<NodeId>) -> Self {
+        PLogMeta {
+            nodes,
+            committed_len: 0,
+            next_seq: 0,
+            committed_seq: 0,
+            acked: std::collections::BTreeMap::new(),
+        }
+    }
 }
 
 /// Cluster manager for the Log Store tier.
@@ -126,55 +148,122 @@ impl LogStoreCluster {
             let server = self.server(n)?;
             self.fabric.call(from, n, || server.create_plog(id))?;
         }
-        self.directory.write().insert(
-            id,
-            PLogMeta {
-                nodes: nodes.clone(),
-                committed_len: 0,
-            },
-        );
+        self.directory
+            .write()
+            .insert(id, PLogMeta::new(nodes.clone()));
         Ok(nodes)
     }
 
+    /// Reserves the next append sequence number of a PLog. Sequences order
+    /// concurrent appends: each replica applies them in sequence order (see
+    /// [`LogStoreServer::append_at`]) so all three replicas stay
+    /// byte-identical no matter how the parallel fan-outs interleave.
+    pub fn reserve_seq(&self, id: PLogId) -> Result<u64> {
+        let mut dir = self.directory.write();
+        let meta = dir.get_mut(&id).ok_or(TaurusError::PLogNotFound(id))?;
+        let seq = meta.next_seq;
+        meta.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// First sequence number not yet covered by the committed length.
+    pub fn committed_seq(&self, id: PLogId) -> u64 {
+        self.directory
+            .read()
+            .get(&id)
+            .map(|m| m.committed_seq)
+            .unwrap_or(0)
+    }
+
     /// Synchronously replicated append: all replicas must acknowledge.
+    /// Convenience wrapper for single-writer PLogs (metadata snapshots,
+    /// tests): reserves the next sequence number and appends at it.
+    pub fn append(&self, id: PLogId, from: NodeId, data: Bytes) -> Result<()> {
+        let seq = self.reserve_seq(id)?;
+        self.append_at(id, from, seq, data)
+    }
+
+    /// Synchronously replicated append at a reserved sequence number: the
+    /// three replica writes are issued **concurrently** (scoped threads over
+    /// [`Fabric::call`]) and the append is acknowledged when all of them
+    /// report success, so ack latency is the max of the three writes rather
+    /// than their sum (paper §3.2).
     ///
     /// On any failure the PLog is sealed on every reachable replica and
     /// `PLogSealed` is returned — the writer must allocate a new PLog and
-    /// write there instead (never retry to the old location). The fan-out
-    /// is issued sequentially: on small simulation hosts, spawning threads
-    /// per append costs far more scheduler noise than the (identical-cost,
-    /// all-must-ack) serialization; replication-factor ratios between
-    /// compared systems are preserved.
-    pub fn append(&self, id: PLogId, from: NodeId, data: Bytes) -> Result<u64> {
+    /// write there instead (never retry to the old location). On success the
+    /// committed length advances over the contiguous acknowledged sequence
+    /// prefix only: an append whose predecessor is still in flight stays
+    /// invisible to readers until that predecessor also acks, and if the
+    /// predecessor fails the gap (and everything behind it) stays
+    /// unreachable forever.
+    pub fn append_at(&self, id: PLogId, from: NodeId, seq: u64, data: Bytes) -> Result<()> {
         let nodes = self.replicas_of(id);
         if nodes.is_empty() {
             return Err(TaurusError::PLogNotFound(id));
         }
-        let results: Vec<Result<u64>> = nodes
-            .iter()
-            .map(|&n| -> Result<u64> {
+        let mut servers = Vec::with_capacity(nodes.len());
+        for &n in &nodes {
+            match self.server(n) {
+                Ok(s) => servers.push((n, s)),
+                Err(_) => {
+                    self.seal(id, from);
+                    return Err(TaurusError::PLogSealed(id));
+                }
+            }
+        }
+        let calls: Vec<_> = servers
+            .into_iter()
+            .map(|(n, server)| {
                 let data = data.clone();
-                let server = self.server(n)?;
-                self.fabric.call(from, n, move || server.append(id, data))?
+                let f: Box<dyn FnOnce() -> Result<()> + Send> =
+                    Box::new(move || server.append_at(id, seq, data));
+                (n, f)
             })
             .collect();
-        if results.iter().all(|r| r.is_ok()) {
-            // All replicas appended at the same logical offset; the write is
-            // acknowledged by advancing the committed length.
-            if let Some(meta) = self.directory.write().get_mut(&id) {
-                meta.committed_len += data.len() as u64;
+        let results = self.fabric.call_all(from, calls);
+        if results.into_iter().all(|r| matches!(r, Ok(Ok(())))) {
+            let mut dir = self.directory.write();
+            if let Some(meta) = dir.get_mut(&id) {
+                meta.acked.insert(seq, data.len() as u64);
+                while let Some(len) = meta.acked.remove(&meta.committed_seq) {
+                    meta.committed_len += len;
+                    meta.committed_seq += 1;
+                }
             }
-            return match results.into_iter().next() {
-                Some(r) => r,
-                None => Err(TaurusError::Internal(format!(
-                    "append to {id} had no replicas"
-                ))),
-            };
+            return Ok(());
         }
         // Partial failure: seal everywhere reachable so the failed write can
         // never be half-visible, then tell the writer to move on.
         self.seal(id, from);
         Err(TaurusError::PLogSealed(id))
+    }
+
+    /// Whether a PLog is sealed, as recorded server-side. Best effort: asks
+    /// replicas in order and takes the first answer; an unreachable cluster
+    /// reads as "not sealed" (callers treat the answer as advisory — e.g. a
+    /// tail reader simply retries on its next poll).
+    pub fn is_sealed(&self, id: PLogId, from: NodeId) -> bool {
+        for n in self.replicas_of(id) {
+            let Ok(server) = self.server(n) else { continue };
+            if let Ok(Ok(sealed)) = self.fabric.call(from, n, || server.is_sealed(id)) {
+                return sealed;
+            }
+        }
+        false
+    }
+
+    /// Whether a PLog has reserved sequence numbers that can never commit
+    /// (a failed append left a hole in the acknowledged prefix, or a
+    /// reservation was abandoned). Such a PLog is permanently dead for
+    /// writing: later appends would succeed on the replicas but stay
+    /// invisible behind the gap forever.
+    pub fn has_sequence_gap(&self, id: PLogId) -> bool {
+        self.directory
+            .read()
+            .get(&id)
+            .map(|m| m.next_seq != m.committed_seq)
+            .unwrap_or(false)
     }
 
     /// Seals a PLog on every reachable replica (best effort).
@@ -236,26 +325,45 @@ impl LogStoreCluster {
     /// copy the data from a surviving replica to a freshly chosen healthy
     /// server and update the directory. Returns the number of PLog replicas
     /// re-created.
+    ///
+    /// Only the **committed** prefix is copied: a survivor may still carry
+    /// the tail of a failed (never-acknowledged) 3/3 append, and installing
+    /// those bytes on the replacement would resurrect a write the client was
+    /// told did not happen. The same unacknowledged tail is clipped off the
+    /// survivors (best effort), so after repair all three replicas are
+    /// byte-identical.
     pub fn rereplicate_from(&self, failed: NodeId, from: NodeId) -> Result<usize> {
-        let affected: Vec<(PLogId, Vec<NodeId>)> = self
+        let affected: Vec<(PLogId, Vec<NodeId>, u64, u64)> = self
             .directory
             .read()
             .iter()
             .filter(|(_, meta)| meta.nodes.contains(&failed))
-            .map(|(id, meta)| (*id, meta.nodes.clone()))
+            .map(|(id, meta)| {
+                (
+                    *id,
+                    meta.nodes.clone(),
+                    meta.committed_len,
+                    meta.committed_seq,
+                )
+            })
             .collect();
         let mut repaired = 0usize;
-        for (id, nodes) in affected {
+        for (id, nodes, committed_len, committed_seq) in affected {
             let survivors: Vec<NodeId> = nodes.iter().copied().filter(|&n| n != failed).collect();
-            // Read the full contents from any survivor.
+            // Read the committed prefix from any survivor that has all of it.
             let mut content: Option<(Bytes, bool)> = None;
             for &s in &survivors {
                 let Ok(server) = self.server(s) else { continue };
                 let read = self.fabric.call(from, s, || -> Result<(Bytes, bool)> {
                     Ok((server.read_from(id, 0)?, server.is_sealed(id)?))
                 });
-                if let Ok(Ok(c)) = read {
-                    content = Some(c);
+                if let Ok(Ok((data, sealed))) = read {
+                    if (data.len() as u64) < committed_len {
+                        // Missing acknowledged bytes (should not happen);
+                        // try the next survivor.
+                        continue;
+                    }
+                    content = Some((data.slice(0..committed_len as usize), sealed));
                     break;
                 }
             }
@@ -270,21 +378,28 @@ impl LogStoreCluster {
                 .pop()
                 .ok_or_else(|| TaurusError::Internal("pick_nodes(1) returned no node".into()))?;
             let server = self.server(new_node)?;
-            self.fabric.call(from, new_node, || -> Result<()> {
-                server.create_plog(id);
-                if !data.is_empty() {
-                    server.append(id, data)?;
-                }
-                if sealed {
-                    server.seal(id)?;
-                }
-                Ok(())
+            let install = data.clone();
+            self.fabric.call(from, new_node, || {
+                server.install_replica(id, install, committed_seq, sealed)
             })??;
+            // Clip the unacknowledged tail off the survivors so all replicas
+            // are byte-identical after repair. Best effort: an unreachable
+            // survivor keeps its (invisible, read-side-capped) tail.
+            for &s in &survivors {
+                let Ok(server) = self.server(s) else { continue };
+                let _ = self.fabric.call(from, s, || {
+                    server.truncate_to(id, committed_len, committed_seq)
+                });
+            }
             let mut dir = self.directory.write();
             if let Some(meta) = dir.get_mut(&id) {
                 if let Some(slot) = meta.nodes.iter_mut().find(|n| **n == failed) {
                     *slot = new_node;
                 }
+                // Sequences acked ahead of a failed predecessor can never
+                // commit (the plog is sealed); drop them so directory state
+                // matches the repaired replicas.
+                meta.acked.clear();
             }
             repaired += 1;
         }
@@ -431,6 +546,93 @@ mod tests {
             Bytes::from_static(b"precious")
         );
         assert!(s.is_sealed(id(1)).unwrap());
+    }
+
+    #[test]
+    fn committed_len_advances_only_over_contiguous_sequences() {
+        let (c, _, me) = cluster(4);
+        c.create_plog(id(1), me).unwrap();
+        let s0 = c.reserve_seq(id(1)).unwrap();
+        let s1 = c.reserve_seq(id(1)).unwrap();
+        // The later sequence acks first: nothing is committed yet, because
+        // its predecessor could still fail.
+        c.append_at(id(1), me, s1, Bytes::from_static(b"second"))
+            .unwrap();
+        assert_eq!(c.committed_len(id(1)), 0);
+        assert_eq!(c.read_from(id(1), me, 0).unwrap(), Bytes::new());
+        // The predecessor lands: the whole contiguous prefix commits.
+        c.append_at(id(1), me, s0, Bytes::from_static(b"first!"))
+            .unwrap();
+        assert_eq!(c.committed_len(id(1)), 12);
+        assert_eq!(
+            c.read_from(id(1), me, 0).unwrap(),
+            Bytes::from_static(b"first!second")
+        );
+    }
+
+    #[test]
+    fn failed_predecessor_keeps_later_acks_invisible_forever() {
+        let (c, _, me) = cluster(6);
+        c.create_plog(id(1), me).unwrap();
+        let s0 = c.reserve_seq(id(1)).unwrap();
+        let s1 = c.reserve_seq(id(1)).unwrap();
+        c.append_at(id(1), me, s1, Bytes::from_static(b"orphan"))
+            .unwrap();
+        let victim = c.replicas_of(id(1))[0];
+        c.fabric.set_down(victim);
+        assert!(matches!(
+            c.append_at(id(1), me, s0, Bytes::from_static(b"lost")),
+            Err(TaurusError::PLogSealed(_))
+        ));
+        // seq1's bytes are durable on every replica but can never become
+        // readable: the gap at seq0 will never fill (the plog is sealed).
+        assert_eq!(c.committed_len(id(1)), 0);
+        assert_eq!(c.read_from(id(1), me, 0).unwrap(), Bytes::new());
+    }
+
+    #[test]
+    fn rereplication_does_not_resurrect_unacknowledged_tail() {
+        let (c, _, me) = cluster(6);
+        c.create_plog(id(1), me).unwrap();
+        c.append(id(1), me, Bytes::from_static(b"acked")).unwrap();
+        let victim = c.replicas_of(id(1))[0];
+        // The victim dies; the failed 3/3 append still lands its bytes on
+        // the two survivors before sealing.
+        c.fabric.set_down(victim);
+        assert!(c
+            .append(id(1), me, Bytes::from_static(b"never-acked"))
+            .is_err());
+        for &n in &c.replicas_of(id(1)) {
+            if n != victim {
+                let s = c.server_handle(n).unwrap();
+                assert_eq!(
+                    s.read_from(id(1), 0).unwrap(),
+                    Bytes::from_static(b"ackednever-acked"),
+                    "survivors carry the unacknowledged tail before repair"
+                );
+            }
+        }
+        c.fabric.decommission(victim);
+        assert_eq!(c.rereplicate_from(victim, me).unwrap(), 1);
+        // After repair all three replicas hold exactly the committed bytes:
+        // the replacement was installed from the committed prefix and the
+        // survivors' unacknowledged tails were clipped.
+        let replicas = c.replicas_of(id(1));
+        assert_eq!(replicas.len(), 3);
+        assert!(!replicas.contains(&victim));
+        for n in replicas {
+            let s = c.server_handle(n).unwrap();
+            assert_eq!(
+                s.read_from(id(1), 0).unwrap(),
+                Bytes::from_static(b"acked"),
+                "replica on {n} diverges after repair"
+            );
+            assert!(s.is_sealed(id(1)).unwrap());
+        }
+        assert_eq!(
+            c.read_from(id(1), me, 0).unwrap(),
+            Bytes::from_static(b"acked")
+        );
     }
 
     #[test]

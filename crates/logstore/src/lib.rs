@@ -31,4 +31,4 @@ pub mod stream;
 
 pub use cluster::LogStoreCluster;
 pub use server::LogStoreServer;
-pub use stream::{LogStream, PLogEntry, TailCursor};
+pub use stream::{AppendReservation, LogStream, PLogEntry, TailCursor};

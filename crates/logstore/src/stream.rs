@@ -17,10 +17,36 @@
 //!   PLog whose records are all below the database persistent LSN);
 //! * recovery: [`LogStream::open`] rebuilds the stream state from the last
 //!   snapshot in the metadata PLog.
+//!
+//! # The append pipeline
+//!
+//! Appends are split into a *reservation* and a *commit* so the stream lock
+//! is never held across a network round trip:
+//!
+//! 1. [`LogStream::reserve_append`] — under the lock: pick the tail PLog
+//!    (rolling it over first if sealed or full), reserve a per-PLog sequence
+//!    number and a byte offset, and take a commit *ticket*. At most
+//!    `append_window` reservations are outstanding at once.
+//! 2. [`LogStream::complete_append`] — **outside** the lock: the replicated
+//!    3/3 write ([`LogStoreCluster::append_at`]), whose three replica writes
+//!    run in parallel. Multiple groups overlap here — this is what lets the
+//!    SAL flush loop pipeline log writes.
+//! 3. Back under the lock, bookkeeping commits strictly in ticket order, so
+//!    per-PLog LSN ranges stay gap-free and `committed_len` is monotone.
+//!
+//! A failed write commits nothing: during its (ordered) commit turn it seals
+//! every open PLog, fences new reservations, rolls a fresh PLog, re-reserves
+//! there and retries. In-flight reservations behind it find their PLog
+//! sealed (or their bytes unreachable behind the failed write's sequence
+//! gap) and do the same, in ticket order — so even after a seal-and-switch,
+//! byte order on every PLog equals LSN order.
+
+use std::collections::HashMap;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
+use taurus_common::metrics::LogStoreStats;
 use taurus_common::{DbId, LogRecordGroup, Lsn, NodeId, PLogId, Result, TaurusError};
 
 use crate::cluster::LogStoreCluster;
@@ -29,11 +55,28 @@ use crate::cluster::LogStoreCluster;
 const META_SEQ_BIT: u64 = 1 << 63;
 const SNAPSHOT_MAGIC: u32 = 0x4d45_5441; // "META"
 
+/// Give up after this many seal-and-switch cycles within one append: each
+/// failure burns one PLog and picks fresh nodes, so repeated failure means
+/// the cluster is really out of healthy capacity.
+const MAX_PLOG_SWITCHES: u32 = 4;
+
 /// Position of an incremental tail reader (see [`LogStream::read_tail`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TailCursor {
     plog: Option<PLogId>,
     offset: u64,
+    /// End LSN of the last group delivered through this cursor. Detects
+    /// data loss when the cursor's PLog is truncated away (the log moved on
+    /// past records this reader never saw) and suppresses duplicates when
+    /// a group was re-appended to a fresh PLog after a seal-and-switch.
+    consumed: Lsn,
+}
+
+impl TailCursor {
+    /// End LSN of the last group delivered through this cursor.
+    pub fn consumed(&self) -> Lsn {
+        self.consumed
+    }
 }
 
 /// One data PLog in the stream, with its LSN coverage.
@@ -48,6 +91,33 @@ pub struct PLogEntry {
     pub bytes: u64,
 }
 
+/// A reserved slot in the log: PLog, per-PLog sequence number, byte offset,
+/// and commit ticket. Obtained from [`LogStream::reserve_append`] and
+/// redeemed (exactly once) by [`LogStream::complete_append`].
+#[derive(Debug)]
+pub struct AppendReservation {
+    ticket: u64,
+    plog: PLogId,
+    seq: u64,
+    offset: u64,
+    len: u64,
+    first_lsn: Lsn,
+    last_lsn: Lsn,
+}
+
+impl AppendReservation {
+    /// The PLog this reservation currently points at (it moves if the
+    /// append is re-reserved after a seal-and-switch).
+    pub fn plog(&self) -> PLogId {
+        self.plog
+    }
+
+    /// The LSN range the reservation covers.
+    pub fn lsn_range(&self) -> (Lsn, Lsn) {
+        (self.first_lsn, self.last_lsn)
+    }
+}
+
 #[derive(Debug)]
 struct StreamState {
     entries: Vec<PLogEntry>,
@@ -56,6 +126,36 @@ struct StreamState {
     meta_plog: PLogId,
     meta_next_seq: u64,
     meta_bytes: u64,
+    /// The metadata PLog can no longer accept a *visible* append: a failed
+    /// write burned a sequence number, so anything written after it would
+    /// stay buried behind the gap forever. Snapshots go straight to a fresh
+    /// metadata PLog until the roll succeeds.
+    meta_dead: bool,
+    /// Bytes reserved (not necessarily yet committed) on the tail PLog.
+    tail_reserved_bytes: u64,
+    /// Next commit ticket to hand out.
+    next_ticket: u64,
+    /// Ticket whose commit turn it currently is.
+    commit_ticket: u64,
+    /// Reservations handed out but not yet committed.
+    inflight: usize,
+    /// New reservations wait until `commit_ticket` reaches this value. Set
+    /// on append failure so every outstanding ticket re-reserves (in ticket
+    /// order) on the fresh PLog before any new reservation takes an offset
+    /// there — byte order must equal LSN order within a PLog.
+    reserve_fence: u64,
+    /// Claimed by whoever is writing a metadata snapshot (rollover, meta
+    /// roll, truncation). Serializes snapshot writers and freezes the PLog
+    /// *list* (not per-entry bookkeeping) without holding the state lock
+    /// across the snapshot RPCs.
+    meta_busy: bool,
+    /// PLogs rolled over at the size limit while reservations were still in
+    /// flight on them: id → final reserved size. The commit that brings the
+    /// entry's bytes to the final size seals it.
+    retiring: HashMap<PLogId, u64>,
+    /// Highest last-LSN of any PLog deleted by truncation. Tail readers
+    /// whose cursor falls behind this have lost data and must resync.
+    truncated_through: Lsn,
 }
 
 /// Writer/reader for one database's log over the Log Store cluster.
@@ -65,7 +165,17 @@ pub struct LogStream {
     /// Compute node on whose behalf RPCs are issued.
     me: NodeId,
     plog_size_limit: usize,
+    /// Max reservations outstanding at once (the append pipeline depth).
+    append_window: usize,
     state: Mutex<StreamState>,
+    cond: Condvar,
+    stats: LogStoreStats,
+}
+
+struct RollPlan {
+    new_id: PLogId,
+    /// Tail PLog with no reservations still in flight: seal it right away.
+    seal_now: Option<PLogId>,
 }
 
 impl LogStream {
@@ -77,6 +187,7 @@ impl LogStream {
         db: DbId,
         me: NodeId,
         plog_size_limit: usize,
+        append_window: usize,
     ) -> Result<LogStream> {
         let meta_plog = PLogId::new(db, META_SEQ_BIT, 0);
         cluster.create_plog(meta_plog, me)?;
@@ -86,150 +197,442 @@ impl LogStream {
             db,
             me,
             plog_size_limit,
-            state: Mutex::new(StreamState {
-                entries: Vec::new(),
-                next_seq: 1,
-                incarnation: 0,
+            append_window,
+            state: Mutex::new(StreamState::new(
+                Vec::new(),
+                1,
+                0,
                 meta_plog,
-                meta_next_seq: META_SEQ_BIT + 1,
-                meta_bytes: 0,
-            }),
+                META_SEQ_BIT + 1,
+                false,
+            )),
+            cond: Condvar::new(),
+            stats: LogStoreStats::default(),
         };
-        stream.roll_over_locked(&mut stream.state.lock())?;
+        let plan = stream.plan_roll(&mut stream.state.lock());
+        stream.perform_roll(plan)?;
         Ok(stream)
     }
 
     /// Reopens an existing stream after a front-end restart by reading the
-    /// newest snapshot from the metadata PLog.
+    /// newest snapshot from the metadata PLog, then reconciling each entry
+    /// against the cluster's authoritative committed length (the snapshot's
+    /// per-PLog bookkeeping lags appends made after it was written).
     pub fn open(
         cluster: LogStoreCluster,
         db: DbId,
         me: NodeId,
         plog_size_limit: usize,
+        append_window: usize,
     ) -> Result<LogStream> {
         let meta_plog = cluster.meta_plog(db).ok_or_else(|| {
             TaurusError::Internal(format!("no metadata plog registered for {db}"))
         })?;
         let raw = cluster.read_from(meta_plog, me, 0)?;
-        let (entries, next_seq, incarnation) = decode_last_snapshot(raw)?;
+        let (mut entries, next_seq, incarnation) = decode_last_snapshot(raw)?;
+        for e in entries.iter_mut() {
+            let committed = cluster.committed_len(e.id);
+            if committed > e.bytes {
+                // Appends landed after the snapshot: recover the LSN range
+                // from the data itself.
+                let raw = cluster.read_from(e.id, me, 0)?;
+                let groups = LogRecordGroup::decode_all(raw)?;
+                if let Some(first) = groups.first() {
+                    if !e.first_lsn.is_valid() {
+                        e.first_lsn = first.first_lsn();
+                    }
+                }
+                if let Some(last) = groups.last() {
+                    e.last_lsn = last.end_lsn();
+                }
+                e.bytes = committed;
+            }
+            // A PLog with a reserved-but-never-committed sequence (the
+            // writer crashed mid-append, or a failed append left a hole) can
+            // never accept a visible write again; and a seal recorded
+            // server-side may postdate the snapshot.
+            if !e.sealed && (cluster.has_sequence_gap(e.id) || cluster.is_sealed(e.id, me)) {
+                e.sealed = true;
+            }
+        }
+        let tail_reserved = entries.last().map(|e| e.bytes).unwrap_or(0);
+        let meta_dead = cluster.has_sequence_gap(meta_plog);
+        let mut state = StreamState::new(
+            entries,
+            next_seq,
+            incarnation + 1,
+            meta_plog,
+            META_SEQ_BIT + 1 + incarnation + 1,
+            meta_dead,
+        );
+        state.tail_reserved_bytes = tail_reserved;
         Ok(LogStream {
             cluster,
             db,
             me,
             plog_size_limit,
-            state: Mutex::new(StreamState {
-                entries,
-                next_seq,
-                incarnation: incarnation + 1,
-                meta_plog,
-                meta_next_seq: META_SEQ_BIT + 1 + incarnation + 1,
-                meta_bytes: 0,
-            }),
+            append_window,
+            state: Mutex::new(state),
+            cond: Condvar::new(),
+            stats: LogStoreStats::default(),
         })
     }
 
-    /// Appends one encoded log-record group covering `[first_lsn, last_lsn]`
-    /// durably (3/3). On PLog failure or size limit, seals and switches to a
-    /// fresh PLog and retries; gives up only when the cluster cannot host a
-    /// new PLog at all.
-    pub fn append_group(&self, data: Bytes, first_lsn: Lsn, last_lsn: Lsn) -> Result<()> {
+    /// Reserves the next slot in the log for a group covering
+    /// `[first_lsn, last_lsn]` of `len` encoded bytes. Blocks while the
+    /// append window is full (or a failure fence is draining), and rolls
+    /// the tail PLog over first when it is sealed or past the size limit.
+    ///
+    /// Reservations must be taken in LSN order and every reservation must
+    /// be redeemed by [`LogStream::complete_append`] exactly once.
+    pub fn reserve_append(
+        &self,
+        first_lsn: Lsn,
+        last_lsn: Lsn,
+        len: u64,
+    ) -> Result<AppendReservation> {
         let mut st = self.state.lock();
-        // A handful of attempts: each failure burns one PLog and picks fresh
-        // nodes, so repeated failure means the cluster is really out of
-        // healthy capacity.
-        for _ in 0..4 {
-            let entry = st
-                .entries
-                .last_mut()
-                .ok_or_else(|| TaurusError::Internal("log stream has no tail PLog".into()))?;
-            if entry.sealed {
-                self.roll_over_locked(&mut st)?;
+        loop {
+            if st.inflight >= self.append_window || st.commit_ticket < st.reserve_fence {
+                self.cond.wait(&mut st);
                 continue;
             }
-            let id = entry.id;
-            match self.cluster.append(id, self.me, data.clone()) {
-                Ok(_) => {
-                    let entry = st.entries.last_mut().ok_or_else(|| {
-                        TaurusError::Internal("log stream has no tail PLog".into())
-                    })?;
+            let tail_open = st.entries.last().map(|e| !e.sealed).unwrap_or(false)
+                && st.tail_reserved_bytes < self.plog_size_limit as u64;
+            if tail_open {
+                break;
+            }
+            if st.meta_busy {
+                self.cond.wait(&mut st);
+                continue;
+            }
+            let plan = self.plan_roll(&mut st);
+            drop(st);
+            self.perform_roll(plan)?;
+            st = self.state.lock();
+        }
+        let tail = st
+            .entries
+            .last()
+            .ok_or_else(|| TaurusError::Internal("log stream has no tail PLog".into()))?;
+        let plog = tail.id;
+        let seq = self.cluster.reserve_seq(plog)?;
+        let offset = st.tail_reserved_bytes;
+        st.tail_reserved_bytes += len;
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.inflight += 1;
+        self.stats.appends_in_flight.add(1);
+        Ok(AppendReservation {
+            ticket,
+            plog,
+            seq,
+            offset,
+            len,
+            first_lsn,
+            last_lsn,
+        })
+    }
+
+    /// Performs the replicated 3/3 append for a reservation and commits its
+    /// bookkeeping in ticket order. The stream lock is **not** held across
+    /// the network round trip, so reservations in the append window overlap
+    /// their replica writes.
+    ///
+    /// On write failure: seals every open PLog (a failed write is never
+    /// retried to the same PLog — paper §3.3), fences new reservations,
+    /// rolls a fresh PLog, re-reserves there and retries. Gives up only
+    /// when the cluster cannot host a new PLog at all.
+    pub fn complete_append(&self, mut res: AppendReservation, data: Bytes) -> Result<()> {
+        let mut switches = 0u32;
+        loop {
+            let start = self.cluster.fabric.clock.now_us();
+            let outcome = self
+                .cluster
+                .append_at(res.plog, self.me, res.seq, data.clone());
+            let elapsed = self.cluster.fabric.clock.now_us().saturating_sub(start);
+            self.stats.append_latency.record(elapsed);
+
+            let mut st = self.state.lock();
+            while st.commit_ticket < res.ticket {
+                self.cond.wait(&mut st);
+            }
+            // Commit iff our bytes are actually readable: the write acked
+            // *and* every earlier sequence on the PLog acked too (a failed
+            // predecessor leaves a permanent gap our bytes sit behind). The
+            // entry may legitimately be sealed by now (a rollover with this
+            // reservation still in flight, or a blanket seal triggered by a
+            // failure on another PLog) — landed bytes still count.
+            let committable = outcome.is_ok()
+                && st.entries.iter().any(|e| e.id == res.plog)
+                && self.cluster.committed_len(res.plog) >= res.offset + res.len;
+            if committable {
+                let state = &mut *st;
+                let mut bytes_after = 0;
+                if let Some(entry) = state.entries.iter_mut().find(|e| e.id == res.plog) {
+                    taurus_common::invariant!(
+                        "plog-append-offset",
+                        entry.bytes == res.offset,
+                        "commit of [{}, {}] at offset {} but {} holds {} bytes",
+                        res.first_lsn,
+                        res.last_lsn,
+                        res.offset,
+                        entry.id,
+                        entry.bytes
+                    );
                     // Slice-log contiguity: successive appends to one PLog
-                    // carry strictly increasing, gap-free LSN ranges.
+                    // carry strictly increasing, *gap-free* LSN ranges.
                     taurus_common::invariant!(
                         "plog-lsn-contiguous",
-                        !entry.last_lsn.is_valid() || first_lsn > entry.last_lsn,
-                        "append [{first_lsn}..{last_lsn}] overlaps tail {} of {}",
+                        !entry.last_lsn.is_valid() || res.first_lsn == entry.last_lsn.next(),
+                        "append [{}..{}] does not continue tail {} of {}",
+                        res.first_lsn,
+                        res.last_lsn,
                         entry.last_lsn,
                         entry.id
                     );
                     if !entry.first_lsn.is_valid() {
-                        entry.first_lsn = first_lsn;
+                        entry.first_lsn = res.first_lsn;
                     }
-                    entry.last_lsn = last_lsn;
-                    entry.bytes += data.len() as u64;
-                    if entry.bytes >= self.plog_size_limit as u64 {
-                        entry.sealed = true;
-                        self.cluster.seal(id, self.me);
-                        self.roll_over_locked(&mut st)?;
-                    }
-                    return Ok(());
+                    entry.last_lsn = res.last_lsn;
+                    entry.bytes += res.len;
+                    bytes_after = entry.bytes;
                 }
-                Err(_) => {
-                    // Seal-and-switch (the cluster already sealed survivors).
-                    if let Some(entry) = st.entries.last_mut() {
+                // The last in-flight commit on a retiring (rolled-over)
+                // PLog seals it.
+                let mut seal_rpc = None;
+                if state
+                    .retiring
+                    .get(&res.plog)
+                    .is_some_and(|f| bytes_after >= *f)
+                {
+                    state.retiring.remove(&res.plog);
+                    if let Some(entry) = state.entries.iter_mut().find(|e| e.id == res.plog) {
                         entry.sealed = true;
                     }
-                    self.roll_over_locked(&mut st)?;
+                    seal_rpc = Some(res.plog);
+                }
+                self.finish_turn(&mut st);
+                drop(st);
+                if let Some(id) = seal_rpc {
+                    self.cluster.seal(id, self.me);
+                }
+                self.stats.appends.inc();
+                return Ok(());
+            }
+
+            // Seal-and-switch, holding our commit turn so re-reservations
+            // happen in ticket order. Seal *every* open PLog: in-flight
+            // writes behind us may be unreachable behind our sequence gap,
+            // and their commit turns will route them here too.
+            switches += 1;
+            self.stats.seal_switches.inc();
+            let mut to_seal = Vec::new();
+            for e in st.entries.iter_mut() {
+                if !e.sealed {
+                    e.sealed = true;
+                    to_seal.push(e.id);
+                }
+            }
+            st.retiring.clear();
+            st.reserve_fence = st.reserve_fence.max(st.next_ticket);
+            if switches > MAX_PLOG_SWITCHES {
+                self.finish_turn(&mut st);
+                drop(st);
+                for id in to_seal {
+                    self.cluster.seal(id, self.me);
+                }
+                return Err(TaurusError::Internal(
+                    "log append failed after repeated PLog switches".into(),
+                ));
+            }
+            drop(st);
+            for id in &to_seal {
+                self.cluster.seal(*id, self.me);
+            }
+
+            let mut st = self.state.lock();
+            // Roll a fresh PLog unless one appeared already (a reservation
+            // that started its roll before the failure; the fence keeps it
+            // offset-free until we are done).
+            while !st.entries.last().map(|e| !e.sealed).unwrap_or(false) {
+                if st.meta_busy {
+                    self.cond.wait(&mut st);
+                    continue;
+                }
+                let plan = self.plan_roll(&mut st);
+                drop(st);
+                let rolled = self.perform_roll(plan);
+                st = self.state.lock();
+                if let Err(e) = rolled {
+                    self.finish_turn(&mut st);
+                    return Err(e);
+                }
+            }
+            let tail = st
+                .entries
+                .last()
+                .map(|e| e.id)
+                .ok_or_else(|| TaurusError::Internal("log stream has no tail PLog".into()));
+            let tail = match tail {
+                Ok(id) => id,
+                Err(e) => {
+                    self.finish_turn(&mut st);
+                    return Err(e);
+                }
+            };
+            res.plog = tail;
+            res.seq = match self.cluster.reserve_seq(tail) {
+                Ok(seq) => seq,
+                Err(e) => {
+                    self.finish_turn(&mut st);
+                    return Err(e);
+                }
+            };
+            res.offset = st.tail_reserved_bytes;
+            st.tail_reserved_bytes += res.len;
+            drop(st);
+        }
+    }
+
+    /// Appends one encoded log-record group covering `[first_lsn, last_lsn]`
+    /// durably (3/3): a reservation immediately redeemed. Concurrent callers
+    /// overlap their replica writes.
+    pub fn append_group(&self, data: Bytes, first_lsn: Lsn, last_lsn: Lsn) -> Result<()> {
+        let res = self.reserve_append(first_lsn, last_lsn, data.len() as u64)?;
+        self.complete_append(res, data)
+    }
+
+    /// Ends a commit turn: the next ticket may commit, a window slot frees
+    /// up, and (once the last pre-failure ticket drains) the reserve fence
+    /// lifts.
+    fn finish_turn(&self, st: &mut StreamState) {
+        st.inflight -= 1;
+        st.commit_ticket += 1;
+        self.stats.appends_in_flight.sub(1);
+        self.cond.notify_all();
+    }
+
+    /// Plans a rollover under the state lock: claims the snapshot-writer
+    /// slot, retires (or seals) the current tail, and allocates the next
+    /// PLog id. The caller must follow with [`LogStream::perform_roll`].
+    fn plan_roll(&self, st: &mut StreamState) -> RollPlan {
+        debug_assert!(!st.meta_busy);
+        st.meta_busy = true;
+        let reserved = st.tail_reserved_bytes;
+        let mut seal_now = None;
+        let mut retire = None;
+        if let Some(tail) = st.entries.last_mut() {
+            if !tail.sealed {
+                if tail.bytes >= reserved {
+                    // Nothing in flight on this PLog: seal it right away.
+                    tail.sealed = true;
+                    seal_now = Some(tail.id);
+                } else {
+                    // Reservations still in flight: the last one to commit
+                    // seals it (see complete_append).
+                    retire = Some((tail.id, reserved));
                 }
             }
         }
-        Err(TaurusError::Internal(
-            "log append failed after repeated PLog switches".into(),
-        ))
-    }
-
-    /// Creates the next data PLog and persists a metadata snapshot.
-    fn roll_over_locked(&self, st: &mut StreamState) -> Result<()> {
-        let id = PLogId::new(self.db, st.next_seq, st.incarnation);
+        if let Some((id, final_len)) = retire {
+            st.retiring.insert(id, final_len);
+        }
+        let new_id = PLogId::new(self.db, st.next_seq, st.incarnation);
         st.next_seq += 1;
         st.incarnation += 1;
-        self.cluster.create_plog(id, self.me)?;
-        st.entries.push(PLogEntry {
-            id,
+        RollPlan { new_id, seal_now }
+    }
+
+    /// Executes a planned rollover outside the state lock: creates the new
+    /// PLog, persists a metadata snapshot that includes it, and only then
+    /// installs it as the tail — so no reservation can land on a PLog whose
+    /// existence is not yet durable.
+    fn perform_roll(&self, plan: RollPlan) -> Result<()> {
+        let result = self.perform_roll_inner(plan);
+        let mut st = self.state.lock();
+        st.meta_busy = false;
+        self.cond.notify_all();
+        result
+    }
+
+    fn perform_roll_inner(&self, plan: RollPlan) -> Result<()> {
+        if let Some(id) = plan.seal_now {
+            self.cluster.seal(id, self.me);
+        }
+        self.cluster.create_plog(plan.new_id, self.me)?;
+        let new_entry = PLogEntry {
+            id: plan.new_id,
             first_lsn: Lsn::ZERO,
             last_lsn: Lsn::ZERO,
             sealed: false,
             bytes: 0,
-        });
-        self.write_snapshot_locked(st)
+        };
+        let snapshot = {
+            let st = self.state.lock();
+            let mut entries = st.entries.clone();
+            entries.push(new_entry.clone());
+            encode_snapshot(&entries, st.next_seq, st.incarnation)
+        };
+        self.write_snapshot(snapshot)?;
+        let mut st = self.state.lock();
+        st.entries.push(new_entry);
+        st.tail_reserved_bytes = 0;
+        Ok(())
     }
 
-    /// Writes the full PLog list to the metadata PLog as one atomic append,
-    /// rolling the metadata PLog itself when it grows past the size limit.
-    fn write_snapshot_locked(&self, st: &mut StreamState) -> Result<()> {
-        let snapshot = encode_snapshot(&st.entries, st.next_seq, st.incarnation);
-        let len = snapshot.len() as u64;
-        match self.cluster.append(st.meta_plog, self.me, snapshot.clone()) {
-            Ok(_) => {
-                st.meta_bytes += len;
-                if st.meta_bytes >= self.plog_size_limit as u64 {
-                    self.roll_meta_plog_locked(st, snapshot)?;
+    /// Writes a metadata snapshot as one atomic append, rolling the
+    /// metadata PLog when it is dead or past the size limit. The caller
+    /// must hold the `meta_busy` claim.
+    fn write_snapshot(&self, snapshot: Bytes) -> Result<()> {
+        let (meta_plog, meta_dead) = {
+            let st = self.state.lock();
+            (st.meta_plog, st.meta_dead)
+        };
+        if !meta_dead {
+            match self.cluster.append(meta_plog, self.me, snapshot.clone()) {
+                Ok(()) => {
+                    let roll = {
+                        let mut st = self.state.lock();
+                        st.meta_bytes += snapshot.len() as u64;
+                        st.meta_bytes >= self.plog_size_limit as u64
+                    };
+                    if roll {
+                        return self.roll_meta_plog(snapshot);
+                    }
+                    return Ok(());
                 }
-                Ok(())
+                Err(_) => {
+                    // The failed append burned a sequence number: nothing
+                    // appended after it can ever become visible. Never write
+                    // to this metadata PLog again.
+                    self.state.lock().meta_dead = true;
+                }
             }
-            Err(_) => self.roll_meta_plog_locked(st, snapshot),
         }
+        self.roll_meta_plog(snapshot)
     }
 
     /// Replaces the metadata PLog: create new, write latest snapshot, point
     /// the registry at it, delete the old one.
-    fn roll_meta_plog_locked(&self, st: &mut StreamState, snapshot: Bytes) -> Result<()> {
-        let old = st.meta_plog;
-        let new = PLogId::new(self.db, st.meta_next_seq, st.incarnation);
-        st.meta_next_seq += 1;
+    fn roll_meta_plog(&self, snapshot: Bytes) -> Result<()> {
+        let (old, new) = {
+            let mut st = self.state.lock();
+            let new = PLogId::new(self.db, st.meta_next_seq, st.incarnation);
+            st.meta_next_seq += 1;
+            (st.meta_plog, new)
+        };
         self.cluster.create_plog(new, self.me)?;
-        self.cluster.append(new, self.me, snapshot)?;
-        st.meta_plog = new;
-        st.meta_bytes = 0;
+        if let Err(e) = self.cluster.append(new, self.me, snapshot) {
+            self.cluster.delete_plog(new, self.me);
+            return Err(e);
+        }
+        {
+            let mut st = self.state.lock();
+            st.meta_plog = new;
+            st.meta_bytes = 0;
+            st.meta_dead = false;
+        }
         self.cluster.set_meta_plog(self.db, new);
         self.cluster.delete_plog(old, self.me);
         Ok(())
@@ -261,24 +664,59 @@ impl LogStream {
     }
 
     /// Deletes every sealed data PLog whose records all fall below
-    /// `persistent_lsn` (paper Fig. 3 step 8). Returns the number deleted.
+    /// `persistent_lsn` (paper Fig. 3 step 8), plus empty sealed PLogs left
+    /// behind by seal-and-switch. The surviving PLog list is persisted to
+    /// the metadata PLog **before** anything is dropped from memory or the
+    /// cluster, so a failed snapshot write leaves the stream (and the data)
+    /// untouched. Returns the number of PLogs deleted.
     pub fn truncate_below(&self, persistent_lsn: Lsn) -> Result<usize> {
         let mut st = self.state.lock();
-        let victims: Vec<PLogId> = st
+        while st.meta_busy {
+            self.cond.wait(&mut st);
+        }
+        let last = st.entries.len().saturating_sub(1);
+        let victims: Vec<PLogEntry> = st
             .entries
             .iter()
-            .filter(|e| e.sealed && e.last_lsn.is_valid() && e.last_lsn < persistent_lsn)
-            .map(|e| e.id)
+            .enumerate()
+            .filter(|(i, e)| {
+                e.sealed
+                    && ((e.last_lsn.is_valid() && e.last_lsn < persistent_lsn)
+                        || (!e.last_lsn.is_valid() && e.bytes == 0 && *i != last))
+            })
+            .map(|(_, e)| e.clone())
             .collect();
         if victims.is_empty() {
             return Ok(0);
         }
-        st.entries.retain(|e| !victims.contains(&e.id));
-        self.write_snapshot_locked(&mut st)?;
-        for id in &victims {
+        st.meta_busy = true;
+        let victim_ids: Vec<PLogId> = victims.iter().map(|e| e.id).collect();
+        let survivors: Vec<PLogEntry> = st
+            .entries
+            .iter()
+            .filter(|e| !victim_ids.contains(&e.id))
+            .cloned()
+            .collect();
+        let snapshot = encode_snapshot(&survivors, st.next_seq, st.incarnation);
+        drop(st);
+        let written = self.write_snapshot(snapshot);
+        let mut st = self.state.lock();
+        st.meta_busy = false;
+        self.cond.notify_all();
+        written?;
+        let mut truncated_through = st.truncated_through;
+        for v in &victims {
+            if v.last_lsn.is_valid() {
+                truncated_through = truncated_through.max(v.last_lsn);
+            }
+        }
+        st.truncated_through = truncated_through;
+        st.entries.retain(|e| !victim_ids.contains(&e.id));
+        drop(st);
+        for id in &victim_ids {
             self.cluster.delete_plog(*id, self.me);
         }
-        Ok(victims.len())
+        Ok(victim_ids.len())
     }
 
     /// Re-reads the metadata PLog and adopts the newest snapshot. Readers
@@ -292,6 +730,15 @@ impl LogStream {
         let raw = self.cluster.read_from(meta_plog, self.me, 0)?;
         let (entries, next_seq, incarnation) = decode_last_snapshot(raw)?;
         let mut st = self.state.lock();
+        // PLogs that vanished from the snapshot were truncated by the
+        // master; remember how far so stale tail cursors are detected.
+        let mut truncated_through = st.truncated_through;
+        for old in st.entries.iter() {
+            if old.last_lsn.is_valid() && !entries.iter().any(|n| n.id == old.id) {
+                truncated_through = truncated_through.max(old.last_lsn);
+            }
+        }
+        st.truncated_through = truncated_through;
         st.entries = entries;
         st.next_seq = st.next_seq.max(next_seq);
         st.incarnation = st.incarnation.max(incarnation);
@@ -311,14 +758,32 @@ impl LogStream {
     /// without ever dropping log data — durable bytes may run ahead of the
     /// horizon, and anything the cursor skipped would otherwise be lost
     /// forever. Pass `Lsn(u64::MAX)` to read everything available.
+    ///
+    /// If the cursor's PLog was truncated away *and* records past the
+    /// cursor were truncated with it, this returns
+    /// [`TaurusError::ReplicaBehindTruncation`]: the reader fell behind the
+    /// log's retention window and must resync its state wholesale (it can
+    /// not be fed the missing records). A cursor that had consumed
+    /// everything the truncation removed just restarts at the first
+    /// remaining PLog, skipping groups it already delivered.
     pub fn read_tail(&self, cursor: &mut TailCursor, limit: Lsn) -> Result<Vec<LogRecordGroup>> {
-        let entries: Vec<PLogEntry> = self.state.lock().entries.clone();
+        let (entries, truncated_through) = {
+            let st = self.state.lock();
+            (st.entries.clone(), st.truncated_through)
+        };
         let mut groups = Vec::new();
         // Locate the cursor's PLog; if it was truncated away, jump to the
-        // first remaining entry.
+        // first remaining entry — unless that loses records.
         let mut idx = match entries.iter().position(|e| Some(e.id) == cursor.plog) {
             Some(i) => i,
             None => {
+                if cursor.plog.is_some() && cursor.consumed < truncated_through {
+                    return Err(TaurusError::ReplicaBehindTruncation {
+                        consumed: cursor.consumed,
+                        truncated_through,
+                    });
+                }
+                cursor.plog = None;
                 cursor.offset = 0;
                 0
             }
@@ -337,14 +802,24 @@ impl LogStream {
                     break;
                 }
                 cursor.offset += (before - buf.remaining()) as u64;
+                if group.end_lsn() <= cursor.consumed {
+                    // Already delivered: a group re-appended to a fresh PLog
+                    // after a seal-and-switch, or a restart after truncation.
+                    continue;
+                }
+                cursor.consumed = group.end_lsn();
                 groups.push(group);
             }
             if deferred {
                 break;
             }
             // Move to the next PLog only once this one is sealed and fully
-            // consumed; the unsealed tail may still grow.
-            if entry.sealed && idx + 1 < entries.len() {
+            // consumed; the unsealed tail may still grow. The local seal
+            // flag can lag (a replica's snapshot may predate the seal of a
+            // retiring PLog), so fall back to asking the Log Store.
+            if idx + 1 < entries.len()
+                && (entry.sealed || self.cluster.is_sealed(entry.id, self.me))
+            {
                 idx += 1;
                 cursor.offset = 0;
             } else {
@@ -359,9 +834,43 @@ impl LogStream {
         self.state.lock().entries.clone()
     }
 
+    /// Append-path metrics (latency, in-flight window, seal-switches).
+    pub fn stats(&self) -> &LogStoreStats {
+        &self.stats
+    }
+
     /// The database this stream belongs to.
     pub fn db(&self) -> DbId {
         self.db
+    }
+}
+
+impl StreamState {
+    fn new(
+        entries: Vec<PLogEntry>,
+        next_seq: u64,
+        incarnation: u64,
+        meta_plog: PLogId,
+        meta_next_seq: u64,
+        meta_dead: bool,
+    ) -> StreamState {
+        StreamState {
+            entries,
+            next_seq,
+            incarnation,
+            meta_plog,
+            meta_next_seq,
+            meta_bytes: 0,
+            meta_dead,
+            tail_reserved_bytes: 0,
+            next_ticket: 0,
+            commit_ticket: 0,
+            inflight: 0,
+            reserve_fence: 0,
+            meta_busy: false,
+            retiring: HashMap::new(),
+            truncated_through: Lsn::ZERO,
+        }
     }
 }
 
@@ -421,14 +930,14 @@ mod tests {
     use taurus_common::PageId;
     use taurus_fabric::{Fabric, NodeKind};
 
-    fn setup(limit: usize) -> (LogStream, LogStoreCluster, NodeId) {
+    fn setup(limit: usize) -> (LogStream, LogStoreCluster, NodeId, Vec<NodeId>) {
         let clock = ManualClock::shared();
         let fabric = Fabric::new(clock, NetworkProfile::instant(), 7);
         let me = fabric.add_node(NodeKind::Compute);
         let cluster = LogStoreCluster::new(fabric, 3, 1 << 20);
-        cluster.spawn_servers(6, StorageProfile::instant());
-        let stream = LogStream::create(cluster.clone(), DbId(1), me, limit).unwrap();
-        (stream, cluster, me)
+        let nodes = cluster.spawn_servers(6, StorageProfile::instant());
+        let stream = LogStream::create(cluster.clone(), DbId(1), me, limit, 4).unwrap();
+        (stream, cluster, me, nodes)
     }
 
     fn group(lsns: std::ops::RangeInclusive<u64>) -> (Bytes, Lsn, Lsn) {
@@ -451,7 +960,7 @@ mod tests {
 
     #[test]
     fn append_and_read_groups() {
-        let (s, _, _) = setup(1 << 20);
+        let (s, _, _, _) = setup(1 << 20);
         let (d1, f1, l1) = group(1..=3);
         let (d2, f2, l2) = group(4..=6);
         s.append_group(d1, f1, l1).unwrap();
@@ -464,11 +973,13 @@ mod tests {
         let tail = s.read_groups_from(Lsn(5)).unwrap();
         assert_eq!(tail.len(), 1);
         assert_eq!(tail[0].first_lsn(), Lsn(4));
+        assert_eq!(s.stats().appends.get(), 2);
+        assert_eq!(s.stats().appends_in_flight.get(), 0);
     }
 
     #[test]
     fn plogs_roll_over_at_size_limit() {
-        let (s, _, _) = setup(256);
+        let (s, _, _, _) = setup(256);
         let mut lsn = 1u64;
         for _ in 0..10 {
             let (d, f, l) = group(lsn..=lsn + 2);
@@ -484,8 +995,52 @@ mod tests {
     }
 
     #[test]
+    fn reservations_pipeline_across_rollover() {
+        let (s, cluster, _, _) = setup(96);
+        // Take several reservations before completing any: the first PLog
+        // fills up and *retires* (it cannot seal yet — appends are still in
+        // flight on it), the next reservation lands on a fresh PLog.
+        let (d1, f1, l1) = group(1..=2);
+        let (d2, f2, l2) = group(3..=4);
+        let (d3, f3, l3) = group(5..=6);
+        let r1 = s.reserve_append(f1, l1, d1.len() as u64).unwrap();
+        let r2 = s.reserve_append(f2, l2, d2.len() as u64).unwrap();
+        let r3 = s.reserve_append(f3, l3, d3.len() as u64).unwrap();
+        assert_eq!(r1.plog(), r2.plog(), "both fit under the 96-byte limit");
+        assert_ne!(r2.plog(), r3.plog(), "third reservation rolls over");
+        assert_eq!(s.stats().appends_in_flight.get(), 3);
+        let first_plog = r1.plog();
+        // The rolled-over PLog is not sealed yet: writes are in flight.
+        assert!(
+            !s.entries()
+                .iter()
+                .find(|e| e.id == first_plog)
+                .unwrap()
+                .sealed
+        );
+        s.complete_append(r1, d1).unwrap();
+        s.complete_append(r2, d2).unwrap();
+        // The last commit on the retiring PLog sealed it, server-side too.
+        let e = s.entries();
+        let first = e.iter().find(|e| e.id == first_plog).unwrap();
+        assert!(first.sealed);
+        assert_eq!(first.last_lsn, Lsn(4));
+        let replica = cluster.replicas_of(first_plog)[0];
+        assert!(cluster
+            .server_handle(replica)
+            .unwrap()
+            .is_sealed(first_plog)
+            .unwrap());
+        s.complete_append(r3, d3).unwrap();
+        assert_eq!(s.stats().appends_in_flight.get(), 0);
+        let groups = s.read_groups_from(Lsn(1)).unwrap();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups.last().unwrap().end_lsn(), Lsn(6));
+    }
+
+    #[test]
     fn write_failure_seals_and_switches_plogs() {
-        let (s, cluster, _) = setup(1 << 20);
+        let (s, cluster, _, _) = setup(1 << 20);
         let (d, f, l) = group(1..=2);
         s.append_group(d, f, l).unwrap();
         let tail = s.entries().last().unwrap().clone();
@@ -497,6 +1052,7 @@ mod tests {
         let entries = s.entries();
         assert!(entries.iter().any(|e| e.id == tail.id && e.sealed));
         assert_ne!(entries.last().unwrap().id, tail.id);
+        assert_eq!(s.stats().seal_switches.get(), 1);
         // Bring the node back: data written before and after is all readable.
         cluster.fabric.set_up(victim);
         let groups = s.read_groups_from(Lsn(1)).unwrap();
@@ -505,7 +1061,7 @@ mod tests {
 
     #[test]
     fn truncation_deletes_only_fully_persistent_plogs() {
-        let (s, cluster, _) = setup(120);
+        let (s, cluster, _, _) = setup(120);
         let mut lsn = 1u64;
         for _ in 0..6 {
             let (d, f, l) = group(lsn..=lsn + 1);
@@ -529,8 +1085,51 @@ mod tests {
     }
 
     #[test]
+    fn truncation_failure_leaves_stream_state_untouched() {
+        let (s, cluster, _, nodes) = setup(120);
+        let mut lsn = 1u64;
+        for _ in 0..6 {
+            let (d, f, l) = group(lsn..=lsn + 1);
+            s.append_group(d, f, l).unwrap();
+            lsn += 2;
+        }
+        let before = s.entries();
+        // Every Log Store call fails: the survivor snapshot cannot be
+        // persisted, so truncation must fail *without* dropping anything —
+        // deleting the PLogs first would destroy data the on-disk metadata
+        // still points at.
+        for &n in &nodes {
+            cluster.fabric.set_flaky(n, 1000);
+        }
+        assert!(s.truncate_below(Lsn(7)).is_err());
+        for &n in &nodes {
+            cluster.fabric.set_flaky(n, 0);
+        }
+        assert_eq!(
+            s.entries(),
+            before,
+            "victims must survive a failed snapshot"
+        );
+        let groups = s.read_groups_from(Lsn(1)).unwrap();
+        assert_eq!(groups.len(), 6, "all data still readable after the failure");
+        // Once the cluster heals, the same truncation goes through (the
+        // metadata PLog was burned by the failed append and gets replaced).
+        let deleted = s.truncate_below(Lsn(7)).unwrap();
+        assert!(deleted >= 1);
+        let suffix = s.read_groups_from(Lsn(7)).unwrap();
+        assert!(suffix.iter().all(|g| g.end_lsn() >= Lsn(7)));
+        // And the stream still reopens from the (rolled) metadata PLog.
+        let me = NodeId(1);
+        let s2 = LogStream::open(cluster, DbId(1), me, 120, 4).unwrap();
+        assert_eq!(
+            s2.entries().iter().map(|e| e.id).collect::<Vec<_>>(),
+            s.entries().iter().map(|e| e.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn stream_reopens_from_metadata_after_crash() {
-        let (s, cluster, me) = setup(256);
+        let (s, cluster, me, _) = setup(256);
         let mut lsn = 1u64;
         for _ in 0..8 {
             let (d, f, l) = group(lsn..=lsn + 2);
@@ -539,7 +1138,7 @@ mod tests {
         }
         let entries_before = s.entries();
         drop(s); // front-end crash: in-memory state is gone
-        let s2 = LogStream::open(cluster, DbId(1), me, 256).unwrap();
+        let s2 = LogStream::open(cluster, DbId(1), me, 256, 4).unwrap();
         let entries_after = s2.entries();
         // The snapshot is written on plog create/delete, so the reopened list
         // must contain every sealed plog and the tail may lag only in its
@@ -555,7 +1154,7 @@ mod tests {
 
     #[test]
     fn tail_cursor_defers_groups_past_the_limit() {
-        let (s, _, _) = setup(1 << 20);
+        let (s, _, _, _) = setup(1 << 20);
         let (d1, f1, l1) = group(1..=4);
         let (d2, f2, l2) = group(5..=6);
         s.append_group(d1, f1, l1).unwrap();
@@ -577,7 +1176,7 @@ mod tests {
 
     #[test]
     fn tail_cursor_follows_rollover_across_sealed_plogs() {
-        let (s, _, _) = setup(96);
+        let (s, _, _, _) = setup(96);
         let mut lsn = 1u64;
         for _ in 0..6 {
             let (d, f, l) = group(lsn..=lsn + 1);
@@ -598,8 +1197,73 @@ mod tests {
     }
 
     #[test]
+    fn tail_cursor_behind_truncation_errors_instead_of_losing_records() {
+        let (s, _, _, _) = setup(120);
+        let mut lsn = 1u64;
+        for _ in 0..6 {
+            let (d, f, l) = group(lsn..=lsn + 1);
+            s.append_group(d, f, l).unwrap();
+            lsn += 2;
+        }
+        // The reader consumes only the first group, then the master
+        // truncates past it: the cursor's PLog — and records the reader
+        // never saw — are gone.
+        let mut cursor = TailCursor::default();
+        let first = s.read_tail(&mut cursor, Lsn(2)).unwrap();
+        assert_eq!(first.len(), 1);
+        s.truncate_below(Lsn(7)).unwrap();
+        let err = s.read_tail(&mut cursor, Lsn(u64::MAX)).unwrap_err();
+        match err {
+            TaurusError::ReplicaBehindTruncation {
+                consumed,
+                truncated_through,
+            } => {
+                assert_eq!(consumed, Lsn(2));
+                assert!(truncated_through > consumed);
+            }
+            other => panic!("expected ReplicaBehindTruncation, got {other:?}"),
+        }
+        // The error is sticky until the reader resyncs (it must not be
+        // silently fed a gap on retry).
+        assert!(s.read_tail(&mut cursor, Lsn(u64::MAX)).is_err());
+        // After a resync (fresh cursor at the new log start) reads work and
+        // deliver exactly the surviving records, gap-free.
+        let mut fresh = TailCursor::default();
+        let rest = s.read_tail(&mut fresh, Lsn(u64::MAX)).unwrap();
+        assert!(!rest.is_empty());
+        for pair in rest.windows(2) {
+            assert_eq!(pair[1].first_lsn(), pair[0].end_lsn().next());
+        }
+        assert_eq!(rest.last().unwrap().end_lsn(), Lsn(12));
+    }
+
+    #[test]
+    fn tail_cursor_that_consumed_truncated_plogs_restarts_cleanly() {
+        let (s, _, _, _) = setup(120);
+        let mut lsn = 1u64;
+        for _ in 0..6 {
+            let (d, f, l) = group(lsn..=lsn + 1);
+            s.append_group(d, f, l).unwrap();
+            lsn += 2;
+        }
+        // The reader consumes everything, then truncation removes the old
+        // PLogs: the cursor restarts at the surviving log without error and
+        // without re-delivering groups it already consumed.
+        let mut cursor = TailCursor::default();
+        let all = s.read_tail(&mut cursor, Lsn(u64::MAX)).unwrap();
+        assert_eq!(all.len(), 6);
+        s.truncate_below(Lsn(7)).unwrap();
+        assert!(s.read_tail(&mut cursor, Lsn(u64::MAX)).unwrap().is_empty());
+        let (d, f, l) = group(13..=14);
+        s.append_group(d, f, l).unwrap();
+        let more = s.read_tail(&mut cursor, Lsn(u64::MAX)).unwrap();
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].first_lsn(), Lsn(13));
+    }
+
+    #[test]
     fn metadata_plog_rolls_and_old_one_is_deleted() {
-        let (s, cluster, _) = setup(220);
+        let (s, cluster, _, _) = setup(220);
         let meta_before = cluster.meta_plog(DbId(1)).unwrap();
         // Each data-plog rollover appends a snapshot; force many rollovers so
         // the metadata plog crosses the limit and replaces itself.
@@ -614,7 +1278,7 @@ mod tests {
         // Old metadata plog is deleted from the directory.
         assert!(cluster.replicas_of(meta_before).is_empty());
         // And the stream still reopens correctly from the new one.
-        let s2 = LogStream::open(cluster, DbId(1), NodeId(1), 220).unwrap();
+        let s2 = LogStream::open(cluster, DbId(1), NodeId(1), 220, 4).unwrap();
         assert_eq!(s2.entries().len(), s.entries().len());
     }
 }

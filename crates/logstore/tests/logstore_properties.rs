@@ -21,7 +21,7 @@ fn setup(nodes: usize, plog_limit: usize) -> (LogStream, LogStoreCluster, NodeId
     let me = fabric.add_node(NodeKind::Compute);
     let cluster = LogStoreCluster::new(fabric, 3, 1 << 20);
     cluster.spawn_servers(nodes, StorageProfile::instant());
-    let stream = LogStream::create(cluster.clone(), DbId(1), me, plog_limit).unwrap();
+    let stream = LogStream::create(cluster.clone(), DbId(1), me, plog_limit, 4).unwrap();
     (stream, cluster, me)
 }
 
@@ -120,7 +120,7 @@ proptest! {
         }
         // Reopen from metadata: identical view.
         drop(stream);
-        let reopened = LogStream::open(cluster, DbId(1), me, plog_limit).unwrap();
+        let reopened = LogStream::open(cluster, DbId(1), me, plog_limit, 4).unwrap();
         let got2: Vec<u64> = reopened
             .read_groups_from(Lsn(1))
             .unwrap()

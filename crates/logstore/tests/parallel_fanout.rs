@@ -1,0 +1,84 @@
+//! Wall-clock proof that 3/3 replication fans out in parallel: on a real
+//! clock with a non-trivial per-hop latency, the ack latency of an append
+//! must be close to the *max* of the three replica round trips, not their
+//! sum (paper §3.2).
+
+// Test harness: panicking on setup failure is the desired behavior.
+#![allow(clippy::unwrap_used)]
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use taurus_common::clock::SystemClock;
+use taurus_common::config::{NetworkProfile, StorageProfile};
+use taurus_common::page::PageType;
+use taurus_common::record::{LogRecord, LogRecordGroup, RecordBody};
+use taurus_common::{DbId, Lsn, PageId};
+use taurus_fabric::{Fabric, NodeKind};
+use taurus_logstore::{LogStoreCluster, LogStream};
+
+const HOP_US: u64 = 1500;
+const APPENDS: u64 = 10;
+
+fn group(first: u64, len: u64) -> (Bytes, Lsn, Lsn) {
+    let records: Vec<LogRecord> = (first..first + len)
+        .map(|l| {
+            LogRecord::new(
+                Lsn(l),
+                PageId(l),
+                RecordBody::Format {
+                    ty: PageType::Leaf,
+                    level: 0,
+                },
+            )
+        })
+        .collect();
+    let g = LogRecordGroup::new(DbId(1), records);
+    (g.encode(), Lsn(first), Lsn(first + len - 1))
+}
+
+#[test]
+fn replica_fanout_ack_latency_is_max_of_three_not_sum() {
+    let profile = NetworkProfile {
+        hop_us: HOP_US,
+        jitter_us: 0,
+        master_nic_bytes_per_sec: 0,
+    };
+    let fabric = Fabric::new(SystemClock::shared(), profile, 3);
+    let me = fabric.add_node(NodeKind::Compute);
+    let cluster = LogStoreCluster::new(fabric, 3, 1 << 20);
+    cluster.spawn_servers(3, StorageProfile::instant());
+    // Large limit: no rollover (and no metadata append) inside the loop.
+    let stream = LogStream::create(cluster.clone(), DbId(1), me, 1 << 20, 4).unwrap();
+
+    let start = Instant::now();
+    let mut next = 1u64;
+    for _ in 0..APPENDS {
+        let (data, first, last) = group(next, 2);
+        next += 2;
+        stream.append_group(data, first, last).unwrap();
+    }
+    let elapsed_us = start.elapsed().as_micros() as u64;
+
+    // One replica round trip is 2 hops. Appending serially to the three
+    // replicas would cost >= 6 hops per group; the parallel fan-out costs
+    // ~2 hops (max of three concurrent round trips). Allow 2x headroom for
+    // scheduling overhead — still far under the serial bound.
+    let parallel_budget = APPENDS * 4 * HOP_US;
+    let serial_cost = APPENDS * 6 * HOP_US;
+    assert!(
+        elapsed_us < parallel_budget,
+        "appends took {elapsed_us}us; parallel fan-out should stay under \
+         {parallel_budget}us (serial replication would cost {serial_cost}us)"
+    );
+
+    // The stream's own latency stats must tell the same story: mean ack
+    // latency ~2 hops, strictly below 2x a single round trip.
+    let snap = stream.stats().snapshot();
+    let mean = snap.append_latency.map(|s| s.mean_us).unwrap_or(f64::MAX);
+    assert!(
+        mean < (4 * HOP_US) as f64,
+        "mean append ack latency {mean:.0}us >= {}us (2x one round trip)",
+        4 * HOP_US
+    );
+}
