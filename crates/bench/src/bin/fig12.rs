@@ -10,7 +10,7 @@
 #![allow(clippy::unwrap_used)]
 
 use taurus_baselines::TaurusExecutor;
-use taurus_bench::{bench_config, launch_taurus_with, txns_per_conn, ScaleRegime};
+use taurus_bench::{bench_config, launch_taurus_with, txns_per_conn, JsonReport, ScaleRegime};
 use taurus_workload::{
     driver::load_initial, run_workload, SysbenchMode, SysbenchWorkload, TpccWorkload, Workload,
 };
@@ -34,6 +34,7 @@ fn main() {
     println!("Fig. 12 — query latency (mean / p95 / p99 per transaction)\n");
     let mut cached_read = 0.0;
     let mut bound_read = 0.0;
+    let mut json = JsonReport::new();
     for (label, regime, mode) in [
         (
             "SysBench read, cached   ",
@@ -60,6 +61,12 @@ fn main() {
         let w = SysbenchWorkload::new(mode, rows, 200);
         let (mean, p95, p99) = run(&w, regime, conns);
         println!("{label}: {:>8.0}us / {p95:>6}us / {p99:>6}us", mean);
+        json.row(vec![
+            ("benchmark", label.trim_end().into()),
+            ("mean_latency_us", mean.into()),
+            ("p95_latency_us", p95.into()),
+            ("p99_latency_us", p99.into()),
+        ]);
         if mode == SysbenchMode::ReadOnly {
             if regime == ScaleRegime::Cached {
                 cached_read = mean;
@@ -74,6 +81,15 @@ fn main() {
         "TPC-C-like              : {:>8.0}us / {p95:>6}us / {p99:>6}us",
         mean
     );
+    json.row(vec![
+        ("benchmark", "TPC-C-like".into()),
+        ("mean_latency_us", mean.into()),
+        ("p95_latency_us", p95.into()),
+        ("p99_latency_us", p99.into()),
+    ]);
+    if let Err(e) = json.write("fig12") {
+        eprintln!("fig12: could not write bench_results: {e}");
+    }
 
     println!();
     if cached_read > 0.0 {

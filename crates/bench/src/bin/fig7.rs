@@ -10,7 +10,8 @@
 
 use taurus_baselines::{QuorumEngine, QuorumExecutor, TaurusExecutor};
 use taurus_bench::{
-    bench_clock, bench_config, header, launch_taurus_with, rel, txns_per_conn, ScaleRegime,
+    bench_clock, bench_config, header, launch_taurus_with, rel, txns_per_conn, JsonReport,
+    ScaleRegime,
 };
 use taurus_common::config::NetworkProfile;
 use taurus_fabric::Fabric;
@@ -114,6 +115,7 @@ fn main() {
 
     let mut wins = 0;
     let mut total = 0;
+    let mut json = JsonReport::new();
 
     for (label, mode, regime) in [
         (
@@ -141,6 +143,12 @@ fn main() {
         let (rows, _) = regime.geometry();
         let w = SysbenchWorkload::new(mode, rows, 200);
         let (t, a) = run_pair(&w, regime, conns);
+        json.row(vec![
+            ("benchmark", label.into()),
+            ("taurus_tps", t.into()),
+            ("aurora_tps", a.into()),
+            ("ratio", (t / a.max(1e-9)).into()),
+        ]);
         total += 1;
         if t > a {
             wins += 1;
@@ -150,6 +158,12 @@ fn main() {
     header("TPC-C-like");
     let w = TpccWorkload::new(2);
     let (t, a) = run_pair(&w, ScaleRegime::Cached, conns);
+    json.row(vec![
+        ("benchmark", "TPC-C-like".into()),
+        ("taurus_tps", t.into()),
+        ("aurora_tps", a.into()),
+        ("ratio", (t / a.max(1e-9)).into()),
+    ]);
     total += 1;
     if t > a {
         wins += 1;
@@ -157,6 +171,9 @@ fn main() {
 
     println!();
     println!("Summary: Taurus ahead in {wins}/{total} benchmarks (paper: 5/5).");
+    if let Err(e) = json.write("fig7") {
+        eprintln!("fig7: could not write bench_results: {e}");
+    }
 
     if std::env::var("TAURUS_FIG7_ASSERT").as_deref() == Ok("1") {
         append_latency_smoke();

@@ -120,6 +120,122 @@ pub fn txns_per_conn() -> u64 {
         .unwrap_or(120)
 }
 
+/// One machine-readable datapoint value. Numbers are emitted bare; strings
+/// are JSON-escaped.
+#[derive(Clone, Debug)]
+pub enum JsonValue {
+    Str(String),
+    U64(u64),
+    F64(f64),
+}
+
+impl JsonValue {
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::U64(n) => out.push_str(&n.to_string()),
+            JsonValue::F64(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x:.4}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::U64(n)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::F64(x)
+    }
+}
+
+/// Collects bench datapoints and writes them as a JSON array of flat
+/// objects to `bench_results/<bench>.json` (hand-rolled writer — the
+/// harness must stay dependency-free). Each `row` call is one object.
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    rows: Vec<Vec<(String, JsonValue)>>,
+}
+
+impl JsonReport {
+    pub fn new() -> Self {
+        JsonReport::default()
+    }
+
+    /// Appends one datapoint (an ordered list of key/value fields).
+    pub fn row(&mut self, fields: Vec<(&str, JsonValue)>) {
+        self.rows.push(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+    }
+
+    /// Serializes all rows as a pretty-enough JSON array.
+    pub fn render(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (k, v)) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                JsonValue::Str(k.clone()).write(&mut out);
+                out.push_str(": ");
+                v.write(&mut out);
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Writes `bench_results/<bench>.json`, creating the directory as
+    /// needed. Prints the path so harness logs link the artifact.
+    pub fn write(&self, bench: &str) -> std::io::Result<()> {
+        let dir = std::path::Path::new("bench_results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{bench}.json"));
+        std::fs::write(&path, self.render())?;
+        println!("[{bench}] wrote {}", path.display());
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +258,28 @@ mod tests {
     #[test]
     fn bench_config_is_valid() {
         bench_config(1024).validate().unwrap();
+    }
+
+    #[test]
+    fn json_report_renders_flat_objects() {
+        let mut r = JsonReport::new();
+        r.row(vec![
+            ("bench", "ndp".into()),
+            ("rows", 42u64.into()),
+            ("ratio", 5.25f64.into()),
+        ]);
+        r.row(vec![("note", "a \"quoted\"\nline".into())]);
+        let s = r.render();
+        assert!(s.starts_with("[\n"));
+        assert!(s.contains("\"bench\": \"ndp\", \"rows\": 42, \"ratio\": 5.2500"));
+        assert!(s.contains("\\\"quoted\\\"\\n"));
+        assert!(s.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn json_report_handles_non_finite() {
+        let mut r = JsonReport::new();
+        r.row(vec![("x", f64::NAN.into())]);
+        assert!(r.render().contains("\"x\": null"));
     }
 }

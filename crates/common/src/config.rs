@@ -149,6 +149,13 @@ pub struct TaurusConfig {
     /// synchronous RPC cannot be abandoned mid-flight, so a *successful*
     /// slow call is still accepted).
     pub sal_write_attempt_timeout_us: u64,
+    /// Per-`ScanSlice`-call row budget for near-data scan pushdown. A Page
+    /// Store stops after the page that crosses the budget and returns a
+    /// continuation, so one scan RPC cannot starve `WriteLogs`.
+    pub ndp_scan_max_rows: usize,
+    /// Per-`ScanSlice`-call byte budget for pushdown result payloads
+    /// (checked together with `ndp_scan_max_rows` at page granularity).
+    pub ndp_scan_max_bytes: usize,
 }
 
 impl Default for TaurusConfig {
@@ -176,6 +183,8 @@ impl Default for TaurusConfig {
             sal_write_retry_limit: 4,
             sal_write_backoff_us: 500,
             sal_write_attempt_timeout_us: 20_000,
+            ndp_scan_max_rows: 4096,
+            ndp_scan_max_bytes: 256 << 10,
         }
     }
 }
@@ -206,6 +215,9 @@ impl TaurusConfig {
             sal_write_retry_limit: 3,
             sal_write_backoff_us: 50,
             sal_write_attempt_timeout_us: 5_000,
+            // Tiny budgets so tests exercise the continuation path.
+            ndp_scan_max_rows: 64,
+            ndp_scan_max_bytes: 8 << 10,
             ..TaurusConfig::default()
         }
     }
@@ -235,6 +247,11 @@ impl TaurusConfig {
         if self.log_append_window == 0 {
             return Err(crate::TaurusError::Internal(
                 "log_append_window must be > 0".into(),
+            ));
+        }
+        if self.ndp_scan_max_rows == 0 || self.ndp_scan_max_bytes == 0 {
+            return Err(crate::TaurusError::Internal(
+                "ndp scan budgets must be > 0".into(),
             ));
         }
         Ok(())
@@ -279,6 +296,12 @@ mod tests {
 
         let c = TaurusConfig {
             log_append_window: 0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            ndp_scan_max_rows: 0,
             ..TaurusConfig::default()
         };
         assert!(c.validate().is_err());

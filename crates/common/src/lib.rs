@@ -14,6 +14,8 @@
 //!   are deterministic;
 //! * [`config`] — all tunables of the system in one place;
 //! * [`metrics`] — small latency/throughput helpers used by the bench harness;
+//! * [`scan`] — the serializable scan/aggregate operator and its evaluator,
+//!   shared by Page-Store pushdown execution and engine-side fallback;
 //! * [`invariants`] — the runtime invariant registry behind the
 //!   [`invariant!`](crate::invariant) macro (the `invariants` feature).
 
@@ -27,6 +29,7 @@ pub mod lsn;
 pub mod metrics;
 pub mod page;
 pub mod record;
+pub mod scan;
 pub mod sync;
 
 pub use config::TaurusConfig;
@@ -35,3 +38,7 @@ pub use ids::{DbId, NodeId, PLogId, PageId, SliceId, SliceKey, TxnId};
 pub use lsn::Lsn;
 pub use page::{PageBuf, PageType, PAGE_SIZE};
 pub use record::{LogRecord, LogRecordGroup, RecordBody};
+pub use scan::{
+    evaluate_leaf_page, AggState, Aggregate, CmpOp, Field, Operand, Predicate, Projection,
+    ScanAccumulator, ScanRequest,
+};

@@ -27,9 +27,13 @@
 //! * **Recovery** (§5): persistent-LSN regression detection (Fig. 4b),
 //!   missing-range probing (Fig. 4c), targeted gossip triggering, Log-Store
 //!   resends, and full SAL restart recovery (§5.3).
+//! * **Scan pushdown** (NDP follow-on paper): table scans planned as
+//!   per-slice `ScanSlice` calls fanned out to the Page Stores, with the
+//!   same replica routing and repair escalation as the read path, and a
+//!   fetch-and-filter fallback when no replica can serve the snapshot.
 
 pub mod recovery;
 pub mod sal;
 
 pub use recovery::RecoveryService;
-pub use sal::{Sal, SalStats, SalStatsSnapshot};
+pub use sal::{NdpStats, NdpStatsSnapshot, Sal, SalStats, SalStatsSnapshot, TableScan};

@@ -8,7 +8,7 @@
 //! the slice for repair-from-Log-Stores and demote the replica to
 //! *suspect* (deprioritized for reads) until it proves itself alive again.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -20,13 +20,14 @@ use rand::Rng;
 use taurus_common::clock::ClockRef;
 use taurus_common::lsn::LsnWatermark;
 use taurus_common::metrics::{Counter, Gauge, LogStoreStats};
+use taurus_common::scan::{evaluate_leaf_page, AggState, ScanAccumulator, ScanRequest};
 use taurus_common::sync::Sequencer;
 use taurus_common::{
     DbId, LogRecord, LogRecordGroup, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusConfig,
-    TaurusError,
+    TaurusError, PAGE_SIZE,
 };
 use taurus_logstore::{LogStoreCluster, LogStream};
-use taurus_pagestore::{PageStoreCluster, SliceFragment};
+use taurus_pagestore::{PageStoreCluster, ScanSliceRequest, SliceFragment};
 
 /// Per-slice state the SAL maintains (paper §3.5, §4).
 #[derive(Debug)]
@@ -210,6 +211,120 @@ impl std::fmt::Display for SalStatsSnapshot {
     }
 }
 
+/// Counters for the near-data scan pushdown planner (NDP paper; printed by
+/// the `ndp` bench).
+#[derive(Debug, Default)]
+pub struct NdpStats {
+    /// Planner invocations (one per table scan).
+    pub pushdown_scans: Counter,
+    /// `ScanSlice` RPCs issued, continuations included.
+    pub slice_calls: Counter,
+    /// Failed `ScanSlice` attempts (replica skipped, next one tried).
+    pub slice_retries: Counter,
+    /// Slices that fell back to `ReadPage` + local evaluation.
+    pub fallbacks: Counter,
+    /// Row slots examined remotely by Page Stores.
+    pub rows_scanned: Counter,
+    /// Matching rows returned across the fabric.
+    pub rows_returned: Counter,
+    /// Bytes of row payload returned across the fabric.
+    pub bytes_returned: Counter,
+    /// Pages materialized remotely by Page Stores.
+    pub pages_scanned: Counter,
+    /// Pages fetched master-ward by the local fallback.
+    pub fallback_pages: Counter,
+    /// Bytes moved master-ward by the local fallback (pages × page size).
+    pub fallback_bytes: Counter,
+}
+
+impl NdpStats {
+    pub fn snapshot(&self) -> NdpStatsSnapshot {
+        NdpStatsSnapshot {
+            pushdown_scans: self.pushdown_scans.get(),
+            slice_calls: self.slice_calls.get(),
+            slice_retries: self.slice_retries.get(),
+            fallbacks: self.fallbacks.get(),
+            rows_scanned: self.rows_scanned.get(),
+            rows_returned: self.rows_returned.get(),
+            bytes_returned: self.bytes_returned.get(),
+            pages_scanned: self.pages_scanned.get(),
+            fallback_pages: self.fallback_pages.get(),
+            fallback_bytes: self.fallback_bytes.get(),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`NdpStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NdpStatsSnapshot {
+    pub pushdown_scans: u64,
+    pub slice_calls: u64,
+    pub slice_retries: u64,
+    pub fallbacks: u64,
+    pub rows_scanned: u64,
+    pub rows_returned: u64,
+    pub bytes_returned: u64,
+    pub pages_scanned: u64,
+    pub fallback_pages: u64,
+    pub fallback_bytes: u64,
+}
+
+impl NdpStatsSnapshot {
+    /// Bytes that stayed on the Page Stores: what fetch-and-filter would
+    /// have moved master-ward for the remotely scanned pages, minus what
+    /// pushdown actually returned.
+    pub fn bytes_saved_vs_fetch(&self) -> u64 {
+        self.pages_scanned
+            .saturating_mul(PAGE_SIZE as u64)
+            .saturating_sub(self.bytes_returned)
+    }
+}
+
+impl std::fmt::Display for NdpStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pushdown_scans={} slice_calls={} slice_retries={} fallbacks={} \
+             rows_scanned={} rows_returned={} bytes_returned={} pages_scanned={} \
+             fallback_pages={} fallback_bytes={} bytes_saved_vs_fetch={}",
+            self.pushdown_scans,
+            self.slice_calls,
+            self.slice_retries,
+            self.fallbacks,
+            self.rows_scanned,
+            self.rows_returned,
+            self.bytes_returned,
+            self.pages_scanned,
+            self.fallback_pages,
+            self.fallback_bytes,
+            self.bytes_saved_vs_fetch(),
+        )
+    }
+}
+
+/// Merged result of a pushed-down table scan: rows from every slice,
+/// key-sorted, plus the combined aggregate state and a per-slice breakdown
+/// of how each slice was executed.
+#[derive(Clone, Debug, Default)]
+pub struct TableScan {
+    /// Projected matching rows, globally sorted by key.
+    pub rows: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Combined aggregate state across all slices.
+    pub agg: AggState,
+    /// Slices answered by remote `ScanSlice` execution.
+    pub pushdown_slices: usize,
+    /// Slices that fell back to `ReadPage`-and-evaluate-locally.
+    pub fallback_slices: usize,
+}
+
+/// Result of scanning one slice, before the planner merges.
+#[derive(Debug, Default)]
+struct SliceScanOutcome {
+    rows: Vec<(Vec<u8>, Vec<u8>)>,
+    agg: AggState,
+    fallback: bool,
+}
+
 /// One fragment awaiting shipment to one replica. The fragment is shared
 /// (`Arc`) across all replica pipes — the send path performs one encode
 /// and zero deep clones per flush.
@@ -273,6 +388,7 @@ pub struct Sal {
     /// master" to bound Log Directory growth — paper §7).
     throttle_us: AtomicU64,
     pub stats: SalStats,
+    pub ndp_stats: NdpStats,
 }
 
 impl std::fmt::Debug for Sal {
@@ -341,6 +457,7 @@ impl Sal {
             myself: myself.clone(),
             throttle_us: AtomicU64::new(0),
             stats: SalStats::default(),
+            ndp_stats: NdpStats::default(),
         })
     }
 
@@ -897,16 +1014,32 @@ impl Sal {
     /// safe for the master: the slice's acked LSN). Tries replicas in
     /// latency order; a replica that is behind or down is skipped; if all
     /// fail, repairs via the Log Stores and retries (§4.2, §5.2).
+    ///
+    /// An explicit `as_of` is a *global* snapshot LSN, which a quiet
+    /// slice's replicas can never reach (their persistent LSN tops out at
+    /// the slice's own last record). The request is therefore capped at the
+    /// slice's flush LSN — exact, because after the buffer flush below the
+    /// slice has no records in `(flush_lsn, as_of]`, so the version at
+    /// `as_of` *is* the version at `flush_lsn`.
     pub fn read_page(&self, page: PageId, as_of: Option<Lsn>) -> Result<PageBuf> {
         let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
         self.stats.page_reads.inc();
-        let (replicas, default_as_of) = {
+        let (replicas, as_of) = {
             let mut st = self.state.lock();
             self.ensure_slice_locked(&mut st, key)?;
-            let slice = &st.slices[&key];
-            (self.replicas_by_latency(slice), slice.acked_lsn)
+            let eff = match as_of {
+                None => st.slices[&key].acked_lsn,
+                Some(requested) => {
+                    if requested > st.slices[&key].flush_lsn {
+                        // Unflushed buffer records may fall inside the
+                        // snapshot; ship them so the cap is exact.
+                        self.flush_slice_locked(&mut st, key);
+                    }
+                    requested.min(st.slices[&key].flush_lsn)
+                }
+            };
+            (self.replicas_by_latency(&st.slices[&key]), eff)
         };
-        let as_of = as_of.unwrap_or(default_as_of);
         match self.try_read(key, page, as_of, &replicas) {
             Ok(buf) => Ok(buf),
             Err(_) => {
@@ -1001,6 +1134,197 @@ impl Sal {
             let ewma = slice.read_latency_us.entry(node).or_insert(us as f64);
             *ewma = 0.8 * *ewma + 0.2 * us as f64;
         }
+    }
+
+    // ==================================================================
+    // Near-data scan pushdown (NDP follow-on paper; PAPERS.md)
+    // ==================================================================
+
+    /// Plans and executes a pushed-down table scan at snapshot `as_of`:
+    /// one `ScanSlice` worker per slice, fanned out on scoped threads,
+    /// replicas tried in the same `(suspect, EWMA)` order as `ReadPage`,
+    /// with repair-and-retry and a `ReadPage`-and-evaluate-locally fallback
+    /// per slice. Results are merged and key-sorted.
+    ///
+    /// Snapshot handling: per-slice persistent LSNs are slice-local, so a
+    /// quiet slice's replicas can never reach a *global* `as_of` past the
+    /// slice's own last record — the planner first flushes the slice
+    /// buffer, then caps the slice's snapshot at its flush LSN. The cap is
+    /// exact: the slice has no records in `(flush_lsn, as_of]`.
+    pub fn scan_pushdown(&self, req: &ScanRequest, as_of: Lsn) -> Result<TableScan> {
+        self.ndp_stats.pushdown_scans.inc();
+        let plan: Vec<(SliceKey, Vec<NodeId>, Lsn)> = {
+            let mut st = self.state.lock();
+            let mut keys: Vec<SliceKey> = st.slices.keys().copied().collect();
+            keys.sort();
+            let mut plan = Vec::with_capacity(keys.len());
+            for key in keys {
+                self.flush_slice_locked(&mut st, key); // no-op when empty
+                let Some(slice) = st.slices.get(&key) else {
+                    continue;
+                };
+                let eff = as_of.min(slice.flush_lsn);
+                plan.push((key, self.replicas_by_latency(slice), eff));
+            }
+            plan
+        };
+        let outcomes: Vec<Result<SliceScanOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .iter()
+                .map(|(key, replicas, eff)| {
+                    scope.spawn(move || self.scan_one_slice(req, *key, replicas, *eff))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(TaurusError::Internal("scan worker panicked".into())),
+                })
+                .collect()
+        });
+        let mut out = TableScan::default();
+        for res in outcomes {
+            let slice_out = res?;
+            if slice_out.fallback {
+                out.fallback_slices += 1;
+            } else {
+                out.pushdown_slices += 1;
+            }
+            out.rows.extend(slice_out.rows);
+            out.agg.merge(&slice_out.agg);
+        }
+        // At one snapshot LSN, leaf pages partition the key space across
+        // slices, so keys are globally unique — a plain sort restores the
+        // B-tree scan order.
+        out.rows.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Scans one slice: pushdown against replicas in routing order, then
+    /// Log-Store repair + placement refresh + one more pushdown round, and
+    /// finally the local `ReadPage` fallback (same escalation shape as
+    /// [`Sal::read_page`]).
+    fn scan_one_slice(
+        &self,
+        req: &ScanRequest,
+        key: SliceKey,
+        replicas: &[NodeId],
+        as_of: Lsn,
+    ) -> Result<SliceScanOutcome> {
+        if let Ok(out) = self.scan_slice_remote(req, key, replicas, as_of) {
+            return Ok(out);
+        }
+        let _ = self.repair_slice_from_logstores(key);
+        self.refresh_placement();
+        let refreshed = {
+            let st = self.state.lock();
+            match st.slices.get(&key) {
+                Some(slice) => self.replicas_by_latency(slice),
+                None => replicas.to_vec(),
+            }
+        };
+        if let Ok(out) = self.scan_slice_remote(req, key, &refreshed, as_of) {
+            return Ok(out);
+        }
+        self.scan_slice_local(req, key, &refreshed, as_of)
+    }
+
+    /// Runs the budgeted `ScanSlice` continuation loop against each replica
+    /// in order. A replica that fails mid-continuation loses its partial
+    /// result and the whole slice restarts on the next replica — reads are
+    /// idempotent, and restarting keeps the response a pure function of one
+    /// replica's directory.
+    fn scan_slice_remote(
+        &self,
+        req: &ScanRequest,
+        key: SliceKey,
+        replicas: &[NodeId],
+        as_of: Lsn,
+    ) -> Result<SliceScanOutcome> {
+        let mut last_err = TaurusError::AllReplicasFailed(key);
+        'replicas: for &node in replicas {
+            let mut call = ScanSliceRequest {
+                key,
+                as_of,
+                req: req.clone(),
+                resume_after: None,
+                max_rows: self.cfg.ndp_scan_max_rows,
+                max_bytes: self.cfg.ndp_scan_max_bytes,
+            };
+            let mut out = SliceScanOutcome::default();
+            loop {
+                let start = self.clock.now_us();
+                match self.pages.scan_slice_from(node, self.me, &call) {
+                    Ok(resp) => {
+                        self.note_read_latency(
+                            key,
+                            node,
+                            self.clock.now_us().saturating_sub(start),
+                        );
+                        self.ndp_stats.slice_calls.inc();
+                        self.ndp_stats.rows_scanned.add(resp.rows_scanned);
+                        self.ndp_stats.rows_returned.add(resp.rows.len() as u64);
+                        self.ndp_stats.bytes_returned.add(resp.bytes_returned);
+                        self.ndp_stats.pages_scanned.add(resp.pages_scanned);
+                        out.rows.extend(resp.rows);
+                        out.agg.merge(&resp.agg);
+                        match resp.next_page {
+                            Some(next) => call.resume_after = Some(next),
+                            None => return Ok(out),
+                        }
+                    }
+                    Err(e) => {
+                        // Same EWMA penalty as the ReadPage path, so a
+                        // failing replica sinks in the routing order.
+                        let elapsed = self.clock.now_us().saturating_sub(start);
+                        self.note_read_latency(key, node, elapsed.max(1).saturating_mul(4));
+                        self.ndp_stats.slice_retries.inc();
+                        last_err = e;
+                        continue 'replicas;
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Fallback: fetch every page of the slice through the versioned
+    /// `ReadPage` path (which has its own repair-and-retry) and run the
+    /// *same* shared evaluator locally. The page inventory is the union
+    /// across reachable replicas, so a replica missing directory entries
+    /// cannot silently shrink the scan.
+    fn scan_slice_local(
+        &self,
+        req: &ScanRequest,
+        key: SliceKey,
+        replicas: &[NodeId],
+        as_of: Lsn,
+    ) -> Result<SliceScanOutcome> {
+        self.ndp_stats.fallbacks.inc();
+        let mut pages: BTreeSet<PageId> = BTreeSet::new();
+        let mut reachable = false;
+        for &node in replicas {
+            if let Ok(ids) = self.pages.page_ids_of(node, self.me, key) {
+                reachable = true;
+                pages.extend(ids);
+            }
+        }
+        if !reachable {
+            return Err(TaurusError::AllReplicasFailed(key));
+        }
+        let mut acc = ScanAccumulator::default();
+        for page in pages {
+            let buf = self.read_page(page, Some(as_of))?;
+            self.ndp_stats.fallback_pages.inc();
+            self.ndp_stats.fallback_bytes.add(PAGE_SIZE as u64);
+            evaluate_leaf_page(&buf, req, &mut acc)?;
+        }
+        Ok(SliceScanOutcome {
+            rows: acc.rows,
+            agg: acc.agg,
+            fallback: true,
+        })
     }
 
     // ==================================================================

@@ -15,8 +15,9 @@ use parking_lot::{Mutex, RwLock};
 
 use taurus_common::lsn::{LsnAllocator, LsnWatermark};
 use taurus_common::record::{LogRecordGroup, RecordBody};
+use taurus_common::scan::{ScanAccumulator, ScanRequest};
 use taurus_common::{Lsn, PageBuf, PageId, Result, TaurusError, TxnId};
-use taurus_core::Sal;
+use taurus_core::{Sal, TableScan};
 
 use crate::btree::{BTree, MutCtx, PageFetch};
 use crate::pool::{EnginePool, Frame};
@@ -212,6 +213,49 @@ impl MasterEngine {
     pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let _shared = self.tree_latch.read();
         BTree::scan(&self.fetcher(), start, limit)
+    }
+
+    /// Pushed-down table scan at the current durable LSN (NDP follow-on
+    /// paper): the SAL plans one `ScanSlice` call per slice and the Page
+    /// Stores evaluate the operator next to the data. When the storage
+    /// layer cannot serve the scan at all, falls back to an engine-local
+    /// B-tree traversal through the *same* shared evaluator, so results
+    /// are identical either way.
+    pub fn scan_pushdown(&self, req: &ScanRequest) -> Result<TableScan> {
+        let as_of = self.sal.durable_lsn();
+        match self.sal.scan_pushdown(req, as_of) {
+            Ok(scan) => Ok(scan),
+            Err(_) => self.scan_local(req),
+        }
+    }
+
+    /// Pushed-down scan against a named snapshot's pinned LSN.
+    pub fn snapshot_scan_pushdown(&self, name: &str, req: &ScanRequest) -> Result<TableScan> {
+        let lsn = self
+            .sal
+            .snapshot_lsn(name)
+            .ok_or_else(|| TaurusError::Internal(format!("no snapshot named {name}")))?;
+        self.sal.scan_pushdown(req, lsn)
+    }
+
+    /// Fetch-and-filter fallback: full B-tree scan through the engine pool
+    /// folded through the shared evaluator.
+    fn scan_local(&self, req: &ScanRequest) -> Result<TableScan> {
+        let _shared = self.tree_latch.read();
+        let rows = BTree::scan(&self.fetcher(), &req.start, usize::MAX)?;
+        let mut acc = ScanAccumulator::default();
+        for (key, value) in rows {
+            acc.rows_scanned += 1;
+            if req.matches(&key, &value) {
+                acc.add(req, &key, &value);
+            }
+        }
+        Ok(TableScan {
+            rows: acc.rows,
+            agg: acc.agg,
+            pushdown_slices: 0,
+            fallback_slices: 1,
+        })
     }
 
     /// Creates a named snapshot of the database at the current durable LSN.

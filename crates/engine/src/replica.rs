@@ -26,11 +26,13 @@ use parking_lot::Mutex;
 use taurus_common::apply::apply_record;
 use taurus_common::lsn::LsnWatermark;
 use taurus_common::record::RecordBody;
+use taurus_common::scan::{evaluate_leaf_page, ScanAccumulator, ScanRequest};
 use taurus_common::{
     DbId, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusConfig, TaurusError, TxnId,
 };
+use taurus_core::TableScan;
 use taurus_logstore::{LogStoreCluster, LogStream, TailCursor};
-use taurus_pagestore::PageStoreCluster;
+use taurus_pagestore::{PageStoreCluster, ScanSliceRequest};
 
 use crate::btree::{BTree, PageFetch};
 use crate::master::Bulletin;
@@ -230,8 +232,13 @@ impl ReplicaEngine {
                         let buf = Arc::new(buf);
                         // Warm the pool so future log records keep the page
                         // fresh — but never clobber a newer cached version
-                        // with an old snapshot read.
-                        if cached.is_none() {
+                        // with an old snapshot read, and never insert a
+                        // version older than the visible LSN: `poll` only
+                        // applies records to *pooled* pages, so records
+                        // consumed while the page was absent can never be
+                        // replayed onto it — a stale insert would serve
+                        // fresh transactions old data forever.
+                        if cached.is_none() && tv >= self.visible_lsn.get() {
                             self.pool.put(
                                 id,
                                 Frame::new(Arc::clone(&buf), buf.lsn(), false),
@@ -261,6 +268,22 @@ impl ReplicaEngine {
     pub fn get(self: &Arc<Self>, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let txn = self.begin();
         txn.get(key)
+    }
+
+    /// Auto-commit range scan. The whole traversal happens inside one
+    /// pinned transaction: the TV-LSN is sampled **once** at begin, so a
+    /// group applied by `poll` mid-scan can never tear the result (pages
+    /// visited later would otherwise reflect a newer LSN than pages
+    /// visited earlier).
+    pub fn scan(self: &Arc<Self>, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let txn = self.begin();
+        txn.scan(start, limit)
+    }
+
+    /// Auto-commit pushed-down scan, pinned the same way.
+    pub fn scan_pushdown(self: &Arc<Self>, req: &ScanRequest) -> Result<TableScan> {
+        let txn = self.begin();
+        txn.scan_pushdown(req)
     }
 
     /// Replicas reject writes (§3.2: only the master serves write queries).
@@ -294,6 +317,103 @@ impl ReplicaTxn {
     pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let fetch = self.replica.fetch_at(self.tv);
         BTree::scan(&fetch, start, limit)
+    }
+
+    /// Pushed-down table scan at this transaction's pinned TV-LSN.
+    ///
+    /// Every slice is scanned via `ScanSlice` on the Page Stores at exactly
+    /// `tv` — no snapshot capping is needed on a replica, because the TV-LSN
+    /// never passes the master's read horizon (the minimum per-slice acked
+    /// LSN), so every slice has at least one replica that can serve `tv`. A
+    /// slice whose replicas all refuse falls back to fetch-and-evaluate
+    /// through the versioned read path at the same LSN.
+    pub fn scan_pushdown(&self, req: &ScanRequest) -> Result<TableScan> {
+        let r = &self.replica;
+        let mut keys: Vec<SliceKey> = r
+            .pages
+            .slices()
+            .into_iter()
+            .filter(|k| k.db == r.db)
+            .collect();
+        keys.sort();
+        let mut out = TableScan::default();
+        for key in keys {
+            match self.scan_slice_remote(req, key) {
+                Ok(acc) => {
+                    out.pushdown_slices += 1;
+                    out.rows.extend(acc.rows);
+                    out.agg.merge(&acc.agg);
+                }
+                Err(_) => {
+                    let acc = self.scan_slice_local(req, key)?;
+                    out.fallback_slices += 1;
+                    out.rows.extend(acc.rows);
+                    out.agg.merge(&acc.agg);
+                }
+            }
+        }
+        out.rows.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    /// Budgeted `ScanSlice` continuation loop against the slice's replicas.
+    /// A replica failing mid-continuation restarts the slice on the next
+    /// replica (reads are idempotent).
+    fn scan_slice_remote(&self, req: &ScanRequest, key: SliceKey) -> Result<ScanAccumulator> {
+        let r = &self.replica;
+        let mut last_err = TaurusError::AllReplicasFailed(key);
+        'replicas: for node in r.pages.replicas_of(key) {
+            let mut call = ScanSliceRequest {
+                key,
+                as_of: self.tv,
+                req: req.clone(),
+                resume_after: None,
+                max_rows: r.cfg.ndp_scan_max_rows,
+                max_bytes: r.cfg.ndp_scan_max_bytes,
+            };
+            let mut out = ScanAccumulator::default();
+            loop {
+                match r.pages.scan_slice_from(node, r.me, &call) {
+                    Ok(resp) => {
+                        out.rows.extend(resp.rows);
+                        out.agg.merge(&resp.agg);
+                        match resp.next_page {
+                            Some(next) => call.resume_after = Some(next),
+                            None => return Ok(out),
+                        }
+                    }
+                    Err(e) => {
+                        last_err = e;
+                        continue 'replicas;
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Fallback: fetch the slice's pages through the versioned read path at
+    /// `tv` and fold them through the same shared evaluator.
+    fn scan_slice_local(&self, req: &ScanRequest, key: SliceKey) -> Result<ScanAccumulator> {
+        let r = &self.replica;
+        let mut pages = std::collections::BTreeSet::new();
+        let mut reachable = false;
+        for node in r.pages.replicas_of(key) {
+            if let Ok(ids) = r.pages.page_ids_of(node, r.me, key) {
+                reachable = true;
+                pages.extend(ids);
+            }
+        }
+        if !reachable {
+            return Err(TaurusError::AllReplicasFailed(key));
+        }
+        let fetch = r.fetch_at(self.tv);
+        let mut acc = ScanAccumulator::default();
+        for page in pages {
+            let buf = fetch.fetch(page)?;
+            evaluate_leaf_page(&buf, req, &mut acc)?;
+        }
+        Ok(acc)
     }
 }
 

@@ -339,3 +339,113 @@ fn workload_continues_through_storage_failures_with_recovery_service() {
     assert!(master.get(b"mid000").unwrap().is_some());
     assert_eq!(db.run_recovery_round().long_term_failures, 0);
 }
+
+#[test]
+fn master_scan_pushdown_matches_fetch_and_filter() {
+    use taurus_common::scan::{Aggregate, CmpOp, Field, Operand, ScanRequest};
+    let db = launch();
+    let master = db.master();
+    for i in 0..40u32 {
+        let mut t = master.begin();
+        t.put(
+            format!("k{i:03}").as_bytes(),
+            format!("v{}", i % 4).as_bytes(),
+        )
+        .unwrap();
+        t.commit().unwrap();
+    }
+    settle(&db);
+    // Full scan agrees with the classic B-tree scan.
+    let scan = master.scan_pushdown(&ScanRequest::full()).unwrap();
+    assert_eq!(scan.rows, master.scan(b"", usize::MAX).unwrap());
+    assert!(scan.pushdown_slices >= 1);
+    assert_eq!(scan.fallback_slices, 0);
+    // Selective predicate agrees with filtering client-side.
+    let req =
+        ScanRequest::full().with_predicate(Field::Value, CmpOp::Eq, Operand::Bytes(b"v3".to_vec()));
+    let filtered = master.scan_pushdown(&req).unwrap();
+    let expect: Vec<_> = master
+        .scan(b"", usize::MAX)
+        .unwrap()
+        .into_iter()
+        .filter(|(_, v)| v == b"v3")
+        .collect();
+    assert_eq!(filtered.rows, expect);
+    assert_eq!(filtered.rows.len(), 10);
+    // Aggregate pushdown returns no rows, just the result.
+    let count = master
+        .scan_pushdown(&req.clone().with_aggregate(Aggregate::Count))
+        .unwrap();
+    assert!(count.rows.is_empty());
+    assert_eq!(count.agg.count, 10);
+}
+
+#[test]
+fn snapshot_scan_pushdown_reads_the_pinned_lsn() {
+    use taurus_common::scan::ScanRequest;
+    let db = launch();
+    let master = db.master();
+    let mut t = master.begin();
+    t.put(b"a", b"old").unwrap();
+    t.commit().unwrap();
+    settle(&db);
+    master.create_snapshot("before");
+    let mut t = master.begin();
+    t.put(b"a", b"new").unwrap();
+    t.put(b"b", b"2").unwrap();
+    t.commit().unwrap();
+    settle(&db);
+    let snap = master
+        .snapshot_scan_pushdown("before", &ScanRequest::full())
+        .unwrap();
+    assert_eq!(
+        snap.rows,
+        master.snapshot_scan("before", b"", usize::MAX).unwrap()
+    );
+    assert_eq!(snap.rows, vec![(b"a".to_vec(), b"old".to_vec())]);
+    let head = master.scan_pushdown(&ScanRequest::full()).unwrap();
+    assert_eq!(head.rows.len(), 2);
+    assert_eq!(head.rows[0].1, b"new");
+}
+
+#[test]
+fn replica_scan_pins_one_tv_lsn_for_the_whole_traversal() {
+    use taurus_common::scan::ScanRequest;
+    let db = launch();
+    let master = db.master();
+    let replica = db.add_replica().unwrap();
+    for i in 0..10u32 {
+        let mut t = master.begin();
+        t.put(format!("k{i:02}").as_bytes(), b"v1").unwrap();
+        t.commit().unwrap();
+    }
+    settle(&db);
+    sync_replica(&db, &replica);
+    // Pin a read transaction, then let the database move on and the
+    // replica apply the new groups.
+    let pinned = replica.begin();
+    let tv = pinned.tv_lsn();
+    for i in 0..10u32 {
+        let mut t = master.begin();
+        t.put(format!("k{i:02}").as_bytes(), b"v2").unwrap();
+        t.commit().unwrap();
+    }
+    settle(&db);
+    sync_replica(&db, &replica);
+    assert!(replica.visible_lsn() > tv, "replica must have advanced");
+    // The pinned traversal — local B-tree scan and pushdown alike — still
+    // reads the old values on every page, with no v2 mixed in (torn read).
+    let local = pinned.scan(b"", usize::MAX).unwrap();
+    assert_eq!(local.len(), 10);
+    assert!(local.iter().all(|(_, v)| v == b"v1"));
+    let pushed = pinned.scan_pushdown(&ScanRequest::full()).unwrap();
+    assert_eq!(pushed.rows, local);
+    // A fresh auto-commit scan pins the *new* visible LSN — and both paths
+    // agree on it too.
+    let fresh = replica.scan(b"", usize::MAX).unwrap();
+    assert!(fresh.iter().all(|(_, v)| v == b"v2"));
+    assert_eq!(
+        replica.scan_pushdown(&ScanRequest::full()).unwrap().rows,
+        fresh
+    );
+}

@@ -20,6 +20,7 @@ use taurus_fabric::{Fabric, NodeKind, StorageDevice};
 
 use crate::fragment::SliceFragment;
 use crate::pool::EvictionPolicy;
+use crate::pushdown::{ScanSliceRequest, ScanSliceResponse};
 use crate::server::{ConsolidationPolicy, PageStoreServer};
 
 /// Construction parameters for Page Store servers spawned by the cluster.
@@ -157,6 +158,25 @@ impl PageStoreCluster {
         let server = self.server(node)?;
         self.fabric
             .call(from, node, || server.read_page(key, page, as_of))?
+    }
+
+    /// `ScanSlice` RPC to one specific replica: near-data scan pushdown
+    /// (see [`crate::pushdown`]).
+    pub fn scan_slice_from(
+        &self,
+        node: NodeId,
+        from: NodeId,
+        call: &ScanSliceRequest,
+    ) -> Result<ScanSliceResponse> {
+        let server = self.server(node)?;
+        self.fabric.call(from, node, || server.scan_slice(call))?
+    }
+
+    /// Page-id inventory RPC: which pages a replica's Log Directory tracks
+    /// for a slice. Used by the SAL's local scan fallback.
+    pub fn page_ids_of(&self, node: NodeId, from: NodeId, key: SliceKey) -> Result<Vec<PageId>> {
+        let server = self.server(node)?;
+        self.fabric.call(from, node, || server.page_ids(key))?
     }
 
     /// `GetPersistentLSN` RPC to one specific replica.

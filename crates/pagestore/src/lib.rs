@@ -9,7 +9,8 @@
 //! Faithfully reproduced mechanics:
 //!
 //! * the four-method API the SAL speaks: `WriteLogs`, `ReadPage`,
-//!   `SetRecycleLSN`, `GetPersistentLSN` (§3.4);
+//!   `SetRecycleLSN`, `GetPersistentLSN` (§3.4) — plus `ScanSlice`, the
+//!   near-data scan pushdown of the NDP follow-on paper ([`pushdown`]);
 //! * append-only slice logs — a Page Store never writes in place (§7);
 //! * the **Log Directory**: a per-slice concurrent map from page id to the
 //!   locations of its log records and materialized versions (§7);
@@ -33,10 +34,12 @@ pub mod directory;
 pub mod fragment;
 pub mod logcache;
 pub mod pool;
+pub mod pushdown;
 pub mod server;
 pub mod slice;
 
 pub use cluster::PageStoreCluster;
 pub use fragment::{deep_clone_count, SliceFragment};
 pub use pool::{EvictionPolicy, PagePool};
+pub use pushdown::{ScanSliceRequest, ScanSliceResponse};
 pub use server::{ConsolidationPolicy, PageStoreServer};

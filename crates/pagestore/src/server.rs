@@ -133,7 +133,7 @@ impl PageStoreServer {
         v
     }
 
-    fn replica(&self, key: SliceKey) -> Result<Arc<Mutex<SliceReplica>>> {
+    pub(crate) fn replica(&self, key: SliceKey) -> Result<Arc<Mutex<SliceReplica>>> {
         self.slices
             .read()
             .get(&key)
@@ -142,7 +142,7 @@ impl PageStoreServer {
     }
 
     /// The slice's Log Directory, usable without the replica mutex.
-    fn dir(&self, key: SliceKey) -> Result<Arc<LogDirectory>> {
+    pub(crate) fn dir(&self, key: SliceKey) -> Result<Arc<LogDirectory>> {
         Ok(self.replica(key)?.lock().directory.clone())
     }
 
@@ -263,7 +263,13 @@ impl PageStoreServer {
                     persistent,
                 });
             }
-            if as_of < r.recycle_lsn() {
+            // A read below the recycle LSN may hit purged versions — except
+            // at the slice head (`as_of == persistent`), which is always
+            // servable: `purge_below` keeps each page's newest version <=
+            // recycle as the reconstruction base plus every record above it.
+            // A quiet slice's head can sit far below the global recycle LSN,
+            // and refusing it would make the slice permanently unreadable.
+            if as_of < r.recycle_lsn() && as_of < persistent {
                 return Err(TaurusError::VersionRecycled {
                     page,
                     requested: as_of,
@@ -275,7 +281,12 @@ impl PageStoreServer {
 
     /// Produces the page version at `as_of` from the best base plus records.
     /// Never holds the replica mutex across device I/O.
-    fn materialize(&self, key: SliceKey, page: PageId, as_of: Lsn) -> Result<(PageBuf, Lsn)> {
+    pub(crate) fn materialize(
+        &self,
+        key: SliceKey,
+        page: PageId,
+        as_of: Lsn,
+    ) -> Result<(PageBuf, Lsn)> {
         let dir = self.dir(key)?;
         let Some(entry) = dir.get(page) else {
             // Never written: a fresh zeroed page at version 0.

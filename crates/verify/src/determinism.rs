@@ -71,6 +71,11 @@ pub struct Fingerprint {
     pub replica_kv_hash: u64,
     /// Hash over the re-read log (every group's LSN range and encoding).
     pub log_hash: u64,
+    /// Hash over a full-table scan pushed down to the Page Stores
+    /// (`ScanSlice` per slice, evaluated next to the data). Must agree
+    /// across runs — and with `master_kv_hash`'s source rows — or the
+    /// near-data path diverged from the B-tree.
+    pub pushdown_scan_hash: u64,
     /// Number of PLogs the Log Store directory tracks.
     pub plog_count: usize,
     /// Number of slices the Page Store fleet hosts.
@@ -88,6 +93,7 @@ impl Fingerprint {
             self.master_kv_hash,
             self.replica_kv_hash,
             self.log_hash,
+            self.pushdown_scan_hash,
             self.plog_count as u64,
             self.slice_count as u64,
         ] {
@@ -118,6 +124,11 @@ impl Fingerprint {
             other.replica_kv_hash,
         );
         cmp("log_hash", self.log_hash, other.log_hash);
+        cmp(
+            "pushdown_scan_hash",
+            self.pushdown_scan_hash,
+            other.pushdown_scan_hash,
+        );
         cmp(
             "plog_count",
             self.plog_count as u64,
@@ -251,6 +262,18 @@ pub fn fingerprint_run(seed: u64, ops: usize, inject: Inject) -> Result<Fingerpr
     for group in master.sal.read_log_from(taurus_common::Lsn(1))? {
         log.write(&group.encode());
     }
+    // Full-table scan through the near-data path: one `ScanSlice` per
+    // slice, pages materialized at the durable LSN *inside* the Page
+    // Stores. Hashing the merged rows pins down the pushdown evaluator and
+    // the slice planner, not just the B-tree read path.
+    let mut pushdown = Fnv::new();
+    let scan = master.scan_pushdown(&taurus_common::scan::ScanRequest::full())?;
+    for (k, v) in &scan.rows {
+        pushdown.write(k);
+        pushdown.write(b"=");
+        pushdown.write(v);
+        pushdown.write(b";");
+    }
     Ok(Fingerprint {
         durable_lsn: master.sal.durable_lsn().0,
         cv_lsn: master.sal.cv_lsn().0,
@@ -258,6 +281,7 @@ pub fn fingerprint_run(seed: u64, ops: usize, inject: Inject) -> Result<Fingerpr
         master_kv_hash: master_kv.finish(),
         replica_kv_hash: replica_kv.finish(),
         log_hash: log.finish(),
+        pushdown_scan_hash: pushdown.finish(),
         plog_count: logs.plog_count(),
         slice_count: pages.slices().len(),
     })
@@ -327,6 +351,7 @@ mod tests {
             master_kv_hash: 1,
             replica_kv_hash: 2,
             log_hash: 3,
+            pushdown_scan_hash: 6,
             plog_count: 4,
             slice_count: 5,
         };

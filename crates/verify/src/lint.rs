@@ -13,6 +13,13 @@
 //!   seeded from configuration so runs are reproducible.
 //! * **`std-sync-lock`** — `std::sync::Mutex` / `std::sync::RwLock` where
 //!   `parking_lot` is the workspace standard (no lock poisoning to handle).
+//! * **`pushdown-no-panic`** — any panicking construct (`panic!`,
+//!   `unreachable!`, `todo!`, `unimplemented!`, `assert*!`) in the Page
+//!   Store's `ScanSlice` execution path (`crates/pagestore/src/pushdown*`).
+//!   A `ScanSlice` call evaluates user-shaped predicates over arbitrary
+//!   page bytes; a panic there takes the whole simulated Page Store node
+//!   down for every tenant, so the module must be panic-free, not merely
+//!   unwrap-free.
 //!
 //! The scanner strips comments and string/char literals first (so a pattern
 //! inside a doc comment or log message never fires), skips `#[cfg(test)]`
@@ -38,6 +45,7 @@ pub const RULE_NAMES: &[&str] = &[
     "direct-clock",
     "unseeded-rng",
     "std-sync-lock",
+    "pushdown-no-panic",
 ];
 
 /// One lint finding.
@@ -391,9 +399,20 @@ struct Finding {
     message: String,
 }
 
+/// Panicking constructs forbidden in the `ScanSlice` execution module.
+const PANIC_PATTERNS: &[&str] = &[
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    "assert!(",
+    "assert_eq!(",
+    "assert_ne!(",
+];
+
 /// Runs every rule against one stripped line. `hot_path` controls the
-/// unwrap rule; the rest apply everywhere.
-fn check_line(code: &str, hot_path: bool) -> Vec<Finding> {
+/// unwrap rule, `pushdown` the no-panic rule; the rest apply everywhere.
+fn check_line(code: &str, hot_path: bool, pushdown: bool) -> Vec<Finding> {
     let mut found = Vec::new();
     if hot_path {
         if code.contains(".unwrap()") {
@@ -435,6 +454,28 @@ fn check_line(code: &str, hot_path: bool) -> Vec<Finding> {
             message: "`std::sync` lock; the workspace standard is `parking_lot`".into(),
         });
     }
+    if pushdown {
+        for pat in PANIC_PATTERNS {
+            // `debug_assert!` et al. contain `assert!(` as a substring but
+            // compile out of release servers; match only a clean start.
+            let hit = code.match_indices(pat).any(|(i, _)| {
+                i == 0
+                    || !code[..i]
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            });
+            if hit {
+                found.push(Finding {
+                    rule: "pushdown-no-panic",
+                    message: format!(
+                        "`{pat}...)` in the ScanSlice execution path; a panic here crashes \
+                         the Page Store node — return `TaurusError` instead"
+                    ),
+                });
+            }
+        }
+    }
     found
 }
 
@@ -451,6 +492,13 @@ fn unwrap_rule_applies(path: &Path) -> bool {
     true
 }
 
+/// Whether the no-panic rule applies: the Page Store pushdown module (the
+/// `ScanSlice` execution path), including any future submodules.
+fn pushdown_rule_applies(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.contains("crates/pagestore/src/pushdown")
+}
+
 // ====================================================================
 // Driver
 // ====================================================================
@@ -462,12 +510,13 @@ pub fn lint_source(path: &Path, src: &str, report: &mut LintReport) {
     let is_test = test_code_lines(&stripped);
     let allows = allow_directives(src);
     let hot_path = unwrap_rule_applies(path);
+    let pushdown = pushdown_rule_applies(path);
     for (idx, code) in stripped.lines().enumerate() {
         if is_test.get(idx).copied().unwrap_or(false) {
             continue;
         }
         let lineno = idx + 1;
-        for f in check_line(code, hot_path) {
+        for f in check_line(code, hot_path, pushdown) {
             let allowed = allows
                 .get(&lineno)
                 .map(|rules| rules.iter().any(|r| r == f.rule))
@@ -648,6 +697,48 @@ mod tests {
     fn parking_lot_is_clean() {
         let r = lint_str("crates/core/src/x.rs", "use parking_lot::Mutex;\n");
         assert!(r.is_clean());
+    }
+
+    // ---- pushdown-no-panic ----
+
+    #[test]
+    fn panic_constructs_flagged_in_pushdown_module() {
+        let src = "fn f() { panic!(\"no\"); }\nfn g(x: u8) { assert_eq!(x, 1); }\nfn h() { unreachable!() }\n";
+        let r = lint_str("crates/pagestore/src/pushdown.rs", src);
+        let rules: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "pushdown-no-panic")
+            .collect();
+        assert_eq!(rules.len(), 3, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn panic_rule_is_scoped_to_the_pushdown_module() {
+        let src = "fn f() { panic!(\"fine elsewhere\"); }\n";
+        let r = lint_str("crates/pagestore/src/server.rs", src);
+        assert!(
+            r.diagnostics.iter().all(|d| d.rule != "pushdown-no-panic"),
+            "{:?}",
+            r.diagnostics
+        );
+        let sub = lint_str("crates/pagestore/src/pushdown/exec.rs", src);
+        assert!(sub
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "pushdown-no-panic"));
+    }
+
+    #[test]
+    fn debug_assert_and_tests_are_exempt_in_pushdown_module() {
+        let src = "fn f(x: u8) { debug_assert!(x < 8); debug_assert_eq!(x, x); }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}\n";
+        let r = lint_str("crates/pagestore/src/pushdown.rs", src);
+        assert!(
+            r.diagnostics.iter().all(|d| d.rule != "pushdown-no-panic"),
+            "{:?}",
+            r.diagnostics
+        );
     }
 
     // ---- allow escape hatch ----

@@ -7,11 +7,13 @@
 //! [`Executor`] (Taurus or a baseline architecture).
 
 pub mod driver;
+pub mod scanheavy;
 pub mod sysbench;
 pub mod tpcc;
 pub mod zipf;
 
 pub use driver::{run_workload, DriverReport, Executor};
+pub use scanheavy::ScanHeavyWorkload;
 pub use sysbench::{SysbenchMode, SysbenchWorkload};
 pub use tpcc::TpccWorkload;
 pub use zipf::Zipf;
