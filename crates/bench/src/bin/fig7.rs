@@ -32,8 +32,19 @@ fn run_pair(workload: &dyn Workload, regime: ScaleRegime, conns: usize) -> (f64,
     let taurus = TaurusExecutor::new(db);
     load_initial(&taurus, workload).expect("load taurus");
     let t_report = run_workload(&taurus, workload, conns, txns_per_conn(), 7);
-    let sal = &taurus.db.master().sal;
+    let master = taurus.db.master();
+    let sal = &master.sal;
     println!("  taurus SAL: {}", sal.stats.snapshot());
+    let (hit_ratio, resident) = master.pool_stats();
+    let (prefetched, prefetch_hits) = master.pool_prefetch_stats();
+    println!(
+        "  taurus pool: hit_ratio={hit_ratio:.2} resident={resident} \
+         prefetched={prefetched} prefetch_hits={prefetch_hits}"
+    );
+    println!(
+        "  taurus batched reads: {}",
+        sal.read_batch_stats.snapshot()
+    );
     for (node, queued, in_flight) in sal.pipeline_gauges() {
         if queued > 0 || in_flight > 0 {
             println!("  taurus SAL pipe {node}: queued={queued} in_flight={in_flight}");

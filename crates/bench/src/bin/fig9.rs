@@ -91,6 +91,14 @@ fn taurus_lag_at_rate(writes_per_sec: u64, duration: Duration) -> (f64, f64) {
         writes_per_sec,
         db.master().sal.log_stats().snapshot()
     );
+    let master = db.master();
+    let (hit_ratio, resident) = master.pool_stats();
+    let (prefetched, prefetch_hits) = master.pool_prefetch_stats();
+    println!(
+        "  [{} w/s target] pool: hit_ratio={hit_ratio:.2} resident={resident} \
+         prefetched={prefetched} prefetch_hits={prefetch_hits}",
+        writes_per_sec
+    );
     drop(guard);
     let wall_secs = (clock.now_us().saturating_sub(start_us) as f64 / 1e6).max(1e-9);
     let achieved_rate = achieved_writes as f64 / wall_secs;

@@ -156,6 +156,21 @@ pub struct TaurusConfig {
     /// Per-`ScanSlice`-call byte budget for pushdown result payloads
     /// (checked together with `ndp_scan_max_rows` at page granularity).
     pub ndp_scan_max_bytes: usize,
+    /// Per-`ReadPages`-call page budget: one batched read RPC attempts at
+    /// most this many pages, then returns a continuation (same budgets
+    /// discipline as `ScanSlice`).
+    pub read_batch_max_pages: usize,
+    /// Per-`ReadPages`-call byte budget for returned page payloads (checked
+    /// together with `read_batch_max_pages` at page granularity).
+    pub read_batch_max_bytes: usize,
+    /// Lock-striped shards of the engine buffer pool. Rounded up to a power
+    /// of two; each shard is an independent LRU with the paper's dirty-page
+    /// eviction guard.
+    pub engine_pool_shards: usize,
+    /// B-tree readahead window, pages: range scans hint this many upcoming
+    /// leaves to the fetcher, which batch-fetches the misses in one
+    /// `ReadPages` round trip. 0 disables readahead.
+    pub btree_readahead_window: usize,
 }
 
 impl Default for TaurusConfig {
@@ -185,6 +200,10 @@ impl Default for TaurusConfig {
             sal_write_attempt_timeout_us: 20_000,
             ndp_scan_max_rows: 4096,
             ndp_scan_max_bytes: 256 << 10,
+            read_batch_max_pages: 256,
+            read_batch_max_bytes: 4 << 20,
+            engine_pool_shards: 8,
+            btree_readahead_window: 16,
         }
     }
 }
@@ -218,6 +237,10 @@ impl TaurusConfig {
             // Tiny budgets so tests exercise the continuation path.
             ndp_scan_max_rows: 64,
             ndp_scan_max_bytes: 8 << 10,
+            read_batch_max_pages: 4,
+            read_batch_max_bytes: 64 << 10,
+            engine_pool_shards: 4,
+            btree_readahead_window: 4,
             ..TaurusConfig::default()
         }
     }
@@ -252,6 +275,16 @@ impl TaurusConfig {
         if self.ndp_scan_max_rows == 0 || self.ndp_scan_max_bytes == 0 {
             return Err(crate::TaurusError::Internal(
                 "ndp scan budgets must be > 0".into(),
+            ));
+        }
+        if self.read_batch_max_pages == 0 || self.read_batch_max_bytes == 0 {
+            return Err(crate::TaurusError::Internal(
+                "read batch budgets must be > 0".into(),
+            ));
+        }
+        if self.engine_pool_shards == 0 {
+            return Err(crate::TaurusError::Internal(
+                "engine_pool_shards must be > 0".into(),
             ));
         }
         Ok(())
@@ -302,6 +335,18 @@ mod tests {
 
         let c = TaurusConfig {
             ndp_scan_max_rows: 0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            read_batch_max_pages: 0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            engine_pool_shards: 0,
             ..TaurusConfig::default()
         };
         assert!(c.validate().is_err());

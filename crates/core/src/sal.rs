@@ -27,7 +27,9 @@ use taurus_common::{
     TaurusError, PAGE_SIZE,
 };
 use taurus_logstore::{LogStoreCluster, LogStream};
-use taurus_pagestore::{PageStoreCluster, ScanSliceRequest, SliceFragment};
+use taurus_pagestore::{
+    PageReadOutcome, PageStoreCluster, ReadPagesRequest, ScanSliceRequest, SliceFragment,
+};
 
 /// Per-slice state the SAL maintains (paper §3.5, §4).
 #[derive(Debug)]
@@ -302,6 +304,94 @@ impl std::fmt::Display for NdpStatsSnapshot {
     }
 }
 
+/// Counters for the batched read path (`Sal::read_pages`; printed by the
+/// `readpath` bench and the fig7/fig9 gauge dumps).
+#[derive(Debug, Default)]
+pub struct ReadBatchStats {
+    /// `read_pages` invocations (one per multi-page miss batch).
+    pub batches: Counter,
+    /// `ReadPages` RPCs issued, budget continuations included.
+    pub batch_rpcs: Counter,
+    /// Failed `ReadPages` attempts (replica skipped, next one tried).
+    pub batch_retries: Counter,
+    /// Page ids requested across all batches.
+    pub pages_requested: Counter,
+    /// Pages returned by successful `ReadPages` RPCs.
+    pub pages_returned: Counter,
+    /// Per-page failures inside otherwise-successful batches (recycled
+    /// versions, torn materializations).
+    pub partial_failures: Counter,
+    /// Pages re-read through the single-page `ReadPage` repair path after
+    /// the batch could not serve them.
+    pub straggler_retries: Counter,
+    /// Pages-per-RPC histogram: buckets 1, 2–4, 5–16, 17–64, 65+.
+    pub pages_per_rpc: [Counter; 5],
+}
+
+impl ReadBatchStats {
+    fn note_rpc_pages(&self, n: usize) {
+        let bucket = match n {
+            0..=1 => 0,
+            2..=4 => 1,
+            5..=16 => 2,
+            17..=64 => 3,
+            _ => 4,
+        };
+        self.pages_per_rpc[bucket].inc();
+    }
+
+    pub fn snapshot(&self) -> ReadBatchStatsSnapshot {
+        ReadBatchStatsSnapshot {
+            batches: self.batches.get(),
+            batch_rpcs: self.batch_rpcs.get(),
+            batch_retries: self.batch_retries.get(),
+            pages_requested: self.pages_requested.get(),
+            pages_returned: self.pages_returned.get(),
+            partial_failures: self.partial_failures.get(),
+            straggler_retries: self.straggler_retries.get(),
+            pages_per_rpc: [
+                self.pages_per_rpc[0].get(),
+                self.pages_per_rpc[1].get(),
+                self.pages_per_rpc[2].get(),
+                self.pages_per_rpc[3].get(),
+                self.pages_per_rpc[4].get(),
+            ],
+        }
+    }
+}
+
+/// Plain-value snapshot of [`ReadBatchStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadBatchStatsSnapshot {
+    pub batches: u64,
+    pub batch_rpcs: u64,
+    pub batch_retries: u64,
+    pub pages_requested: u64,
+    pub pages_returned: u64,
+    pub partial_failures: u64,
+    pub straggler_retries: u64,
+    pub pages_per_rpc: [u64; 5],
+}
+
+impl std::fmt::Display for ReadBatchStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batches={} batch_rpcs={} batch_retries={} pages_requested={} \
+             pages_returned={} partial_failures={} straggler_retries={} \
+             pages_per_rpc[1|2-4|5-16|17-64|65+]={:?}",
+            self.batches,
+            self.batch_rpcs,
+            self.batch_retries,
+            self.pages_requested,
+            self.pages_returned,
+            self.partial_failures,
+            self.straggler_retries,
+            self.pages_per_rpc,
+        )
+    }
+}
+
 /// Merged result of a pushed-down table scan: rows from every slice,
 /// key-sorted, plus the combined aggregate state and a per-slice breakdown
 /// of how each slice was executed.
@@ -389,6 +479,7 @@ pub struct Sal {
     throttle_us: AtomicU64,
     pub stats: SalStats,
     pub ndp_stats: NdpStats,
+    pub read_batch_stats: ReadBatchStats,
 }
 
 impl std::fmt::Debug for Sal {
@@ -458,6 +549,7 @@ impl Sal {
             throttle_us: AtomicU64::new(0),
             stats: SalStats::default(),
             ndp_stats: NdpStats::default(),
+            read_batch_stats: ReadBatchStats::default(),
         })
     }
 
@@ -1134,6 +1226,179 @@ impl Sal {
             let ewma = slice.read_latency_us.entry(node).or_insert(us as f64);
             *ewma = 0.8 * *ewma + 0.2 * us as f64;
         }
+    }
+
+    // ==================================================================
+    // Batched read path
+    // ==================================================================
+
+    /// Reads many pages at one snapshot in as few round trips as possible:
+    /// the ids are grouped by slice and one `ReadPages` RPC per slice is
+    /// fanned out on scoped threads, each using the same `(suspect, EWMA)`
+    /// replica routing as [`Sal::read_page`] and following budget
+    /// continuations. Pages a batch could not serve (per-page failures, or
+    /// every replica refusing the slice) are retried individually through
+    /// `read_page`, which carries the Log-Store repair path — so the call
+    /// returns exactly what N sequential `read_page` calls at the same
+    /// `as_of` would, in request order.
+    ///
+    /// Snapshot handling matches `read_page`: `None` pins each slice at its
+    /// acked LSN; an explicit `as_of` is a global snapshot capped per slice
+    /// at the flush LSN after a buffer flush (exact — the slice has no
+    /// records in `(flush_lsn, as_of]`).
+    pub fn read_pages(&self, ids: &[PageId], as_of: Option<Lsn>) -> Result<Vec<(PageId, PageBuf)>> {
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.read_batch_stats.batches.inc();
+        self.read_batch_stats.pages_requested.add(ids.len() as u64);
+        // Group by slice, keeping first-seen order and dropping duplicates.
+        let mut order: Vec<SliceKey> = Vec::new();
+        let mut by_slice: HashMap<SliceKey, Vec<PageId>> = HashMap::new();
+        for &page in ids {
+            let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
+            let group = by_slice.entry(key).or_insert_with(|| {
+                order.push(key);
+                Vec::new()
+            });
+            if !group.contains(&page) {
+                group.push(page);
+            }
+        }
+        let plan: Vec<(SliceKey, Vec<PageId>, Vec<NodeId>, Lsn)> = {
+            let mut st = self.state.lock();
+            let mut plan = Vec::with_capacity(order.len());
+            for key in order {
+                self.ensure_slice_locked(&mut st, key)?;
+                let eff = match as_of {
+                    None => st.slices[&key].acked_lsn,
+                    Some(requested) => {
+                        if requested > st.slices[&key].flush_lsn {
+                            self.flush_slice_locked(&mut st, key);
+                        }
+                        requested.min(st.slices[&key].flush_lsn)
+                    }
+                };
+                let replicas = self.replicas_by_latency(&st.slices[&key]);
+                let pages = by_slice.remove(&key).unwrap_or_default();
+                plan.push((key, pages, replicas, eff));
+            }
+            plan
+        };
+        let outcomes: Vec<Result<Vec<(PageId, PageBuf)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .iter()
+                .map(|(key, pages, replicas, eff)| {
+                    scope.spawn(move || self.read_slice_batch(*key, pages, replicas, *eff))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(TaurusError::Internal("read batch worker panicked".into())),
+                })
+                .collect()
+        });
+        let mut got: HashMap<PageId, PageBuf> = HashMap::new();
+        for res in outcomes {
+            for (page, buf) in res? {
+                got.insert(page, buf);
+            }
+        }
+        // Request order, duplicates included (each gets its own copy).
+        let mut out = Vec::with_capacity(ids.len());
+        for &page in ids {
+            match got.get(&page) {
+                Some(buf) => out.push((page, buf.clone())),
+                None => return Err(TaurusError::Internal("batched read lost a page".into())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads one slice's share of a batch: the budgeted `ReadPages`
+    /// continuation loop against each replica in routing order (a replica
+    /// that fails mid-continuation loses its partial result and the slice
+    /// restarts on the next one — reads are idempotent), then per-page
+    /// straggler retries through the single-page repair path.
+    fn read_slice_batch(
+        &self,
+        key: SliceKey,
+        pages: &[PageId],
+        replicas: &[NodeId],
+        as_of: Lsn,
+    ) -> Result<Vec<(PageId, PageBuf)>> {
+        let mut batch: Vec<(PageId, PageReadOutcome)> = Vec::new();
+        'replicas: for &node in replicas {
+            let mut remaining = pages;
+            let mut acc: Vec<(PageId, PageReadOutcome)> = Vec::with_capacity(pages.len());
+            loop {
+                let call = ReadPagesRequest {
+                    key,
+                    as_of,
+                    pages: remaining.to_vec(),
+                    max_pages: self.cfg.read_batch_max_pages,
+                    max_bytes: self.cfg.read_batch_max_bytes,
+                };
+                let start = self.clock.now_us();
+                match self.pages.read_pages_from(node, self.me, &call) {
+                    Ok(resp) => {
+                        // One EWMA sample per batch RPC: batches and single
+                        // reads feed the same routing signal.
+                        self.note_read_latency(
+                            key,
+                            node,
+                            self.clock.now_us().saturating_sub(start),
+                        );
+                        self.read_batch_stats.batch_rpcs.inc();
+                        self.read_batch_stats.note_rpc_pages(resp.pages.len());
+                        acc.extend(resp.pages);
+                        match resp.resume_from {
+                            Some(i) if i < remaining.len() => remaining = &remaining[i..],
+                            _ => {
+                                batch = acc;
+                                break 'replicas;
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Same EWMA penalty as the ReadPage path, so a
+                        // failing replica sinks in the routing order.
+                        let elapsed = self.clock.now_us().saturating_sub(start);
+                        self.note_read_latency(key, node, elapsed.max(1).saturating_mul(4));
+                        self.read_batch_stats.batch_retries.inc();
+                        continue 'replicas;
+                    }
+                }
+            }
+        }
+        let mut served: HashMap<PageId, PageBuf> = HashMap::with_capacity(batch.len());
+        for (page, outcome) in batch {
+            match outcome {
+                PageReadOutcome::Ok(buf, _) => {
+                    self.read_batch_stats.pages_returned.inc();
+                    served.insert(page, buf);
+                }
+                PageReadOutcome::Recycled { .. } | PageReadOutcome::Failed(_) => {
+                    self.read_batch_stats.partial_failures.inc();
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(pages.len());
+        for &page in pages {
+            match served.remove(&page) {
+                Some(buf) => out.push((page, buf)),
+                None => {
+                    // Straggler: the single-page path repairs from the Log
+                    // Stores if needed and surfaces the real per-page error
+                    // (e.g. `VersionRecycled`) when nothing can serve it.
+                    self.read_batch_stats.straggler_retries.inc();
+                    out.push((page, self.read_page(page, Some(as_of))?));
+                }
+            }
+        }
+        Ok(out)
     }
 
     // ==================================================================

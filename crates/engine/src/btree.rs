@@ -18,7 +18,7 @@
 //! Deletions do not rebalance (pages may go sparse); this matches the
 //! reproduction scope documented in DESIGN.md.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -33,6 +33,19 @@ use taurus_common::{Lsn, PageBuf, PageId, Result, TaurusError};
 /// replicas (pool → versioned Page Store reads).
 pub trait PageFetch {
     fn fetch(&self, page: PageId) -> Result<Arc<PageBuf>>;
+
+    /// Hint: the caller expects to `fetch` these pages soon. Batched
+    /// fetchers pull the misses in one `ReadPages` round trip; the default
+    /// is a no-op, so plain closures and test fetchers are unaffected.
+    /// Purely advisory — failures are swallowed and the demand `fetch`
+    /// carries the real error handling.
+    fn prefetch(&self, _pages: &[PageId]) {}
+
+    /// How many leaves a range scan should read ahead through `prefetch`.
+    /// 0 (the default) disables readahead.
+    fn readahead_window(&self) -> usize {
+        0
+    }
 }
 
 impl<F> PageFetch for F
@@ -41,6 +54,95 @@ where
 {
     fn fetch(&self, page: PageId) -> Result<Arc<PageBuf>> {
         self(page)
+    }
+}
+
+/// Leaf readahead state for one range scan: the run of upcoming sibling
+/// leaves (harvested from the level-1 internal page during descent) is
+/// hinted to the fetcher in window-sized chunks as the scan walks the
+/// chain. Crossing off the known run (a level-1 boundary) re-descends for
+/// the new leaf's first key to harvest the next run.
+struct Readahead<'a> {
+    fetch: &'a dyn PageFetch,
+    window: usize,
+    /// Upcoming leaves in chain order, not yet hinted.
+    upcoming: VecDeque<PageId>,
+    /// Hinted leaves the scan has not yet walked into, in chain order.
+    hinted: VecDeque<PageId>,
+}
+
+impl<'a> Readahead<'a> {
+    fn new(fetch: &'a dyn PageFetch) -> Self {
+        Readahead {
+            fetch,
+            window: fetch.readahead_window(),
+            upcoming: VecDeque::new(),
+            hinted: VecDeque::new(),
+        }
+    }
+
+    /// Harvests the leaves after the routed child of a level-1 internal
+    /// page: exactly the siblings a chain walk will visit next.
+    fn seed_from_internal(&mut self, page: &PageBuf, route_idx: usize) -> Result<()> {
+        if self.window == 0 {
+            return Ok(());
+        }
+        self.upcoming.clear();
+        self.hinted.clear();
+        for idx in route_idx + 1..page.nslots() {
+            self.upcoming.push_back(PageId(cell_u64(page.value(idx)?)?));
+        }
+        Ok(())
+    }
+
+    /// Hints the next chunk once the in-flight hint run falls below half
+    /// the window.
+    fn refill(&mut self) {
+        if self.window == 0 || self.upcoming.is_empty() || self.hinted.len() * 2 > self.window {
+            return;
+        }
+        let take = (self.window - self.hinted.len()).min(self.upcoming.len());
+        let chunk: Vec<PageId> = self.upcoming.drain(..take).collect();
+        self.fetch.prefetch(&chunk);
+        self.hinted.extend(chunk);
+    }
+
+    /// The scan crossed the chain into `leaf`. Advances the run, or — when
+    /// the leaf is off the known run (a level-1 boundary) — re-descends
+    /// from the root for the leaf's first key to harvest the next run.
+    fn crossed_into(&mut self, leaf_id: PageId, leaf: &PageBuf) -> Result<()> {
+        if self.window == 0 {
+            return Ok(());
+        }
+        if self.hinted.front() == Some(&leaf_id) {
+            self.hinted.pop_front();
+        } else if self.upcoming.front() == Some(&leaf_id) {
+            self.upcoming.pop_front();
+        } else {
+            self.upcoming.clear();
+            self.hinted.clear();
+            if leaf.nslots() > 0 {
+                let key = leaf.key(0)?.to_vec();
+                self.reseed(&key)?;
+            }
+        }
+        self.refill();
+        Ok(())
+    }
+
+    /// Descends from the root for `key` and harvests the sibling run from
+    /// the level-1 page. The internal pages touched are pool-hot, so this
+    /// costs no extra round trips.
+    fn reseed(&mut self, key: &[u8]) -> Result<()> {
+        let mut page = self.fetch.fetch(BTree::root(self.fetch)?)?;
+        while page.page_type() == PageType::Internal {
+            let idx = BTree::route(&page, key)?;
+            if page.level() == 1 {
+                return self.seed_from_internal(&page, idx);
+            }
+            page = self.fetch.fetch(PageId(cell_u64(page.value(idx)?)?))?;
+        }
+        Ok(())
     }
 }
 
@@ -209,16 +311,26 @@ impl BTree {
     }
 
     /// Range scan: up to `limit` pairs with key ≥ `start`.
+    ///
+    /// When the fetcher advertises a readahead window, the descent harvests
+    /// the upcoming sibling leaves from the level-1 internal page (the
+    /// next-level fanout of the range) and the chain walk keeps hinting
+    /// them ahead in window-sized chunks, so a batched fetcher turns N
+    /// leaf misses into N/window `ReadPages` round trips.
     pub fn scan(
         fetch: &dyn PageFetch,
         start: &[u8],
         limit: usize,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut ra = Readahead::new(fetch);
         let mut page = fetch.fetch(Self::root(fetch)?)?;
         loop {
             match page.page_type() {
                 PageType::Internal => {
                     let idx = Self::route(&page, start)?;
+                    if page.level() == 1 {
+                        ra.seed_from_internal(&page, idx)?;
+                    }
                     let child = PageId(cell_u64(page.value(idx)?)?);
                     page = fetch.fetch(child)?;
                 }
@@ -226,6 +338,7 @@ impl BTree {
                 _ => return Err(TaurusError::PageCorrupt("unexpected page type in tree")),
             }
         }
+        ra.refill();
         let mut out = Vec::new();
         let mut idx = match page.search(start) {
             Ok(i) => i,
@@ -238,6 +351,7 @@ impl BTree {
                     break;
                 }
                 page = fetch.fetch(PageId(next))?;
+                ra.crossed_into(PageId(next), &page)?;
                 idx = 0;
                 continue;
             }
@@ -629,6 +743,59 @@ mod tests {
         let mid = BTree::scan(&pages.fetcher(), b"k000100", 5).unwrap();
         assert_eq!(mid[0].0, b"k000100".to_vec());
         assert_eq!(mid.len(), 5);
+    }
+
+    /// MemPages-backed fetcher that advertises a readahead window and
+    /// records every hinted page id.
+    struct RecordingFetcher<'a> {
+        pages: &'a MemPages,
+        window: usize,
+        hinted: Mutex<Vec<PageId>>,
+    }
+
+    impl PageFetch for RecordingFetcher<'_> {
+        fn fetch(&self, id: PageId) -> Result<Arc<PageBuf>> {
+            self.pages.fetcher().fetch(id)
+        }
+        fn prefetch(&self, pages: &[PageId]) {
+            self.hinted.lock().extend_from_slice(pages);
+        }
+        fn readahead_window(&self) -> usize {
+            self.window
+        }
+    }
+
+    #[test]
+    fn scan_readahead_hints_the_leaf_chain_without_changing_results() {
+        let (pages, lsns) = setup();
+        for i in 0..800u32 {
+            let k = format!("k{:06}", i);
+            put(&pages, &lsns, k.as_bytes(), &[b'v'; 48]);
+        }
+        let plain = BTree::scan(&pages.fetcher(), b"", 10_000).unwrap();
+        let rf = RecordingFetcher {
+            pages: &pages,
+            window: 4,
+            hinted: Mutex::new(Vec::new()),
+        };
+        let with_ra = BTree::scan(&rf, b"", 10_000).unwrap();
+        assert_eq!(plain, with_ra, "readahead must not change scan results");
+        let hinted = rf.hinted.lock();
+        // The table spans many leaves; the walk must have hinted ahead,
+        // and every hint must be a real leaf of the chain.
+        assert!(hinted.len() > 4, "only {} hints", hinted.len());
+        for &p in hinted.iter() {
+            let page = pages.fetcher().fetch(p).unwrap();
+            assert_eq!(page.page_type(), PageType::Leaf, "hinted {p:?}");
+        }
+        // A zero-window fetcher never hints.
+        let none = RecordingFetcher {
+            pages: &pages,
+            window: 0,
+            hinted: Mutex::new(Vec::new()),
+        };
+        BTree::scan(&none, b"", 10_000).unwrap();
+        assert!(none.hinted.lock().is_empty());
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl MasterEngine {
     /// leaf, durably logged.
     pub fn bootstrap(sal: Arc<Sal>) -> Result<Arc<MasterEngine>> {
         let engine = Arc::new(MasterEngine {
-            pool: EnginePool::new(sal.cfg.engine_buffer_pool_pages),
+            pool: EnginePool::with_shards(
+                sal.cfg.engine_buffer_pool_pages,
+                sal.cfg.engine_pool_shards,
+            ),
             lsns: LsnAllocator::new(Lsn::ZERO),
             tree_latch: RwLock::new(()),
             key_locks: Mutex::new(HashMap::new()),
@@ -115,7 +118,10 @@ impl MasterEngine {
     /// [`Sal::recover`].
     pub fn resume(sal: Arc<Sal>, max_lsn: Lsn) -> Arc<MasterEngine> {
         let engine = Arc::new(MasterEngine {
-            pool: EnginePool::new(sal.cfg.engine_buffer_pool_pages),
+            pool: EnginePool::with_shards(
+                sal.cfg.engine_buffer_pool_pages,
+                sal.cfg.engine_pool_shards,
+            ),
             lsns: LsnAllocator::new(max_lsn),
             tree_latch: RwLock::new(()),
             key_locks: Mutex::new(HashMap::new()),
@@ -144,20 +150,10 @@ impl MasterEngine {
         }
     }
 
-    /// Pool-then-storage page fetch.
-    fn fetcher(&self) -> impl PageFetch + '_ {
-        move |id: PageId| -> Result<Arc<PageBuf>> {
-            if let Some(frame) = self.pool.get(id) {
-                return Ok(frame.buf);
-            }
-            let buf = Arc::new(self.sal.read_page(id, None)?);
-            self.pool.put(
-                id,
-                Frame::new(Arc::clone(&buf), buf.lsn(), false),
-                &self.evict_guard(),
-            );
-            Ok(buf)
-        }
+    /// Pool-then-storage page fetch, with batched readahead: scan prefetch
+    /// hints turn pool misses into one `Sal::read_pages` call.
+    fn fetcher(&self) -> MasterFetcher<'_> {
+        MasterFetcher { engine: self }
     }
 
     fn install_pages(&self, pages: HashMap<PageId, PageBuf>) {
@@ -271,9 +267,7 @@ impl MasterEngine {
             .sal
             .snapshot_lsn(name)
             .ok_or_else(|| TaurusError::Internal(format!("no snapshot named {name}")))?;
-        let fetch = |id: PageId| -> Result<std::sync::Arc<PageBuf>> {
-            Ok(std::sync::Arc::new(self.sal.read_page(id, Some(lsn))?))
-        };
+        let fetch = SnapshotFetcher::new(&self.sal, lsn, self.sal.cfg.btree_readahead_window);
         BTree::get(&fetch, key)
     }
 
@@ -288,9 +282,7 @@ impl MasterEngine {
             .sal
             .snapshot_lsn(name)
             .ok_or_else(|| TaurusError::Internal(format!("no snapshot named {name}")))?;
-        let fetch = |id: PageId| -> Result<std::sync::Arc<PageBuf>> {
-            Ok(std::sync::Arc::new(self.sal.read_page(id, Some(lsn))?))
-        };
+        let fetch = SnapshotFetcher::new(&self.sal, lsn, self.sal.cfg.btree_readahead_window);
         BTree::scan(&fetch, start, limit)
     }
 
@@ -304,6 +296,25 @@ impl MasterEngine {
         (self.pool.stats.ratio(), self.pool.len())
     }
 
+    /// Readahead accounting: `(frames installed speculatively, frames that
+    /// later served a demand access)`; the difference is wasted prefetch.
+    pub fn pool_prefetch_stats(&self) -> (u64, u64) {
+        self.pool.prefetch_stats()
+    }
+
+    /// Batched read of `ids` through the pool at the live (acked) LSN:
+    /// cached pages are served from their shards, the misses travel in one
+    /// `Sal::read_pages` call. Used by tests and benches to pin the batched
+    /// miss path directly.
+    pub fn get_pages(&self, ids: &[PageId]) -> Result<Vec<(PageId, Arc<PageBuf>)>> {
+        let _shared = self.tree_latch.read();
+        self.pool.get_or_fetch_many(
+            ids,
+            &|miss| self.sal.read_pages(miss, None),
+            &self.evict_guard(),
+        )
+    }
+
     fn release_locks(&self, txn: TxnId, keys: &[Vec<u8>]) {
         let mut locks = self.key_locks.lock();
         for k in keys {
@@ -311,6 +322,114 @@ impl MasterEngine {
                 locks.remove(k);
             }
         }
+    }
+}
+
+/// The master's live page fetcher. Demand fetches go pool → storage and warm
+/// the pool with the clean frame; readahead hints from B-tree scans install
+/// absent pages through one batched [`Sal::read_pages`] call. Both paths run
+/// under the tree latch (shared for reads, exclusive for commits), so a
+/// speculative install can never clobber a dirtier frame raced in by a
+/// committing transaction.
+struct MasterFetcher<'a> {
+    engine: &'a MasterEngine,
+}
+
+impl PageFetch for MasterFetcher<'_> {
+    fn fetch(&self, id: PageId) -> Result<Arc<PageBuf>> {
+        let engine = self.engine;
+        if let Some(frame) = engine.pool.get(id) {
+            return Ok(frame.buf);
+        }
+        let buf = Arc::new(engine.sal.read_page(id, None)?);
+        engine.pool.put(
+            id,
+            Frame::new(Arc::clone(&buf), buf.lsn(), false),
+            &engine.evict_guard(),
+        );
+        Ok(buf)
+    }
+
+    fn prefetch(&self, pages: &[PageId]) {
+        let engine = self.engine;
+        engine.pool.prefetch_absent(
+            pages,
+            &|miss| engine.sal.read_pages(miss, None),
+            &engine.evict_guard(),
+        );
+    }
+
+    fn readahead_window(&self) -> usize {
+        self.engine.sal.cfg.btree_readahead_window
+    }
+}
+
+/// Bound on the per-traversal snapshot page cache: generous enough for a full
+/// readahead window plus the descent spine, tiny next to the engine pool.
+const SNAPSHOT_CACHE_PAGES: usize = 512;
+
+/// Fetcher for reads against a pinned snapshot LSN. Pages materialized at an
+/// old version must **never** warm the shared engine pool (a later live read
+/// would see stale data), so batched prefetches land in a private
+/// per-traversal cache that dies with the fetcher.
+struct SnapshotFetcher<'a> {
+    sal: &'a Sal,
+    lsn: Lsn,
+    window: usize,
+    cache: std::cell::RefCell<HashMap<PageId, Arc<PageBuf>>>,
+}
+
+impl<'a> SnapshotFetcher<'a> {
+    fn new(sal: &'a Sal, lsn: Lsn, window: usize) -> Self {
+        SnapshotFetcher {
+            sal,
+            lsn,
+            window,
+            cache: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn remember(cache: &mut HashMap<PageId, Arc<PageBuf>>, id: PageId, buf: Arc<PageBuf>) {
+        if cache.len() >= SNAPSHOT_CACHE_PAGES {
+            cache.clear();
+        }
+        cache.insert(id, buf);
+    }
+}
+
+impl PageFetch for SnapshotFetcher<'_> {
+    fn fetch(&self, id: PageId) -> Result<Arc<PageBuf>> {
+        if let Some(buf) = self.cache.borrow().get(&id) {
+            return Ok(Arc::clone(buf));
+        }
+        let buf = Arc::new(self.sal.read_page(id, Some(self.lsn))?);
+        Self::remember(&mut self.cache.borrow_mut(), id, Arc::clone(&buf));
+        Ok(buf)
+    }
+
+    fn prefetch(&self, pages: &[PageId]) {
+        let missing: Vec<PageId> = {
+            let cache = self.cache.borrow();
+            pages
+                .iter()
+                .copied()
+                .filter(|p| !cache.contains_key(p))
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        // Speculative: a failed batch just falls back to demand fetches.
+        if let Ok(got) = self.sal.read_pages(&missing, Some(self.lsn)) {
+            let mut cache = self.cache.borrow_mut();
+            for (id, buf) in got {
+                Self::remember(&mut cache, id, Arc::new(buf));
+            }
+        }
+    }
+
+    fn readahead_window(&self) -> usize {
+        self.window
     }
 }
 

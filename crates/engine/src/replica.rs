@@ -17,7 +17,7 @@
 //! * **logical consistency** — commit records in the log maintain the
 //!   replica's committed-transaction view.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -32,7 +32,7 @@ use taurus_common::{
 };
 use taurus_core::TableScan;
 use taurus_logstore::{LogStoreCluster, LogStream, TailCursor};
-use taurus_pagestore::{PageStoreCluster, ScanSliceRequest};
+use taurus_pagestore::{PageReadOutcome, PageStoreCluster, ReadPagesRequest, ScanSliceRequest};
 
 use crate::btree::{BTree, PageFetch};
 use crate::master::Bulletin;
@@ -80,6 +80,7 @@ impl ReplicaEngine {
         bulletin: Arc<Bulletin>,
     ) -> Result<Arc<ReplicaEngine>> {
         let stream = LogStream::open(logs, db, me, cfg.plog_size_limit, cfg.log_append_window)?;
+        let pool = EnginePool::with_shards(1024, cfg.engine_pool_shards);
         Ok(Arc::new(ReplicaEngine {
             id,
             me,
@@ -87,7 +88,7 @@ impl ReplicaEngine {
             cfg,
             stream,
             pages,
-            pool: EnginePool::new(1024),
+            pool,
             visible_lsn: LsnWatermark::new(Lsn::ZERO),
             cursor: Mutex::new(TailCursor::default()),
             committed: Mutex::new(HashSet::new()),
@@ -215,42 +216,14 @@ impl ReplicaEngine {
         self.bulletin.publish_min_tv(self.id, min);
     }
 
-    /// Versioned fetch at `tv`: pool if fresh enough, else Page Store.
-    fn fetch_at(&self, tv: Lsn) -> impl PageFetch + '_ {
-        move |id: PageId| -> Result<Arc<PageBuf>> {
-            let cached = self.pool.get(id);
-            if let Some(frame) = &cached {
-                if frame.lsn <= tv {
-                    return Ok(Arc::clone(&frame.buf));
-                }
-            }
-            let key = SliceKey::new(self.db, id.slice(self.cfg.pages_per_slice));
-            let mut last_err = TaurusError::AllReplicasFailed(key);
-            for node in self.pages.replicas_of(key) {
-                match self.pages.read_page_from(node, self.me, key, id, tv) {
-                    Ok((buf, _)) => {
-                        let buf = Arc::new(buf);
-                        // Warm the pool so future log records keep the page
-                        // fresh — but never clobber a newer cached version
-                        // with an old snapshot read, and never insert a
-                        // version older than the visible LSN: `poll` only
-                        // applies records to *pooled* pages, so records
-                        // consumed while the page was absent can never be
-                        // replayed onto it — a stale insert would serve
-                        // fresh transactions old data forever.
-                        if cached.is_none() && tv >= self.visible_lsn.get() {
-                            self.pool.put(
-                                id,
-                                Frame::new(Arc::clone(&buf), buf.lsn(), false),
-                                &|_, _| true,
-                            );
-                        }
-                        return Ok(buf);
-                    }
-                    Err(e) => last_err = e,
-                }
-            }
-            Err(last_err)
+    /// Versioned fetch at `tv`: pool if fresh enough, else Page Store. The
+    /// fetcher pins `tv` for its whole traversal, so every batched readahead
+    /// it issues reads the same snapshot.
+    fn fetch_at(&self, tv: Lsn) -> ReplicaFetcher<'_> {
+        ReplicaFetcher {
+            replica: self,
+            tv,
+            cache: std::cell::RefCell::new(HashMap::new()),
         }
     }
 
@@ -294,6 +267,180 @@ impl ReplicaEngine {
     /// Engine pool hit ratio (how much replica traffic the local pool absorbs).
     pub fn pool_hit_ratio(&self) -> f64 {
         self.pool.stats.ratio()
+    }
+}
+
+/// Bound on the per-traversal page cache a fetcher keeps for versions it is
+/// not allowed to install in the shared pool.
+const REPLICA_CACHE_PAGES: usize = 512;
+
+/// A replica's versioned page fetcher, pinned at one TV-LSN for its whole
+/// traversal. Demand fetches keep the original single-page path; B-tree
+/// readahead hints batch the absent pages into one `ReadPages` call per
+/// slice, all at the pinned `tv` so the batch cannot tear the snapshot.
+struct ReplicaFetcher<'a> {
+    replica: &'a ReplicaEngine,
+    tv: Lsn,
+    /// Pages read at versions that must not warm the shared pool (see the
+    /// staleness rule in [`PageFetch::fetch`]) live here for the duration of
+    /// the traversal instead.
+    cache: std::cell::RefCell<HashMap<PageId, Arc<PageBuf>>>,
+}
+
+impl ReplicaFetcher<'_> {
+    fn remember(cache: &mut HashMap<PageId, Arc<PageBuf>>, id: PageId, buf: Arc<PageBuf>) {
+        if cache.len() >= REPLICA_CACHE_PAGES {
+            cache.clear();
+        }
+        cache.insert(id, buf);
+    }
+
+    /// Batched versioned read at the pinned `tv`: one `ReadPages`
+    /// continuation loop per slice, failing over across the slice's
+    /// replicas. Speculative — per-page refusals and exhausted slices are
+    /// simply dropped (the demand path carries the real error handling).
+    fn read_batch(&self, ids: &[PageId]) -> Vec<(PageId, PageBuf)> {
+        let r = self.replica;
+        let mut order: Vec<SliceKey> = Vec::new();
+        let mut by_slice: HashMap<SliceKey, Vec<PageId>> = HashMap::new();
+        for &id in ids {
+            let key = SliceKey::new(r.db, id.slice(r.cfg.pages_per_slice));
+            let entry = by_slice.entry(key).or_default();
+            if !order.contains(&key) {
+                order.push(key);
+            }
+            if !entry.contains(&id) {
+                entry.push(id);
+            }
+        }
+        let mut out = Vec::with_capacity(ids.len());
+        'slices: for key in order {
+            let pages = &by_slice[&key];
+            'replicas: for node in r.pages.replicas_of(key) {
+                let mut remaining: &[PageId] = pages;
+                let mut acc: Vec<(PageId, PageReadOutcome)> = Vec::new();
+                loop {
+                    let call = ReadPagesRequest {
+                        key,
+                        as_of: self.tv,
+                        pages: remaining.to_vec(),
+                        max_pages: r.cfg.read_batch_max_pages,
+                        max_bytes: r.cfg.read_batch_max_bytes,
+                    };
+                    match r.pages.read_pages_from(node, r.me, &call) {
+                        Ok(resp) => {
+                            acc.extend(resp.pages);
+                            match resp.resume_from {
+                                Some(i) if i > 0 && i < remaining.len() => {
+                                    remaining = &remaining[i..];
+                                }
+                                _ => break,
+                            }
+                        }
+                        // Whole-call refusal (behind / rebuilding / down):
+                        // restart the slice on the next replica.
+                        Err(_) => continue 'replicas,
+                    }
+                }
+                for (page, outcome) in acc {
+                    if let PageReadOutcome::Ok(buf, _) = outcome {
+                        out.push((page, buf));
+                    }
+                }
+                continue 'slices;
+            }
+        }
+        out
+    }
+}
+
+impl PageFetch for ReplicaFetcher<'_> {
+    fn fetch(&self, id: PageId) -> Result<Arc<PageBuf>> {
+        if let Some(buf) = self.cache.borrow().get(&id) {
+            return Ok(Arc::clone(buf));
+        }
+        let r = self.replica;
+        let tv = self.tv;
+        let cached = r.pool.get(id);
+        if let Some(frame) = &cached {
+            if frame.lsn <= tv {
+                return Ok(Arc::clone(&frame.buf));
+            }
+        }
+        let key = SliceKey::new(r.db, id.slice(r.cfg.pages_per_slice));
+        let mut last_err = TaurusError::AllReplicasFailed(key);
+        for node in r.pages.replicas_of(key) {
+            match r.pages.read_page_from(node, r.me, key, id, tv) {
+                Ok((buf, _)) => {
+                    let buf = Arc::new(buf);
+                    // Warm the pool so future log records keep the page
+                    // fresh — but never clobber a newer cached version
+                    // with an old snapshot read, and never insert a
+                    // version older than the visible LSN: `poll` only
+                    // applies records to *pooled* pages, so records
+                    // consumed while the page was absent can never be
+                    // replayed onto it — a stale insert would serve
+                    // fresh transactions old data forever.
+                    if cached.is_none() && tv >= r.visible_lsn.get() {
+                        r.pool.put(
+                            id,
+                            Frame::new(Arc::clone(&buf), buf.lsn(), false),
+                            &|_, _| true,
+                        );
+                    } else {
+                        Self::remember(&mut self.cache.borrow_mut(), id, Arc::clone(&buf));
+                    }
+                    return Ok(buf);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn prefetch(&self, pages: &[PageId]) {
+        let r = self.replica;
+        let missing: Vec<PageId> = {
+            let cache = self.cache.borrow();
+            pages
+                .iter()
+                .copied()
+                .filter(|p| !cache.contains_key(p) && !r.pool.contains(*p))
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        if self.tv >= r.visible_lsn.get() {
+            r.pool.prefetch_absent(
+                &missing,
+                &|miss| {
+                    let got = self.read_batch(miss);
+                    // Same staleness rule as the demand path: if the visible
+                    // LSN passed the pinned TV while the batch was in flight,
+                    // the fetched versions may miss records `poll` already
+                    // consumed — installing them would freeze those pages
+                    // stale. Drop the batch; demand fetches recover.
+                    if self.tv < r.visible_lsn.get() {
+                        Ok(Vec::new())
+                    } else {
+                        Ok(got)
+                    }
+                },
+                &|_, _| true,
+            );
+        } else {
+            // Pinned old snapshot: these versions must not warm the shared
+            // pool, so they land in the traversal-local cache.
+            let mut cache = self.cache.borrow_mut();
+            for (id, buf) in self.read_batch(&missing) {
+                Self::remember(&mut cache, id, Arc::new(buf));
+            }
+        }
+    }
+
+    fn readahead_window(&self) -> usize {
+        self.replica.cfg.btree_readahead_window
     }
 }
 

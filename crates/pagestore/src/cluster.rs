@@ -21,6 +21,7 @@ use taurus_fabric::{Fabric, NodeKind, StorageDevice};
 use crate::fragment::SliceFragment;
 use crate::pool::EvictionPolicy;
 use crate::pushdown::{ScanSliceRequest, ScanSliceResponse};
+use crate::readpages::{ReadPagesRequest, ReadPagesResponse};
 use crate::server::{ConsolidationPolicy, PageStoreServer};
 
 /// Construction parameters for Page Store servers spawned by the cluster.
@@ -158,6 +159,18 @@ impl PageStoreCluster {
         let server = self.server(node)?;
         self.fabric
             .call(from, node, || server.read_page(key, page, as_of))?
+    }
+
+    /// `ReadPages` RPC to one specific replica: one round trip returns many
+    /// versioned pages of a slice (see [`crate::readpages`]).
+    pub fn read_pages_from(
+        &self,
+        node: NodeId,
+        from: NodeId,
+        call: &ReadPagesRequest,
+    ) -> Result<ReadPagesResponse> {
+        let server = self.server(node)?;
+        self.fabric.call(from, node, || server.read_pages(call))?
     }
 
     /// `ScanSlice` RPC to one specific replica: near-data scan pushdown

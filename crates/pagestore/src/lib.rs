@@ -35,6 +35,7 @@ pub mod fragment;
 pub mod logcache;
 pub mod pool;
 pub mod pushdown;
+pub mod readpages;
 pub mod server;
 pub mod slice;
 
@@ -42,4 +43,5 @@ pub use cluster::PageStoreCluster;
 pub use fragment::{deep_clone_count, SliceFragment};
 pub use pool::{EvictionPolicy, PagePool};
 pub use pushdown::{ScanSliceRequest, ScanSliceResponse};
+pub use readpages::{PageReadOutcome, ReadPagesRequest, ReadPagesResponse};
 pub use server::{ConsolidationPolicy, PageStoreServer};

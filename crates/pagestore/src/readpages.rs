@@ -1,0 +1,320 @@
+//! `ReadPages`: batched versioned page reads inside a Page Store.
+//!
+//! The SAL's miss path historically paid one `ReadPage` RPC per page; this
+//! module adds the batched sibling: one call materializes many pages of a
+//! slice at a single snapshot LSN. Execution never bypasses versioning —
+//! every page goes through the same Log Directory + consolidation path
+//! `ReadPage` uses, so a batch is byte-identical to N sequential single-page
+//! reads at the same `as_of`.
+//!
+//! Visibility gates mirror `ScanSlice`: a rebuilding or behind replica
+//! refuses the *whole* call (so the SAL routes to the next replica), while
+//! per-page conditions — a recycled version, a failed materialization — are
+//! reported per page without failing the rest of the batch; the SAL retries
+//! those stragglers through the single-page repair path.
+//!
+//! Like `ScanSlice`, a call carries page and byte budgets checked at page
+//! granularity: when a batch crosses either budget the server stops and
+//! returns a continuation ([`ReadPagesResponse::resume_from`]), so one read
+//! RPC stays bounded and cannot starve concurrent `WriteLogs` traffic.
+//!
+//! Same discipline as `crate::pushdown`: this is in-store execution, so no
+//! panicking constructs — every failure becomes a `TaurusError` or a
+//! per-page outcome.
+
+use taurus_common::{Lsn, PageBuf, PageId, Result, SliceKey, TaurusError};
+
+use crate::server::PageStoreServer;
+
+/// One `ReadPages` call: materialize `pages` of `key` as of a snapshot LSN,
+/// within per-call budgets.
+#[derive(Clone, Debug)]
+pub struct ReadPagesRequest {
+    pub key: SliceKey,
+    /// Snapshot LSN every page is materialized as of.
+    pub as_of: Lsn,
+    /// Page ids to read; outcomes come back in this order.
+    pub pages: Vec<PageId>,
+    /// Stop after this many pages (at least one page is always attempted).
+    pub max_pages: usize,
+    /// Stop after the page that brings returned payload to this size.
+    pub max_bytes: usize,
+}
+
+/// Per-page outcome inside a batch.
+#[derive(Clone, Debug)]
+pub enum PageReadOutcome {
+    /// Materialized image and the LSN of the newest record applied to it.
+    Ok(PageBuf, Lsn),
+    /// Versions at or below the snapshot were recycled for this page.
+    Recycled { requested: Lsn },
+    /// Materialization failed for this page alone; the message is the
+    /// underlying error's rendering. The batch keeps going.
+    Failed(String),
+}
+
+/// Result of one `ReadPages` call: per-page outcomes plus an optional
+/// continuation when a budget stopped the batch early.
+#[derive(Clone, Debug, Default)]
+pub struct ReadPagesResponse {
+    /// One outcome per *attempted* page, in request order.
+    pub pages: Vec<(PageId, PageReadOutcome)>,
+    /// Bytes of page payload in `pages`.
+    pub bytes_returned: u64,
+    /// Set when a budget stopped the batch: the index into the request's
+    /// `pages` of the first page **not** attempted. Re-issue the call with
+    /// the remaining ids to continue.
+    pub resume_from: Option<usize>,
+}
+
+impl PageStoreServer {
+    /// `ReadPages`: the batched sibling of `ReadPage`. Applies the same
+    /// slice-level visibility gates as `ScanSlice`, then materializes each
+    /// requested page at the snapshot LSN, capturing per-page failures as
+    /// outcomes instead of failing the batch.
+    pub fn read_pages(&self, call: &ReadPagesRequest) -> Result<ReadPagesResponse> {
+        let replica = self.replica(call.key)?;
+        {
+            let r = replica.lock();
+            if r.rebuilding {
+                return Err(TaurusError::PageStoreBehind {
+                    slice: call.key,
+                    requested: call.as_of,
+                    persistent: Lsn::ZERO,
+                });
+            }
+            let persistent = r.persistent_lsn();
+            if persistent < call.as_of {
+                return Err(TaurusError::PageStoreBehind {
+                    slice: call.key,
+                    requested: call.as_of,
+                    persistent,
+                });
+            }
+            // Same head-read exception as `read_page`: the slice head is
+            // always materializable. Unlike a behind replica, recycling is a
+            // versioning condition every replica agrees on — routing to the
+            // next replica cannot help — so it is reported per page and the
+            // batch survives.
+            if call.as_of < r.recycle_lsn() && call.as_of < persistent {
+                let attempted = call.pages.len().min(call.max_pages.max(1));
+                let pages = call.pages[..attempted]
+                    .iter()
+                    .map(|&p| {
+                        (
+                            p,
+                            PageReadOutcome::Recycled {
+                                requested: call.as_of,
+                            },
+                        )
+                    })
+                    .collect::<Vec<_>>();
+                let resume_from = (attempted < call.pages.len()).then_some(attempted);
+                return Ok(ReadPagesResponse {
+                    pages,
+                    bytes_returned: 0,
+                    resume_from,
+                });
+            }
+        }
+        let mut resp = ReadPagesResponse::default();
+        for (i, &page) in call.pages.iter().enumerate() {
+            // Budgets are checked before each page but after the first, so
+            // every call makes progress and a continuation loop terminates.
+            if i > 0
+                && (resp.pages.len() >= call.max_pages.max(1)
+                    || resp.bytes_returned >= call.max_bytes as u64)
+            {
+                resp.resume_from = Some(i);
+                break;
+            }
+            let outcome = match self.materialize(call.key, page, call.as_of) {
+                Ok((buf, lsn)) => {
+                    resp.bytes_returned += buf.as_bytes().len() as u64;
+                    PageReadOutcome::Ok(buf, lsn)
+                }
+                Err(TaurusError::VersionRecycled { requested, .. }) => {
+                    PageReadOutcome::Recycled { requested }
+                }
+                Err(e) => PageReadOutcome::Failed(e.to_string()),
+            };
+            resp.pages.push((page, outcome));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+    use std::sync::Arc;
+
+    use bytes::Bytes;
+    use taurus_common::clock::ManualClock;
+    use taurus_common::config::StorageProfile;
+    use taurus_common::record::RecordBody;
+    use taurus_common::{DbId, LogRecord, PageType, SliceId};
+    use taurus_fabric::StorageDevice;
+
+    use crate::fragment::SliceFragment;
+    use crate::pool::EvictionPolicy;
+    use crate::server::ConsolidationPolicy;
+
+    fn server() -> Arc<PageStoreServer> {
+        let clock = ManualClock::shared();
+        PageStoreServer::new(
+            StorageDevice::in_memory(clock, StorageProfile::instant()),
+            1 << 20,
+            64,
+            EvictionPolicy::Lfu,
+            ConsolidationPolicy::LogCacheCentric,
+        )
+    }
+
+    fn key() -> SliceKey {
+        SliceKey::new(DbId(1), SliceId(0))
+    }
+
+    fn format_rec(lsn: u64, page: u64) -> LogRecord {
+        LogRecord::new(
+            Lsn(lsn),
+            PageId(page),
+            RecordBody::Format {
+                ty: PageType::Leaf,
+                level: 0,
+            },
+        )
+    }
+
+    fn insert_rec(lsn: u64, page: u64, idx: u16, k: &str, v: &str) -> LogRecord {
+        LogRecord::new(
+            Lsn(lsn),
+            PageId(page),
+            RecordBody::Insert {
+                idx,
+                key: Bytes::copy_from_slice(k.as_bytes()),
+                val: Bytes::copy_from_slice(v.as_bytes()),
+            },
+        )
+    }
+
+    /// Two leaf pages, three rows each, written as one fragment chain.
+    fn seeded() -> Arc<PageStoreServer> {
+        let s = server();
+        s.create_slice(key());
+        s.write_logs(&SliceFragment::new(
+            key(),
+            Lsn(0),
+            vec![
+                format_rec(1, 5),
+                insert_rec(2, 5, 0, "a", "1"),
+                insert_rec(3, 5, 1, "b", "2"),
+                insert_rec(4, 5, 2, "c", "3"),
+                format_rec(5, 6),
+                insert_rec(6, 6, 0, "d", "4"),
+                insert_rec(7, 6, 1, "e", "5"),
+                insert_rec(8, 6, 2, "f", "6"),
+            ],
+        ))
+        .unwrap();
+        s
+    }
+
+    fn call(as_of: u64, pages: Vec<PageId>) -> ReadPagesRequest {
+        ReadPagesRequest {
+            key: key(),
+            as_of: Lsn(as_of),
+            pages,
+            max_pages: usize::MAX,
+            max_bytes: usize::MAX,
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_single_page_reads() {
+        let s = seeded();
+        let ids = vec![PageId(5), PageId(6)];
+        let resp = s.read_pages(&call(8, ids.clone())).unwrap();
+        assert_eq!(resp.pages.len(), 2);
+        assert!(resp.resume_from.is_none());
+        for (got, want_id) in resp.pages.iter().zip(&ids) {
+            let (single, lsn) = s.read_page(key(), *want_id, Lsn(8)).unwrap();
+            assert_eq!(got.0, *want_id);
+            match &got.1 {
+                PageReadOutcome::Ok(buf, l) => {
+                    assert_eq!(buf.as_bytes(), single.as_bytes());
+                    assert_eq!(*l, lsn);
+                }
+                other => panic!("expected Ok, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_respects_snapshot_lsn() {
+        let s = seeded();
+        // As of LSN 4 page 6 is still unformatted: a Free page at LSN 0.
+        let resp = s.read_pages(&call(4, vec![PageId(6)])).unwrap();
+        match &resp.pages[0].1 {
+            PageReadOutcome::Ok(buf, lsn) => {
+                assert_eq!(buf.page_type(), PageType::Free);
+                assert_eq!(*lsn, Lsn::ZERO);
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn page_budget_stops_batch_and_continuation_resumes() {
+        let s = seeded();
+        let mut c = call(8, vec![PageId(5), PageId(6)]);
+        c.max_pages = 1;
+        let first = s.read_pages(&c).unwrap();
+        assert_eq!(first.pages.len(), 1);
+        assert_eq!(first.resume_from, Some(1));
+        let rest = call(8, c.pages[1..].to_vec());
+        let second = s.read_pages(&rest).unwrap();
+        assert_eq!(second.pages.len(), 1);
+        assert!(second.resume_from.is_none());
+        assert_eq!(second.pages[0].0, PageId(6));
+    }
+
+    #[test]
+    fn byte_budget_still_attempts_first_page() {
+        let s = seeded();
+        let mut c = call(8, vec![PageId(5), PageId(6)]);
+        c.max_bytes = 1; // crossed by the very first page
+        let resp = s.read_pages(&c).unwrap();
+        assert_eq!(resp.pages.len(), 1);
+        assert_eq!(resp.resume_from, Some(1));
+    }
+
+    #[test]
+    fn behind_replica_refuses_whole_batch() {
+        let s = seeded();
+        let err = s.read_pages(&call(99, vec![PageId(5)])).unwrap_err();
+        assert!(matches!(err, TaurusError::PageStoreBehind { .. }));
+    }
+
+    #[test]
+    fn recycled_snapshot_reports_per_page_not_whole_batch() {
+        let s = seeded();
+        s.set_recycle_lsn(key(), Lsn(6)).unwrap();
+        let resp = s.read_pages(&call(4, vec![PageId(5), PageId(6)])).unwrap();
+        assert_eq!(resp.pages.len(), 2);
+        assert!(resp.pages.iter().all(
+            |(_, o)| matches!(o, PageReadOutcome::Recycled { requested } if *requested == Lsn(4))
+        ));
+        // The head remains servable (purge keeps base versions at the head).
+        let head = s.read_pages(&call(8, vec![PageId(5)])).unwrap();
+        assert!(matches!(head.pages[0].1, PageReadOutcome::Ok(..)));
+    }
+
+    #[test]
+    fn unknown_slice_is_a_whole_call_error() {
+        let s = server();
+        assert!(s.read_pages(&call(1, vec![PageId(5)])).is_err());
+    }
+}

@@ -76,6 +76,11 @@ pub struct Fingerprint {
     /// across runs — and with `master_kv_hash`'s source rows — or the
     /// near-data path diverged from the B-tree.
     pub pushdown_scan_hash: u64,
+    /// Hash over a batched `Sal::read_pages` of every page at the durable
+    /// LSN (id, version LSN, and bytes per page). Must agree across runs —
+    /// batching, per-slice grouping, and straggler retries are not allowed
+    /// to change what a read returns.
+    pub batched_read_hash: u64,
     /// Number of PLogs the Log Store directory tracks.
     pub plog_count: usize,
     /// Number of slices the Page Store fleet hosts.
@@ -94,6 +99,7 @@ impl Fingerprint {
             self.replica_kv_hash,
             self.log_hash,
             self.pushdown_scan_hash,
+            self.batched_read_hash,
             self.plog_count as u64,
             self.slice_count as u64,
         ] {
@@ -128,6 +134,11 @@ impl Fingerprint {
             "pushdown_scan_hash",
             self.pushdown_scan_hash,
             other.pushdown_scan_hash,
+        );
+        cmp(
+            "batched_read_hash",
+            self.batched_read_hash,
+            other.batched_read_hash,
         );
         cmp(
             "plog_count",
@@ -274,6 +285,28 @@ pub fn fingerprint_run(seed: u64, ops: usize, inject: Inject) -> Result<Fingerpr
         pushdown.write(v);
         pushdown.write(b";");
     }
+    // One batched read of every page at the durable LSN: pins down the
+    // `ReadPages` grouping, per-slice routing, and continuation loops.
+    let mut batched = Fnv::new();
+    let mut ids = std::collections::BTreeSet::new();
+    for key in pages.slices() {
+        for node in pages.replicas_of(key) {
+            if let Ok(page_ids) = pages.page_ids_of(node, node, key) {
+                ids.extend(page_ids);
+                break;
+            }
+        }
+    }
+    let ids: Vec<taurus_common::PageId> = ids.into_iter().collect();
+    for (page, buf) in master
+        .sal
+        .read_pages(&ids, Some(master.sal.durable_lsn()))?
+    {
+        batched.write(&page.0.to_le_bytes());
+        batched.write(&buf.lsn().0.to_le_bytes());
+        batched.write(buf.as_bytes());
+    }
+
     Ok(Fingerprint {
         durable_lsn: master.sal.durable_lsn().0,
         cv_lsn: master.sal.cv_lsn().0,
@@ -282,6 +315,7 @@ pub fn fingerprint_run(seed: u64, ops: usize, inject: Inject) -> Result<Fingerpr
         replica_kv_hash: replica_kv.finish(),
         log_hash: log.finish(),
         pushdown_scan_hash: pushdown.finish(),
+        batched_read_hash: batched.finish(),
         plog_count: logs.plog_count(),
         slice_count: pages.slices().len(),
     })
@@ -352,6 +386,7 @@ mod tests {
             replica_kv_hash: 2,
             log_hash: 3,
             pushdown_scan_hash: 6,
+            batched_read_hash: 7,
             plog_count: 4,
             slice_count: 5,
         };
