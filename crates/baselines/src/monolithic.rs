@@ -197,12 +197,14 @@ impl LocalEngine {
     /// Point read.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let _shared = self.tree_latch.read();
+        // taurus-lint: allow(lock-across-fabric-call) -- fetch-on-miss must run under the latch (traversal atomicity); Page Store read handlers take no engine locks, so no cycle -- latency only
         BTree::get(&self.fetcher(), key)
     }
 
     /// Range scan.
     pub fn scan(&self, start: &[u8], limit: usize) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let _shared = self.tree_latch.read();
+        // taurus-lint: allow(lock-across-fabric-call) -- fetch-on-miss must run under the latch (traversal atomicity); Page Store read handlers take no engine locks, so no cycle -- latency only
         BTree::scan(&self.fetcher(), start, limit)
     }
 
@@ -213,6 +215,7 @@ impl LocalEngine {
         let records;
         {
             let _exclusive = self.tree_latch.write();
+            // taurus-lint: allow(lock-across-fabric-call) -- writers must fetch pages under the exclusive latch (traversal atomicity); Page Store read handlers take no engine locks, so no cycle
             let fetch = self.fetcher();
             let mut ctx = MutCtx::new(&self.lsns, &fetch);
             for (k, op) in writes {

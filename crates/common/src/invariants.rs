@@ -135,6 +135,33 @@ pub fn violations() -> Vec<Violation> {
     Vec::new()
 }
 
+/// Drains the runtime lockdep witness (built only under
+/// `RUSTFLAGS="--cfg taurus_lock_witness"`) and records every lock-order
+/// inversion it observed as a `lock-order-acyclic` invariant violation.
+///
+/// Callable unconditionally — without the cfg it is a no-op returning 0 —
+/// so crates that do not opt into `check-cfg` plumbing can still call it
+/// from maintenance paths. Returns the number of inversions drained.
+pub fn lock_witness_sweep() -> usize {
+    #[cfg(taurus_lock_witness)]
+    {
+        let reports = parking_lot::witness_take_reports();
+        let drained = reports.len();
+        for report in reports {
+            check(
+                "lock-order-acyclic",
+                false,
+                || report.clone(),
+                module_path!(),
+                line!(),
+            );
+        }
+        drained
+    }
+    #[cfg(not(taurus_lock_witness))]
+    0
+}
+
 /// Asserts a named runtime invariant.
 ///
 /// `invariant!(name, cond)` or `invariant!(name, cond, format-args...)`.

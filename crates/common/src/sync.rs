@@ -43,6 +43,29 @@ impl Sequencer {
         *current += 1;
         self.cv.notify_all();
     }
+
+    /// Blocks until `ticket` is the current turn and returns a guard that
+    /// [`advance`](Sequencer::advance)s exactly once when dropped. Prefer
+    /// this over a manual `wait_for`/`advance` pair: early returns, `?`,
+    /// and panics all still admit the next ticket, so one failing holder
+    /// cannot wedge the turnstile.
+    pub fn ticket_guard(&self, ticket: u64) -> TicketGuard<'_> {
+        self.wait_for(ticket);
+        TicketGuard { seq: self }
+    }
+}
+
+/// An admitted turn in a [`Sequencer`]; the turn ends (and the next ticket
+/// is admitted) when this guard drops.
+#[derive(Debug)]
+pub struct TicketGuard<'a> {
+    seq: &'a Sequencer,
+}
+
+impl Drop for TicketGuard<'_> {
+    fn drop(&mut self) {
+        self.seq.advance();
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +93,34 @@ mod tests {
             h.join().map_err(|_| "worker panicked").unwrap();
         }
         assert_eq!(*order.lock(), (0..8u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn failing_ticket_holder_cannot_wedge_later_tickets() {
+        let seq = Arc::new(Sequencer::new());
+        // Ticket 0 "fails": its holder unwinds out of the ordered section.
+        // The guard must still advance, or ticket 1 blocks forever.
+        let s0 = Arc::clone(&seq);
+        let failer = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _turn = s0.ticket_guard(0);
+                panic!("flush failed mid-turn");
+            }));
+            assert!(result.is_err());
+        });
+        failer.join().map_err(|_| "failer hung").unwrap();
+        // An error-return path (guard dropped by `?`-style early exit).
+        let early_exit = |seq: &Sequencer| -> Result<(), ()> {
+            let _turn = seq.ticket_guard(1);
+            Err(())
+        };
+        assert!(early_exit(&seq).is_err());
+        // Ticket 2 must now be admitted promptly.
+        let s2 = Arc::clone(&seq);
+        let waiter = std::thread::spawn(move || {
+            let _turn = s2.ticket_guard(2);
+        });
+        waiter.join().map_err(|_| "ticket 2 wedged").unwrap();
     }
 
     #[test]

@@ -104,6 +104,36 @@ struct PreparedFlush {
     groups: Vec<LogRecordGroup>,
 }
 
+/// A threshold-triggered log flush handed back by [`Sal::buffer_group`].
+/// The holder runs it once any latches are released; dropping it unrun
+/// performs the flush anyway (the flush owns a pipeline ticket — skipping
+/// it would wedge every later flush behind the missing turn).
+#[must_use = "run() the flush after releasing latches; dropping runs it in place"]
+pub struct PendingFlush<'a> {
+    sal: &'a Sal,
+    prepared: Option<PreparedFlush>,
+}
+
+impl PendingFlush<'_> {
+    /// Performs the replicated append for the buffered records.
+    pub fn run(mut self) -> Result<()> {
+        match self.prepared.take() {
+            Some(p) => self.sal.run_flush(p),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for PendingFlush<'_> {
+    fn drop(&mut self) {
+        if let Some(p) = self.prepared.take() {
+            // Errors latch into `SalState::failed_at` inside `run_flush`;
+            // later `Sal::flush` callers observe them there.
+            let _ = self.sal.run_flush(p);
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct SalState {
     log_buffer: Vec<LogRecordGroup>,
@@ -715,6 +745,21 @@ impl Sal {
     /// the buffer is full. Does **not** guarantee durability — call
     /// [`Sal::flush`] for that (the engine does at commit).
     pub fn log_group(&self, group: LogRecordGroup) -> Result<()> {
+        match self.buffer_group(group) {
+            Some(p) => p.run(),
+            None => Ok(()),
+        }
+    }
+
+    /// Buffers a log-record group without performing any Log Store I/O.
+    /// When the buffer crosses the flush threshold this returns a
+    /// [`PendingFlush`] the caller runs *after* releasing any latches it
+    /// holds: the engine appends under the exclusive B-tree latch (buffer
+    /// order must equal LSN order), but the replicated append's network
+    /// round trips must not run under it. A handle that is dropped without
+    /// [`PendingFlush::run`] still performs the flush (errors latch into
+    /// the SAL's failure state as usual), so the pipeline cannot wedge.
+    pub fn buffer_group(&self, group: LogRecordGroup) -> Option<PendingFlush<'_>> {
         let prepared = {
             let mut st = self.state.lock();
             st.log_buffer_bytes += group.encoded_len();
@@ -725,10 +770,10 @@ impl Sal {
                 None
             }
         };
-        match prepared {
-            Some(p) => self.run_flush(p),
-            None => Ok(()),
-        }
+        prepared.map(|p| PendingFlush {
+            sal: self,
+            prepared: Some(p),
+        })
     }
 
     /// Forces the database log buffer to the Log Stores. On return, every
@@ -823,17 +868,19 @@ impl Sal {
             g.encode_into(&mut buf);
         }
         let data = buf.freeze();
-        // Step 2: reserve the log-tail slot, in LSN order.
-        self.reserve_turn.wait_for(p.ticket);
-        let reserved = self
-            .stream
-            .reserve_append(p.first, p.end, data.len() as u64);
-        self.reserve_turn.advance();
+        // Step 2: reserve the log-tail slot, in LSN order. The RAII ticket
+        // guard advances the turnstile on every exit path (including
+        // unwinds), so a failing reservation cannot wedge later tickets.
+        let reserved = {
+            let _turn = self.reserve_turn.ticket_guard(p.ticket);
+            self.stream
+                .reserve_append(p.first, p.end, data.len() as u64)
+        };
         // Step 3: durable on all Log Store replicas == commit point. This
         // is the slow (two network hops) part — and the parallel one.
         let appended = reserved.and_then(|res| self.stream.complete_append(res, data));
-        self.post_turn.wait_for(p.ticket);
-        let result = match appended {
+        let _post = self.post_turn.ticket_guard(p.ticket);
+        match appended {
             Ok(()) => self.finish_flush(p),
             Err(e) => {
                 let mut st = self.state.lock();
@@ -843,15 +890,28 @@ impl Sal {
                 self.flush_cv.notify_all();
                 Err(e)
             }
-        };
-        self.post_turn.advance();
-        result
+        }
     }
 
     /// Ordered post-append bookkeeping for one flush: advance the durable
     /// LSN, distribute records into per-slice buffers, and track the buffer
     /// for CV-LSN advancement. Runs inside the flush's `post_turn`.
     fn finish_flush(&self, p: PreparedFlush) -> Result<()> {
+        // Create any missing slices before taking `state`: the CreateSlice
+        // RPC must not run under the SAL's central lock.
+        let keys: Vec<SliceKey> = {
+            let mut v = Vec::new();
+            for g in &p.groups {
+                for rec in &g.records {
+                    let key = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
+                    if !v.contains(&key) {
+                        v.push(key);
+                    }
+                }
+            }
+            v
+        };
+        self.ensure_slices(&keys)?;
         let mut st = self.state.lock();
         if st.failed_at.is_valid() {
             // An earlier flush failed: our records are durable but sit
@@ -871,7 +931,6 @@ impl Sal {
         for g in p.groups {
             for rec in g.records {
                 let key = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
-                self.ensure_slice_locked(&mut st, key)?;
                 let slice = st.slices.get_mut(&key).ok_or_else(|| {
                     TaurusError::Internal(format!("slice {key} vanished after ensure"))
                 })?;
@@ -982,12 +1041,33 @@ impl Sal {
         }
     }
 
-    fn ensure_slice_locked(&self, st: &mut SalState, key: SliceKey) -> Result<()> {
-        if st.slices.contains_key(&key) {
+    /// Makes sure every key in `keys` has a slice entry, without holding
+    /// `state` across the CreateSlice RPC: membership is checked under the
+    /// lock, the round trips run unlocked (cluster + server creates are
+    /// idempotent), and the results fold back in with `or_insert` so a
+    /// racing creator wins exactly once. Slices are never removed from the
+    /// map, so an entry observed here stays valid for later lookups.
+    fn ensure_slices(&self, keys: &[SliceKey]) -> Result<()> {
+        let missing: Vec<SliceKey> = {
+            let st = self.state.lock();
+            keys.iter()
+                .copied()
+                .filter(|k| !st.slices.contains_key(k))
+                .collect()
+        };
+        if missing.is_empty() {
             return Ok(());
         }
-        let replicas = self.pages.create_slice(key, self.me)?;
-        st.slices.insert(key, SliceState::new(replicas));
+        let mut created: Vec<(SliceKey, Vec<NodeId>)> = Vec::with_capacity(missing.len());
+        for key in missing {
+            created.push((key, self.pages.create_slice(key, self.me)?));
+        }
+        let mut st = self.state.lock();
+        for (key, replicas) in created {
+            st.slices
+                .entry(key)
+                .or_insert_with(|| SliceState::new(replicas));
+        }
         Ok(())
     }
 
@@ -1116,9 +1196,9 @@ impl Sal {
     pub fn read_page(&self, page: PageId, as_of: Option<Lsn>) -> Result<PageBuf> {
         let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
         self.stats.page_reads.inc();
+        self.ensure_slices(&[key])?;
         let (replicas, as_of) = {
             let mut st = self.state.lock();
-            self.ensure_slice_locked(&mut st, key)?;
             let eff = match as_of {
                 None => st.slices[&key].acked_lsn,
                 Some(requested) => {
@@ -1265,11 +1345,11 @@ impl Sal {
                 group.push(page);
             }
         }
+        self.ensure_slices(&order)?;
         let plan: Vec<(SliceKey, Vec<PageId>, Vec<NodeId>, Lsn)> = {
             let mut st = self.state.lock();
             let mut plan = Vec::with_capacity(order.len());
             for key in order {
-                self.ensure_slice_locked(&mut st, key)?;
                 let eff = match as_of {
                     None => st.slices[&key].acked_lsn,
                     Some(requested) => {
@@ -1960,12 +2040,7 @@ impl Sal {
                 keys.push(*k);
             }
         }
-        {
-            let mut st = sal.state.lock();
-            for key in &keys {
-                sal.ensure_slice_locked(&mut st, *key)?;
-            }
-        }
+        sal.ensure_slices(&keys)?;
         sal.durable_lsn.advance(max_lsn);
         // The flush pipeline's monotonicity baseline starts where the
         // recovered log ends.

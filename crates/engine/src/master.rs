@@ -308,8 +308,10 @@ impl MasterEngine {
     /// miss path directly.
     pub fn get_pages(&self, ids: &[PageId]) -> Result<Vec<(PageId, Arc<PageBuf>)>> {
         let _shared = self.tree_latch.read();
+        // taurus-lint: allow(lock-across-fabric-call) -- batched fetch-on-miss runs under the shared latch by design (readahead consistency);
         self.pool.get_or_fetch_many(
             ids,
+            // taurus-lint: allow(lock-across-fabric-call) -- Page Store read handlers take no engine locks, so no cycle -- latency only
             &|miss| self.sal.read_pages(miss, None),
             &self.evict_guard(),
         )
@@ -535,8 +537,9 @@ impl Txn {
             return Ok(engine.sal.durable_lsn());
         }
         let writes = std::mem::take(&mut self.writes);
-        {
+        let pending = {
             let _exclusive = engine.tree_latch.write();
+            // taurus-lint: allow(lock-across-fabric-call) -- committers must fetch pages under the exclusive latch (traversal atomicity); Page Store read handlers take no engine locks, so no cycle
             let fetch = engine.fetcher();
             let mut ctx = MutCtx::new(&engine.lsns, &fetch);
             for (k, op) in &writes {
@@ -554,8 +557,13 @@ impl Txn {
             let pages = std::mem::take(&mut ctx.pages);
             drop(ctx);
             engine.install_pages(pages);
-            // Append under the latch so buffer order equals LSN order.
-            engine.sal.log_group(group)?;
+            // Buffer under the latch so buffer order equals LSN order; the
+            // threshold flush (Log Store round trips) runs below, after
+            // the latch drops — readers must not stall behind the network.
+            engine.sal.buffer_group(group)
+        };
+        if let Some(p) = pending {
+            p.run()?;
         }
         // Durability wait happens outside the latch: concurrent committers
         // batch into one Log Store write (group commit).

@@ -126,6 +126,7 @@ impl ReplicaEngine {
         // Log Stores (the cursor stops at their boundary), so a later poll
         // picks them up once the horizon advances. Reading them here and
         // dropping them would lose them forever — the cursor never re-reads.
+        // taurus-lint: allow(lock-across-fabric-call) -- read_tail mutates the cursor incrementally, so the poller lock must span the round trip; Log Store handlers take no replica locks, so no cycle
         let groups = match self.stream.read_tail(&mut cursor, horizon) {
             Ok(groups) => groups,
             Err(TaurusError::ReplicaBehindTruncation {
@@ -142,6 +143,7 @@ impl ReplicaEngine {
                 self.pool.clear();
                 *cursor = TailCursor::default();
                 self.visible_lsn.advance(truncated_through);
+                // taurus-lint: allow(lock-across-fabric-call) -- resync retry under the same poller-cursor lock; see the allow above
                 self.stream.read_tail(&mut cursor, horizon)?
             }
             Err(e) => return Err(e),

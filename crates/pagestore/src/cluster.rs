@@ -125,7 +125,11 @@ impl PageStoreCluster {
         v
     }
 
-    /// Creates a slice on `replicas` healthy Page Stores.
+    /// Creates a slice on `replicas` healthy Page Stores. Idempotent and
+    /// safe to race: the server-side create is `or_insert` and the
+    /// placement entry is only written if still absent, so two concurrent
+    /// creators converge on one authoritative replica set (the loser's
+    /// extra server-side replicas are just re-created no-ops).
     pub fn create_slice(&self, key: SliceKey, from: NodeId) -> Result<Vec<NodeId>> {
         if let Some(existing) = self.placement.read().get(&key) {
             return Ok(existing.clone());
@@ -137,8 +141,7 @@ impl PageStoreCluster {
             let server = self.server(n)?;
             self.fabric.call(from, n, || server.create_slice(key))?;
         }
-        self.placement.write().insert(key, nodes.clone());
-        Ok(nodes)
+        Ok(self.placement.write().entry(key).or_insert(nodes).clone())
     }
 
     /// `WriteLogs` RPC to one specific replica.

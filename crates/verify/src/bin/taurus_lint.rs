@@ -1,24 +1,28 @@
 //! `taurus-lint` — workspace convention checker.
 //!
 //! ```text
-//! taurus-lint [--root DIR] [--json] [--quiet]
+//! taurus-lint [--root DIR] [--json] [--quiet] [--no-lockgraph]
 //! ```
 //!
 //! Scans `crates/*/src/**/*.rs` under the root (default: the current
 //! directory, falling back to the workspace the binary was built from),
-//! prints `file:line: [rule] message` diagnostics plus a summary, and exits
-//! 1 if any violation is found, 2 on usage or I/O errors, 0 when clean.
-//! `--json` swaps the human output for one machine-readable JSON object.
+//! runs both the line-level convention rules and the `lockgraph`
+//! lock-discipline analysis, prints `file:line: [rule] message` diagnostics
+//! plus a summary, and exits 1 if any violation is found, 2 on usage or I/O
+//! errors, 0 when clean. `--json` swaps the human output for one
+//! machine-readable JSON object; `--no-lockgraph` skips the lock analysis.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use taurus_verify::lint::lint_workspace;
+use taurus_verify::lockgraph::analyze_workspace;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut quiet = false;
+    let mut lockgraph = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,8 +35,9 @@ fn main() -> ExitCode {
             },
             "--json" => json = true,
             "--quiet" => quiet = true,
+            "--no-lockgraph" => lockgraph = false,
             "--help" | "-h" => {
-                eprintln!("usage: taurus-lint [--root DIR] [--json] [--quiet]");
+                eprintln!("usage: taurus-lint [--root DIR] [--json] [--quiet] [--no-lockgraph]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -55,13 +60,31 @@ fn main() -> ExitCode {
         }
     });
 
-    let report = match lint_workspace(&root) {
+    let mut report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("taurus-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if lockgraph {
+        match analyze_workspace(&root) {
+            Ok(a) => {
+                report.diagnostics.extend(a.report.diagnostics);
+                report.suppressed += a.report.suppressed;
+                report.diagnostics.sort_by(|a, b| {
+                    (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule))
+                });
+            }
+            Err(e) => {
+                eprintln!(
+                    "taurus-lint: lockgraph scan failed under {}: {e}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if json {
         println!("{}", report.to_json());

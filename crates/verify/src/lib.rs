@@ -17,6 +17,8 @@
 
 pub mod determinism;
 pub mod lint;
+pub mod lockgraph;
 
 pub use determinism::{check_determinism, fingerprint_run, DeterminismReport, Fingerprint, Inject};
 pub use lint::{lint_source, lint_workspace, Diagnostic, LintReport};
+pub use lockgraph::{analyze_sources, analyze_workspace, Analysis};

@@ -46,6 +46,10 @@ pub const RULE_NAMES: &[&str] = &[
     "unseeded-rng",
     "std-sync-lock",
     "pushdown-no-panic",
+    "unjustified-allow",
+    "lock-order-cycle",
+    "lock-across-fabric-call",
+    "condvar-foreign-mutex",
 ];
 
 /// One lint finding.
@@ -533,6 +537,46 @@ pub fn lint_source(path: &Path, src: &str, report: &mut LintReport) {
             }
         }
     }
+    // Every allow comment must justify itself with ` -- <reason>`. Only
+    // comment context counts (a `//` before the marker on the raw line):
+    // the lint's own source mentions the marker inside string literals.
+    for (idx, raw) in src.lines().enumerate() {
+        if is_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(pos) = raw.find("taurus-lint: allow(") else {
+            continue;
+        };
+        if !raw[..pos].contains("//") {
+            continue;
+        }
+        let after = &raw[pos + "taurus-lint: allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        // Doc text explains the marker with placeholder rule names
+        // (`allow(...)`); only a directive naming a real rule is an allow.
+        if !after[..close]
+            .split(',')
+            .any(|r| RULE_NAMES.contains(&r.trim()))
+        {
+            continue;
+        }
+        let rest = after[close + 1..].trim_start();
+        let justified = rest
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().is_empty());
+        if !justified {
+            report.diagnostics.push(Diagnostic {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                rule: "unjustified-allow",
+                message: "`allow(...)` without a ` -- <reason>` justification; \
+                          explain why the suppressed finding is safe"
+                    .into(),
+            });
+        }
+    }
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
@@ -753,7 +797,8 @@ mod tests {
 
     #[test]
     fn allow_comment_suppresses_next_line() {
-        let src = "// taurus-lint: allow(unwrap-in-hot-path)\nfn f() { g().unwrap(); }\n";
+        let src =
+            "// taurus-lint: allow(unwrap-in-hot-path) -- fixture\nfn f() { g().unwrap(); }\n";
         let r = lint_str("crates/engine/src/x.rs", src);
         assert!(r.is_clean(), "{:?}", r.diagnostics);
         assert_eq!(r.suppressed, 1);
@@ -761,11 +806,37 @@ mod tests {
 
     #[test]
     fn allow_comment_only_suppresses_named_rule() {
-        let src = "fn f() { Instant::now(); g().unwrap(); } // taurus-lint: allow(direct-clock)\n";
+        let src = "fn f() { Instant::now(); g().unwrap(); } // taurus-lint: allow(direct-clock) -- fixture\n";
         let r = lint_str("crates/core/src/x.rs", src);
         assert_eq!(r.diagnostics.len(), 1);
         assert_eq!(r.diagnostics[0].rule, "unwrap-in-hot-path");
         assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_reported() {
+        let src = "fn f() { Instant::now(); } // taurus-lint: allow(direct-clock)\n";
+        let r = lint_str("crates/common/src/x.rs", src);
+        // The finding is still suppressed, but the bare allow is reported.
+        assert_eq!(r.suppressed, 1);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "unjustified-allow");
+        assert_eq!(r.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn allow_marker_in_string_literal_is_not_an_allow_comment() {
+        let src = "fn f() { let s = \"taurus-lint: allow(direct-clock)\"; }\n";
+        let r = lint_str("crates/common/src/x.rs", src);
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn allow_with_empty_reason_is_reported() {
+        let src = "fn f() { Instant::now(); } // taurus-lint: allow(direct-clock) -- \n";
+        let r = lint_str("crates/common/src/x.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, "unjustified-allow");
     }
 
     // ---- preprocessing corner cases ----

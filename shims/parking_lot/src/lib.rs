@@ -5,22 +5,42 @@
 //! and `Condvar` with non-poisoning, non-`Result` lock methods — implemented
 //! on top of `std::sync`. Poison is deliberately ignored: a panicked holder
 //! simply releases the lock, matching parking_lot semantics.
+//!
+//! # Lockdep witness (`--cfg taurus_lock_witness`)
+//!
+//! Built with `RUSTFLAGS="--cfg taurus_lock_witness"`, every lock carries
+//! its construction-site class and every acquisition feeds the [`witness`]
+//! order graph, which reports the first lock-order inversion it observes
+//! with both acquisition chains. See `witness.rs` for the model; drain
+//! findings with [`witness_take_reports`]. The feature exists for tests and
+//! CI — release builds pay zero cost (the plain path compiles exactly as
+//! before).
 
 use std::fmt;
 use std::sync::{self, TryLockError};
 use std::time::Duration;
 
+#[cfg(taurus_lock_witness)]
+mod witness;
+#[cfg(taurus_lock_witness)]
+pub use witness::take_reports as witness_take_reports;
+
+#[cfg(not(taurus_lock_witness))]
 pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// parking_lot-style mutex: `lock()` returns the guard directly.
-#[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(taurus_lock_witness)]
+    tag: witness::LockTag,
     inner: sync::Mutex<T>,
 }
 
 impl<T> Mutex<T> {
+    #[track_caller]
     pub const fn new(value: T) -> Self {
         Mutex {
+            #[cfg(taurus_lock_witness)]
+            tag: witness::LockTag::new(std::panic::Location::caller()),
             inner: sync::Mutex::new(value),
         }
     }
@@ -35,18 +55,36 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
+        #[cfg(taurus_lock_witness)]
+        let class = {
+            let class = self.tag.class();
+            witness::acquired(class, true);
+            class
+        };
+        let inner = match self.inner.lock() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
-        }
+        };
+        #[cfg(taurus_lock_witness)]
+        return MutexGuard { class, inner };
+        #[cfg(not(taurus_lock_witness))]
+        inner
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(taurus_lock_witness)]
+        {
+            let class = self.tag.class();
+            witness::acquired(class, false);
+            Some(MutexGuard { class, inner })
         }
+        #[cfg(not(taurus_lock_witness))]
+        Some(inner)
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -54,6 +92,13 @@ impl<T: ?Sized> Mutex<T> {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
     }
 }
 
@@ -67,20 +112,25 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 }
 
 impl<T> From<T> for Mutex<T> {
+    #[track_caller]
     fn from(value: T) -> Self {
         Mutex::new(value)
     }
 }
 
 /// parking_lot-style reader-writer lock.
-#[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(taurus_lock_witness)]
+    tag: witness::LockTag,
     inner: sync::RwLock<T>,
 }
 
 impl<T> RwLock<T> {
+    #[track_caller]
     pub const fn new(value: T) -> Self {
         RwLock {
+            #[cfg(taurus_lock_witness)]
+            tag: witness::LockTag::new(std::panic::Location::caller()),
             inner: sync::RwLock::new(value),
         }
     }
@@ -95,33 +145,69 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.inner.read() {
+        #[cfg(taurus_lock_witness)]
+        let class = {
+            let class = self.tag.class();
+            witness::acquired(class, true);
+            class
+        };
+        let inner = match self.inner.read() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
-        }
+        };
+        #[cfg(taurus_lock_witness)]
+        return RwLockReadGuard { class, inner };
+        #[cfg(not(taurus_lock_witness))]
+        inner
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.inner.write() {
+        #[cfg(taurus_lock_witness)]
+        let class = {
+            let class = self.tag.class();
+            witness::acquired(class, true);
+            class
+        };
+        let inner = match self.inner.write() {
             Ok(g) => g,
             Err(p) => p.into_inner(),
-        }
+        };
+        #[cfg(taurus_lock_witness)]
+        return RwLockWriteGuard { class, inner };
+        #[cfg(not(taurus_lock_witness))]
+        inner
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(taurus_lock_witness)]
+        {
+            let class = self.tag.class();
+            witness::acquired(class, false);
+            Some(RwLockReadGuard { class, inner })
         }
+        #[cfg(not(taurus_lock_witness))]
+        Some(inner)
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(taurus_lock_witness)]
+        {
+            let class = self.tag.class();
+            witness::acquired(class, false);
+            Some(RwLockWriteGuard { class, inner })
         }
+        #[cfg(not(taurus_lock_witness))]
+        Some(inner)
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -129,6 +215,13 @@ impl<T: ?Sized> RwLock<T> {
             Ok(v) => v,
             Err(p) => p.into_inner(),
         }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
     }
 }
 
@@ -142,10 +235,64 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 }
 
 impl<T> From<T> for RwLock<T> {
+    #[track_caller]
     fn from(value: T) -> Self {
         RwLock::new(value)
     }
 }
+
+// ====================================================================
+// Witness guard wrappers
+// ====================================================================
+//
+// Under the witness cfg the guards are thin wrappers that pop the lock's
+// class from the thread's held stack on drop. Workspace code only ever
+// uses guards through Deref/DerefMut, so the wrappers are drop-in.
+
+#[cfg(taurus_lock_witness)]
+macro_rules! witness_guard {
+    ($name:ident, $std:ident, $($mutability:ident)?) => {
+        pub struct $name<'a, T: ?Sized> {
+            class: witness::ClassId,
+            inner: sync::$std<'a, T>,
+        }
+
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+
+        $(witness_guard!(@$mutability $name);)?
+
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                witness::released(self.class);
+            }
+        }
+
+        impl<T: ?Sized + fmt::Debug> fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+    (@mutable $name:ident) => {
+        impl<T: ?Sized> std::ops::DerefMut for $name<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                &mut self.inner
+            }
+        }
+    };
+}
+
+#[cfg(taurus_lock_witness)]
+witness_guard!(MutexGuard, MutexGuard, mutable);
+#[cfg(taurus_lock_witness)]
+witness_guard!(RwLockReadGuard, RwLockReadGuard,);
+#[cfg(taurus_lock_witness)]
+witness_guard!(RwLockWriteGuard, RwLockWriteGuard, mutable);
 
 /// parking_lot-style condvar paired with [`Mutex`].
 #[derive(Default)]
@@ -161,12 +308,19 @@ impl Condvar {
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The wait window releases the mutex: the held stack must not list
+        // it while the thread sleeps, and the wake-up reacquisition is an
+        // ordering event like any other.
+        #[cfg(taurus_lock_witness)]
+        witness::released(guard.class);
         // Safety-free dance: std's condvar consumes and returns the guard,
         // parking_lot's mutates it in place. Temporarily move it out.
-        take_guard(guard, |g| match self.inner.wait(g) {
+        take_guard(inner_guard(guard), |g| match self.inner.wait(g) {
             Ok(g) => g,
             Err(p) => p.into_inner(),
         });
+        #[cfg(taurus_lock_witness)]
+        witness::acquired(guard.class, true);
     }
 
     pub fn wait_for<T>(
@@ -174,18 +328,24 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
+        #[cfg(taurus_lock_witness)]
+        witness::released(guard.class);
         let mut timed_out = false;
-        take_guard(guard, |g| match self.inner.wait_timeout(g, timeout) {
-            Ok((g, r)) => {
-                timed_out = r.timed_out();
-                g
-            }
-            Err(p) => {
-                let (g, r) = p.into_inner();
-                timed_out = r.timed_out();
-                g
+        take_guard(inner_guard(guard), |g| {
+            match self.inner.wait_timeout(g, timeout) {
+                Ok((g, r)) => {
+                    timed_out = r.timed_out();
+                    g
+                }
+                Err(p) => {
+                    let (g, r) = p.into_inner();
+                    timed_out = r.timed_out();
+                    g
+                }
             }
         });
+        #[cfg(taurus_lock_witness)]
+        witness::acquired(guard.class, true);
         WaitTimeoutResult { timed_out }
     }
 
@@ -196,6 +356,21 @@ impl Condvar {
     pub fn notify_all(&self) {
         self.inner.notify_all();
     }
+}
+
+/// Projects the shim guard onto the `std::sync` guard `take_guard` needs.
+#[cfg(taurus_lock_witness)]
+fn inner_guard<'g, 'a, T: ?Sized>(
+    guard: &'g mut MutexGuard<'a, T>,
+) -> &'g mut sync::MutexGuard<'a, T> {
+    &mut guard.inner
+}
+
+#[cfg(not(taurus_lock_witness))]
+fn inner_guard<'g, 'a, T: ?Sized>(
+    guard: &'g mut MutexGuard<'a, T>,
+) -> &'g mut sync::MutexGuard<'a, T> {
+    guard
 }
 
 impl fmt::Debug for Condvar {
@@ -216,8 +391,8 @@ impl WaitTimeoutResult {
 }
 
 fn take_guard<'a, T>(
-    slot: &mut MutexGuard<'a, T>,
-    f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+    slot: &mut sync::MutexGuard<'a, T>,
+    f: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
 ) {
     // Move the guard out of the slot, run `f`, and put the result back.
     // The `ManuallyDrop` + pointer dance avoids requiring `T: Default`.
@@ -238,12 +413,12 @@ fn take_guard<'a, T>(
     }
 
     unsafe {
-        let guard = ptr::read(slot as *mut MutexGuard<'a, T>);
+        let guard = ptr::read(slot as *mut sync::MutexGuard<'a, T>);
         let bomb = AbortOnUnwind;
         let new = f(guard);
         std::mem::forget(bomb);
         let mut new = ManuallyDrop::new(new);
-        ptr::copy_nonoverlapping(&mut *new as *mut MutexGuard<'a, T>, slot, 1);
+        ptr::copy_nonoverlapping(&mut *new as *mut sync::MutexGuard<'a, T>, slot, 1);
     }
 }
 

@@ -1,0 +1,205 @@
+//! Runtime lockdep witness (compiled only with `--cfg taurus_lock_witness`).
+//!
+//! Every `Mutex`/`RwLock` in the workspace is tagged with its
+//! **construction site** (`file:line`, captured by `#[track_caller]` on
+//! `new`), which names its *lock class*: the 64 pool stripes built in one
+//! loop share one class, every `SliceReplica` mutex shares another, and so
+//! on. Each thread keeps a stack of the classes it currently holds; every
+//! blocking acquisition folds `(held → acquired)` pairs into one global
+//! order graph and checks whether the *reverse* direction is already
+//! reachable — the first such inversion is recorded with both acquisition
+//! chains (the acquiring thread's current stack and the held-stack snapshot
+//! that established the conflicting edge).
+//!
+//! Reports are drained by [`take_reports`] and folded into the
+//! `lock-order-acyclic` runtime invariant by
+//! `taurus_common::invariants::lock_witness_sweep`.
+//!
+//! Scope notes, mirroring the static `lockgraph` pass in `taurus-verify`:
+//!
+//! * `try_lock`/`try_read`/`try_write` acquisitions join the held stack and
+//!   contribute edges (another thread may *block* on the same class), but
+//!   never fire a report themselves — a try-acquire cannot deadlock at its
+//!   own site.
+//! * Same-class nesting (two stripes from one construction line) is not
+//!   checked; distinguishing instances would need per-object identity and
+//!   the workspace orders same-class acquisitions by index.
+//! * The witness's own bookkeeping lives on `std::sync` primitives, so it
+//!   never re-enters itself.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::Location;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex as StdMutex;
+
+pub(crate) type ClassId = u32;
+
+/// Construction-site tag embedded in every `Mutex`/`RwLock`. The class id
+/// is interned on first use and cached (0 = not yet interned).
+pub(crate) struct LockTag {
+    loc: &'static Location<'static>,
+    cached: AtomicU32,
+}
+
+impl LockTag {
+    pub(crate) const fn new(loc: &'static Location<'static>) -> LockTag {
+        LockTag {
+            loc,
+            cached: AtomicU32::new(0),
+        }
+    }
+
+    pub(crate) fn class(&self) -> ClassId {
+        let cached = self.cached.load(Ordering::Relaxed);
+        if cached != 0 {
+            return cached - 1;
+        }
+        let id = intern(self.loc);
+        self.cached.store(id + 1, Ordering::Relaxed);
+        id
+    }
+}
+
+#[derive(Default)]
+struct State {
+    ids: HashMap<(&'static str, u32, u32), ClassId>,
+    /// Class id → `file:line` of the construction site.
+    names: Vec<String>,
+    /// Observed order graph: held class → classes acquired under it.
+    edges: HashMap<ClassId, HashSet<ClassId>>,
+    /// Held-stack snapshot (by name) that first established each edge.
+    first_seen: HashMap<(ClassId, ClassId), Vec<String>>,
+    /// Inversions already reported, keyed by the offending (held, acquired)
+    /// pair — report each conflict once, not once per occurrence.
+    reported: HashSet<(ClassId, ClassId)>,
+    reports: Vec<String>,
+}
+
+static STATE: StdMutex<Option<State>> = StdMutex::new(None);
+
+thread_local! {
+    static HELD: RefCell<Vec<ClassId>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with<R>(f: impl FnOnce(&mut State) -> R) -> R {
+    let mut st = match STATE.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    f(st.get_or_insert_with(State::default))
+}
+
+fn intern(loc: &'static Location<'static>) -> ClassId {
+    with(|st| {
+        let key = (loc.file(), loc.line(), loc.column());
+        if let Some(&id) = st.ids.get(&key) {
+            return id;
+        }
+        let id = st.names.len() as ClassId;
+        st.names.push(format!("{}:{}", loc.file(), loc.line()));
+        st.ids.insert(key, id);
+        id
+    })
+}
+
+/// Records one acquisition: edge insertion, inversion check (blocking
+/// acquisitions only), then pushes the class onto the thread's held stack.
+pub(crate) fn acquired(class: ClassId, blocking: bool) {
+    let held: Vec<ClassId> = HELD.with(|h| h.borrow().clone());
+    if !held.is_empty() {
+        with(|st| {
+            let held_names: Vec<String> =
+                held.iter().map(|&c| st.names[c as usize].clone()).collect();
+            for &h in &held {
+                if h == class {
+                    continue;
+                }
+                let fresh = st.edges.entry(h).or_default().insert(class);
+                if fresh {
+                    st.first_seen.insert((h, class), held_names.clone());
+                }
+                if blocking && !st.reported.contains(&(h, class)) {
+                    if let Some(path) = reverse_path(st, class, h) {
+                        st.reported.insert((h, class));
+                        let report = format_inversion(st, h, class, &held_names, &path);
+                        st.reports.push(report);
+                    }
+                }
+            }
+        });
+    }
+    HELD.with(|h| h.borrow_mut().push(class));
+}
+
+/// Removes the most recent occurrence of `class` from the held stack
+/// (guards may drop out of acquisition order).
+pub(crate) fn released(class: ClassId) {
+    HELD.with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&c| c == class) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// BFS: is `to` reachable from `from` in the order graph? Returns the
+/// class path `from .. to` if so.
+fn reverse_path(st: &State, from: ClassId, to: ClassId) -> Option<Vec<ClassId>> {
+    let mut prev: HashMap<ClassId, ClassId> = HashMap::new();
+    let mut queue = VecDeque::from([from]);
+    let mut seen: HashSet<ClassId> = HashSet::from([from]);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = prev[&cur];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(next) = st.edges.get(&n) {
+            for &m in next {
+                if seen.insert(m) {
+                    prev.insert(m, n);
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn format_inversion(
+    st: &State,
+    held: ClassId,
+    acquiring: ClassId,
+    held_names: &[String],
+    path: &[ClassId],
+) -> String {
+    let name = |c: ClassId| st.names[c as usize].clone();
+    let path_names: Vec<String> = path.iter().map(|&c| name(c)).collect();
+    let first_hop = st
+        .first_seen
+        .get(&(path[0], path[1]))
+        .map(|v| v.join(" -> "))
+        .unwrap_or_default();
+    format!(
+        "lock-order inversion: acquiring [{}] while holding [{}]\n  \
+         this thread's chain: {} -> {}\n  \
+         conflicting established order: {} (first seen with held stack: {})",
+        name(acquiring),
+        name(held),
+        held_names.join(" -> "),
+        name(acquiring),
+        path_names.join(" -> "),
+        first_hop,
+    )
+}
+
+/// Drains every inversion recorded so far (process-global).
+pub fn take_reports() -> Vec<String> {
+    with(|st| std::mem::take(&mut st.reports))
+}
