@@ -64,6 +64,10 @@ pub fn bench_config(pool_pages: usize) -> TaurusConfig {
         log_buffer_bytes: 32 << 10,
         slice_buffer_bytes: 16 << 10,
         slice_flush_timeout_us: 1_000,
+        // One log stream per driver connection: commit throughput on the
+        // write benchmarks is bounded by parallel appends in flight, and
+        // the driver runs 8 connections.
+        log_streams: 8,
         ..TaurusConfig::default()
     }
 }

@@ -171,6 +171,19 @@ pub struct TaurusConfig {
     /// leaves to the fetcher, which batch-fetches the misses in one
     /// `ReadPages` round trip. 0 disables readahead.
     pub btree_readahead_window: usize,
+    /// Number of parallel log streams the SAL fans flush groups across
+    /// ("Taurus: Lightweight Parallel Logging"). Each stream owns its own
+    /// PLog chain and append sequencer; flush spans are assigned round-robin
+    /// and commit visibility (`durable_lsn`) advances only over the
+    /// contiguous prefix of spans in LSN order, tracked per stream by an
+    /// LSN-vector. 1 reproduces the pre-multi-stream single-path behaviour.
+    pub log_streams: usize,
+    /// Idle group-commit timeout, microseconds: if the log buffer has been
+    /// open (non-empty) at least this long when the SAL tick runs, it is
+    /// flushed even though neither the byte threshold nor an explicit commit
+    /// forced it. Bounds the latency of stragglers under adaptive
+    /// group-commit sizing; 0 flushes any non-empty buffer on every tick.
+    pub log_group_commit_idle_us: u64,
 }
 
 impl Default for TaurusConfig {
@@ -204,6 +217,8 @@ impl Default for TaurusConfig {
             read_batch_max_bytes: 4 << 20,
             engine_pool_shards: 8,
             btree_readahead_window: 16,
+            log_streams: 4,
+            log_group_commit_idle_us: 1_000,
         }
     }
 }
@@ -241,6 +256,10 @@ impl TaurusConfig {
             read_batch_max_bytes: 64 << 10,
             engine_pool_shards: 4,
             btree_readahead_window: 4,
+            // Two streams (not one) so the whole functional suite exercises
+            // multi-stream span ordering, merge-on-read, and recovery.
+            log_streams: 2,
+            log_group_commit_idle_us: 0,
             ..TaurusConfig::default()
         }
     }
@@ -285,6 +304,14 @@ impl TaurusConfig {
         if self.engine_pool_shards == 0 {
             return Err(crate::TaurusError::Internal(
                 "engine_pool_shards must be > 0".into(),
+            ));
+        }
+        // The stream index is packed into the PLog sequence-number namespace
+        // (bits 48..63 below the meta bit), so the count must fit there; 64
+        // is far below the packing limit and already past any useful fan-out.
+        if self.log_streams == 0 || self.log_streams > 64 {
+            return Err(crate::TaurusError::Internal(
+                "log_streams must be in 1..=64".into(),
             ));
         }
         Ok(())
@@ -347,6 +374,18 @@ mod tests {
 
         let c = TaurusConfig {
             engine_pool_shards: 0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            log_streams: 0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            log_streams: 65,
             ..TaurusConfig::default()
         };
         assert!(c.validate().is_err());

@@ -44,9 +44,13 @@ impl LatencyRecorder {
         }
         guard.sort_unstable();
         let s = &*guard;
+        // Nearest-rank percentile: the smallest sample with at least p·n
+        // samples at or below it. The previous `round((n-1)·p)` interpolation
+        // overshot at low sample counts — with 2 samples it reported the MAX
+        // as p50, which made small bench runs look slower than they were.
         let pct = |p: f64| -> u64 {
-            let idx = ((s.len() as f64 - 1.0) * p).round() as usize;
-            s[idx]
+            let rank = (p * s.len() as f64).ceil() as usize;
+            s[rank.clamp(1, s.len()) - 1]
         };
         let sum: u64 = s.iter().sum();
         Some(LatencySummary {
@@ -249,11 +253,36 @@ mod tests {
         }
         let s = r.summary().unwrap();
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_us, 51); // nearest-rank on 0-indexed 100 samples
+        assert_eq!(s.p50_us, 50); // nearest-rank: smallest v with ≥50% ≤ v
         assert_eq!(s.p95_us, 95);
         assert_eq!(s.p99_us, 99);
         assert_eq!(s.max_us, 100);
         assert!((s.mean_us - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_percentiles_at_low_sample_counts() {
+        // One sample: every percentile is that sample.
+        let r = LatencyRecorder::new();
+        r.record(42);
+        let s = r.summary().unwrap();
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us, s.max_us), (42, 42, 42, 42));
+
+        // Two samples: p50 must be the lower one, not the max (the old
+        // round-based formula returned 900 here).
+        let r = LatencyRecorder::new();
+        r.record(100);
+        r.record(900);
+        let s = r.summary().unwrap();
+        assert_eq!(s.p50_us, 100);
+        assert_eq!(s.p99_us, 900);
+
+        // Three samples: p50 is the median.
+        let r = LatencyRecorder::new();
+        for v in [30, 10, 20] {
+            r.record(v);
+        }
+        assert_eq!(r.summary().unwrap().p50_us, 20);
     }
 
     #[test]

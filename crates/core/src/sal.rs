@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use taurus_common::clock::ClockRef;
-use taurus_common::lsn::LsnWatermark;
+use taurus_common::lsn::{LsnVector, LsnWatermark};
 use taurus_common::metrics::{Counter, Gauge, LogStoreStats};
 use taurus_common::scan::{evaluate_leaf_page, AggState, ScanAccumulator, ScanRequest};
 use taurus_common::sync::Sequencer;
@@ -26,7 +26,7 @@ use taurus_common::{
     DbId, LogRecord, LogRecordGroup, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusConfig,
     TaurusError, PAGE_SIZE,
 };
-use taurus_logstore::{LogStoreCluster, LogStream};
+use taurus_logstore::{encode_batch, LogStoreCluster, LogStream};
 use taurus_pagestore::{
     PageReadOutcome, PageStoreCluster, ReadPagesRequest, ScanSliceRequest, SliceFragment,
 };
@@ -95,13 +95,45 @@ struct PendingBuffer {
 }
 
 /// One log-buffer's worth of groups on its way through the flush pipeline:
-/// prepared (ticketed) under the state lock, appended to the Log Stores with
-/// no lock held, then committed back in ticket order.
+/// prepared (ticketed, stream-assigned) under the state lock, batch-encoded
+/// and appended to its log stream with no lock held, then committed by the
+/// contiguous-prefix walk over [`SalState::flush_spans`].
 struct PreparedFlush {
-    ticket: u64,
+    /// Log stream this flush was assigned to (global ticket % streams).
+    stream: usize,
+    /// Dense per-stream ticket (`ticket / streams`): orders this stream's
+    /// reservation turnstile.
+    stream_ticket: u64,
+    /// End of the span prepared immediately before this one (any stream):
+    /// the chain link recovery uses to detect cross-stream log holes.
+    prev_end: Lsn,
     first: Lsn,
     end: Lsn,
     groups: Vec<LogRecordGroup>,
+}
+
+/// Completion state of one flush span in the global prepare-order window.
+#[derive(Debug)]
+enum SpanState {
+    /// Append still running on its stream.
+    InFlight,
+    /// Durable on its stream; groups parked here until the span reaches the
+    /// front of the window and the prefix walk distributes them.
+    Durable(Vec<LogRecordGroup>),
+    /// Append failed outright; latches `failed_at` when it reaches the front.
+    Failed,
+}
+
+/// One prepared flush tracked in global prepare order. The durable LSN only
+/// advances over the contiguous prefix of durable spans, so a span that
+/// finishes on stream A before an earlier span on stream B does not become
+/// visible early — the LSN-vector commit rule (parallel-logging paper).
+#[derive(Debug)]
+struct FlushSpan {
+    first: Lsn,
+    end: Lsn,
+    stream: usize,
+    state: SpanState,
 }
 
 /// A threshold-triggered log flush handed back by [`Sal::buffer_group`].
@@ -127,9 +159,20 @@ impl PendingFlush<'_> {
 impl Drop for PendingFlush<'_> {
     fn drop(&mut self) {
         if let Some(p) = self.prepared.take() {
-            // Errors latch into `SalState::failed_at` inside `run_flush`;
-            // later `Sal::flush` callers observe them there.
-            let _ = self.sal.run_flush(p);
+            // Errors latch into `SalState::failed_at` inside `run_flush` and
+            // later `Sal::flush` callers observe them there — but a drop
+            // site has no caller to hand the error to, so it must not be
+            // *silently* swallowed: count it and flag the violation.
+            let end = p.end;
+            let res = self.sal.run_flush(p);
+            if let Err(e) = res {
+                self.sal.stats.dropped_flush_errors.inc();
+                taurus_common::invariant!(
+                    "pending-flush-dropped-error",
+                    false,
+                    "flush ending at {end} failed in PendingFlush::drop: {e}"
+                );
+            }
         }
     }
 }
@@ -148,6 +191,18 @@ pub(crate) struct SalState {
     /// stays valid; later flushes sit behind the gap and the durable LSN
     /// stops advancing.
     failed_at: Lsn,
+    /// Flush spans in global prepare order, the window over which the
+    /// durable LSN advances: popped as a contiguous prefix of
+    /// `Durable` spans by [`Sal::advance_durable_prefix_locked`].
+    flush_spans: VecDeque<FlushSpan>,
+    /// Prepared flushes not yet durable or failed. When every stream has
+    /// one in flight, `flush()` waits and lets the group grow (adaptive
+    /// group commit) instead of queueing a tiny span behind the window.
+    flushes_in_flight: usize,
+    /// Fabric time the current log buffer got its first group; `tick()`
+    /// flushes an idle buffer once it is older than
+    /// `log_group_commit_idle_us`.
+    log_buffer_opened_us: u64,
     pub slices: HashMap<SliceKey, SliceState>,
     pending: VecDeque<PendingBuffer>,
     /// Named snapshots: LSNs pinned against version recycling. Because Page
@@ -180,6 +235,12 @@ pub struct SalStats {
     pub suspect_demotions: Counter,
     /// Suspect → healthy transitions.
     pub suspect_resurrections: Counter,
+    /// Log flushes that failed inside `PendingFlush::drop`, where no caller
+    /// could observe the error directly (it still latches `failed_at`).
+    pub dropped_flush_errors: Counter,
+    /// `flush()` calls that waited for a stream slot so the commit group
+    /// could grow (adaptive group commit under load).
+    pub group_commit_waits: Counter,
 }
 
 impl SalStats {
@@ -198,6 +259,8 @@ impl SalStats {
             queue_full_drops: self.queue_full_drops.get(),
             suspect_demotions: self.suspect_demotions.get(),
             suspect_resurrections: self.suspect_resurrections.get(),
+            dropped_flush_errors: self.dropped_flush_errors.get(),
+            group_commit_waits: self.group_commit_waits.get(),
         }
     }
 }
@@ -217,6 +280,8 @@ pub struct SalStatsSnapshot {
     pub queue_full_drops: u64,
     pub suspect_demotions: u64,
     pub suspect_resurrections: u64,
+    pub dropped_flush_errors: u64,
+    pub group_commit_waits: u64,
 }
 
 impl std::fmt::Display for SalStatsSnapshot {
@@ -226,7 +291,8 @@ impl std::fmt::Display for SalStatsSnapshot {
             "log_flushes={} slice_flushes={} page_reads={} read_retries={} \
              resends={} gossip_triggers={} write_retries={} write_timeouts={} \
              fragments_parked={} queue_full_drops={} suspect_demotions={} \
-             suspect_resurrections={}",
+             suspect_resurrections={} dropped_flush_errors={} \
+             group_commit_waits={}",
             self.log_flushes,
             self.slice_flushes,
             self.page_reads,
@@ -239,6 +305,8 @@ impl std::fmt::Display for SalStatsSnapshot {
             self.queue_full_drops,
             self.suspect_demotions,
             self.suspect_resurrections,
+            self.dropped_flush_errors,
+            self.group_commit_waits,
         )
     }
 }
@@ -472,21 +540,31 @@ pub struct Sal {
     clock: ClockRef,
     pub logs: LogStoreCluster,
     pub pages: PageStoreCluster,
-    stream: LogStream,
+    /// N parallel log streams (`cfg.log_streams`); prepared flushes are
+    /// assigned round-robin by global ticket. Stream 0 keeps the legacy
+    /// single-stream PLog id namespace.
+    streams: Vec<LogStream>,
+    /// Append-path metrics shared by every stream (one logical log).
+    log_store_stats: Arc<LogStoreStats>,
     state: Mutex<SalState>,
-    /// Log-write pipeline, ordered by flush ticket: the log-tail slot is
-    /// reserved inside `reserve_turn`, the replicated 3/3 append then runs
-    /// with no lock and no turnstile (this is where concurrent flushes
-    /// overlap), and durability bookkeeping commits inside `post_turn`.
-    reserve_turn: Sequencer,
-    post_turn: Sequencer,
+    /// Per-stream log-tail turnstiles, ordered by the stream-local ticket:
+    /// each stream's tail slot is reserved in LSN order, the replicated 3/3
+    /// appends then run unordered across all streams (this is where
+    /// parallel flushes overlap), and durability commits via the
+    /// contiguous-prefix walk over `SalState::flush_spans`.
+    reserve_turns: Vec<Sequencer>,
     /// Signals waiters in [`Sal::flush`] whenever an in-flight log write
     /// completes (or fails). Paired with `state`.
     flush_cv: Condvar,
     /// Cluster-visible LSN (§3.5).
     cv_lsn: LsnWatermark,
-    /// Highest LSN durable on Log Stores.
+    /// Highest LSN durable on Log Stores **as a contiguous prefix across
+    /// all streams** (the commit point transactions ack against).
     durable_lsn: LsnWatermark,
+    /// Per-stream durable watermarks (the LSN vector): entry `k` is the end
+    /// of the newest span durable on stream `k`, whether or not earlier
+    /// spans on other streams have landed yet.
+    durable_vec: LsnVector,
     /// Periodically saved database persistent LSN — the recovery starting
     /// point (§4.3 "SAL periodically saves this value for recovery
     /// purposes"). Modeled as a durable control-plane cell that survives
@@ -534,26 +612,40 @@ impl Sal {
         anchor: Arc<LsnWatermark>,
     ) -> Result<Arc<Sal>> {
         cfg.validate()?;
-        let stream = LogStream::create(
-            logs.clone(),
-            db,
-            me,
-            cfg.plog_size_limit,
-            cfg.log_append_window,
-        )?;
-        Ok(Self::build(cfg, db, me, logs, pages, stream, anchor))
+        let n = cfg.log_streams;
+        let stats = Arc::new(LogStoreStats::default());
+        let streams = (0..n)
+            .map(|i| {
+                LogStream::create_stream(
+                    logs.clone(),
+                    db,
+                    me,
+                    cfg.plog_size_limit,
+                    cfg.log_append_window,
+                    i as u32,
+                    n > 1,
+                    Arc::clone(&stats),
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self::build(
+            cfg, db, me, logs, pages, streams, stats, anchor,
+        ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         cfg: TaurusConfig,
         db: DbId,
         me: NodeId,
         logs: LogStoreCluster,
         pages: PageStoreCluster,
-        stream: LogStream,
+        streams: Vec<LogStream>,
+        log_store_stats: Arc<LogStoreStats>,
         anchor: Arc<LsnWatermark>,
     ) -> Arc<Sal> {
         let clock = logs.fabric.clock.clone();
+        let n = streams.len();
         // `new_cyclic`: the SAL needs a `Weak` handle to itself so that
         // per-replica sender workers (spawned lazily, long after build)
         // can reach it without keeping it alive.
@@ -564,13 +656,14 @@ impl Sal {
             clock,
             logs,
             pages,
-            stream,
+            streams,
+            log_store_stats,
             state: Mutex::new(SalState::default()),
-            reserve_turn: Sequencer::new(),
-            post_turn: Sequencer::new(),
+            reserve_turns: (0..n).map(|_| Sequencer::new()).collect(),
             flush_cv: Condvar::new(),
             cv_lsn: LsnWatermark::new(Lsn::ZERO),
             durable_lsn: LsnWatermark::new(Lsn::ZERO),
+            durable_vec: LsnVector::new(n),
             anchor,
             pipes: Mutex::new(HashMap::new()),
             parked: Mutex::new(HashSet::new()),
@@ -762,6 +855,9 @@ impl Sal {
     pub fn buffer_group(&self, group: LogRecordGroup) -> Option<PendingFlush<'_>> {
         let prepared = {
             let mut st = self.state.lock();
+            if st.log_buffer.is_empty() {
+                st.log_buffer_opened_us = self.clock.now_us();
+            }
             st.log_buffer_bytes += group.encoded_len();
             st.log_buffer.push(group);
             if st.log_buffer_bytes >= self.cfg.log_buffer_bytes {
@@ -784,26 +880,50 @@ impl Sal {
     pub fn flush(&self) -> Result<Lsn> {
         let (prepared, target) = {
             let mut st = self.state.lock();
+            // Adaptive group commit: while every stream already carries an
+            // in-flight flush, queueing another tiny span buys nothing —
+            // wait for a slot and let the buffer (the commit group) grow.
+            // The waits are bounded: in-flight flushes are always driven by
+            // the threads that prepared them, and completion (or failure)
+            // notifies `flush_cv`. A buffer at the size threshold flushes
+            // immediately regardless.
+            while !st.log_buffer.is_empty()
+                && st.flushes_in_flight >= self.streams.len()
+                && st.log_buffer_bytes < self.cfg.log_buffer_bytes
+            {
+                self.stats.group_commit_waits.inc();
+                self.flush_cv.wait(&mut st);
+            }
             let p = self.prepare_flush_locked(&mut st);
             (p, st.last_prepared_end)
         };
         if let Some(p) = prepared {
             self.run_flush(p)?;
-        } else if target > self.durable_lsn.get() {
-            // Nothing new to write, but earlier flushes are still in
-            // flight: durability of *our* caller's records rides on them.
-            let mut st = self.state.lock();
-            while self.durable_lsn.get() < target {
-                if st.failed_at.is_valid() && st.failed_at <= target {
-                    return Err(TaurusError::Internal(format!(
-                        "log flush failed at {}",
-                        st.failed_at
-                    )));
-                }
-                self.flush_cv.wait(&mut st);
-            }
         }
+        // Even after our own span lands, durability of the *caller's*
+        // records rides on every earlier span across all streams: wait for
+        // the contiguous durable prefix to reach the target.
+        self.wait_durable(target)?;
         Ok(self.durable_lsn.get())
+    }
+
+    /// Blocks until the durable LSN (the contiguous cross-stream prefix)
+    /// reaches `target`, or a flush at or below `target` has failed.
+    fn wait_durable(&self, target: Lsn) -> Result<()> {
+        if self.durable_lsn.get() >= target {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        while self.durable_lsn.get() < target {
+            if st.failed_at.is_valid() && st.failed_at <= target {
+                return Err(TaurusError::Internal(format!(
+                    "log flush failed at {}",
+                    st.failed_at
+                )));
+            }
+            self.flush_cv.wait(&mut st);
+        }
+        Ok(())
     }
 
     /// Takes the current log buffer as one pipelined flush unit, assigning
@@ -838,11 +958,25 @@ impl Sal {
             st.last_prepared_end,
             self.durable_lsn.get()
         );
+        let prev_end = st.last_prepared_end;
         st.last_prepared_end = end;
         let ticket = st.next_flush_ticket;
         st.next_flush_ticket += 1;
+        // Round-robin stream assignment by global ticket; the per-stream
+        // ticket is dense, ordering that stream's reservation turnstile.
+        let stream = (ticket % self.streams.len() as u64) as usize;
+        let stream_ticket = ticket / self.streams.len() as u64;
+        st.flush_spans.push_back(FlushSpan {
+            first,
+            end,
+            stream,
+            state: SpanState::InFlight,
+        });
+        st.flushes_in_flight += 1;
         Some(PreparedFlush {
-            ticket,
+            stream,
+            stream_ticket,
+            prev_end,
             first,
             end,
             groups,
@@ -850,11 +984,12 @@ impl Sal {
     }
 
     /// Drives one prepared flush through the log-write pipeline. The state
-    /// lock is never held across the Log Store round trip: the log-tail
-    /// reservation happens in ticket order inside `reserve_turn`, the
-    /// replicated append runs unordered (concurrent flushes overlap here,
-    /// bounded by the stream's append window), and the durability
-    /// bookkeeping commits in ticket order inside `post_turn`.
+    /// lock is never held across the Log Store round trip: the stream's
+    /// log-tail slot is reserved in stream-ticket order inside that
+    /// stream's turnstile, the replicated 3/3 appends then run unordered
+    /// across all streams (this is where parallel flushes overlap, bounded
+    /// by each stream's append window), and durability bookkeeping commits
+    /// via the contiguous-prefix walk over the global span window.
     fn run_flush(&self, p: PreparedFlush) -> Result<()> {
         // Backpressure: while consolidation is behind, each flush pays a
         // small delay so the Log Directories stop growing (§7).
@@ -862,43 +997,48 @@ impl Sal {
         if throttle > 0 {
             self.clock.sleep_us(throttle);
         }
-        // Encode all groups into one durable write (no lock held).
-        let mut buf = bytes::BytesMut::new();
-        for g in &p.groups {
-            g.encode_into(&mut buf);
-        }
-        let data = buf.freeze();
-        // Step 2: reserve the log-tail slot, in LSN order. The RAII ticket
-        // guard advances the turnstile on every exit path (including
-        // unwinds), so a failing reservation cannot wedge later tickets.
+        // Encode the whole flush group into one batch frame (no lock held):
+        // the Log Store sees one fat append per group, and the frame header
+        // carries the cross-stream chain link recovery needs.
+        let data = encode_batch(&p.groups, p.prev_end, p.first, p.end);
+        // Step 2: reserve the stream's log-tail slot, in per-stream LSN
+        // order. The RAII ticket guard advances the turnstile on every exit
+        // path (including unwinds), so a failing reservation cannot wedge
+        // later tickets on this stream.
         let reserved = {
-            let _turn = self.reserve_turn.ticket_guard(p.ticket);
-            self.stream
-                .reserve_append(p.first, p.end, data.len() as u64)
+            let _turn = self.reserve_turns[p.stream].ticket_guard(p.stream_ticket);
+            self.streams[p.stream].reserve_append(p.first, p.end, data.len() as u64)
         };
-        // Step 3: durable on all Log Store replicas == commit point. This
-        // is the slow (two network hops) part — and the parallel one.
-        let appended = reserved.and_then(|res| self.stream.complete_append(res, data));
-        let _post = self.post_turn.ticket_guard(p.ticket);
+        // Step 3: durable on all Log Store replicas. The *global* commit
+        // point (durable LSN) advances only when the span joins the
+        // contiguous durable prefix across all streams.
+        let appended = reserved.and_then(|res| self.streams[p.stream].complete_append(res, data));
         match appended {
-            Ok(()) => self.finish_flush(p),
+            Ok(()) => {
+                self.durable_vec.advance(p.stream, p.end);
+                self.finish_flush(p)
+            }
             Err(e) => {
                 let mut st = self.state.lock();
-                if !st.failed_at.is_valid() {
-                    st.failed_at = p.end;
-                }
+                Self::mark_span(&mut st, p.first, SpanState::Failed);
+                st.flushes_in_flight -= 1;
+                self.advance_durable_prefix_locked(&mut st);
                 self.flush_cv.notify_all();
                 Err(e)
             }
         }
     }
 
-    /// Ordered post-append bookkeeping for one flush: advance the durable
-    /// LSN, distribute records into per-slice buffers, and track the buffer
-    /// for CV-LSN advancement. Runs inside the flush's `post_turn`.
+    /// Post-append bookkeeping for one durable flush: parks the span's
+    /// groups as `Durable` in the global window and advances the durable
+    /// prefix as far as it now reaches — which may commit this span, spans
+    /// other streams finished earlier, or neither (when an earlier span is
+    /// still in flight; whoever lands it commits for both).
     fn finish_flush(&self, p: PreparedFlush) -> Result<()> {
         // Create any missing slices before taking `state`: the CreateSlice
-        // RPC must not run under the SAL's central lock.
+        // RPC must not run under the SAL's central lock. This must happen
+        // before the span is marked durable — the prefix walk distributes
+        // records into `SalState::slices` and may run on another thread.
         let keys: Vec<SliceKey> = {
             let mut v = Vec::new();
             for g in &p.groups {
@@ -911,29 +1051,100 @@ impl Sal {
             }
             v
         };
-        self.ensure_slices(&keys)?;
+        let ensured = self.ensure_slices(&keys);
         let mut st = self.state.lock();
-        if st.failed_at.is_valid() {
-            // An earlier flush failed: our records are durable but sit
-            // behind a hole in the log, so they can never be acknowledged
-            // or made visible.
-            self.flush_cv.notify_all();
-            return Err(TaurusError::Internal(format!(
-                "log flush failed at {}",
-                st.failed_at
-            )));
+        match ensured {
+            // The records are durable but the SAL cannot home them: treat
+            // as a failed flush (the span would otherwise wedge the window).
+            Err(e) => {
+                Self::mark_span(&mut st, p.first, SpanState::Failed);
+                st.flushes_in_flight -= 1;
+                self.advance_durable_prefix_locked(&mut st);
+                self.flush_cv.notify_all();
+                Err(e)
+            }
+            Ok(()) => {
+                Self::mark_span(&mut st, p.first, SpanState::Durable(p.groups));
+                st.flushes_in_flight -= 1;
+                self.advance_durable_prefix_locked(&mut st);
+                self.flush_cv.notify_all();
+                if st.failed_at.is_valid() && p.end > st.failed_at {
+                    // An earlier flush failed: our records are durable but
+                    // sit behind a hole in the log, so they can never be
+                    // acknowledged or made visible.
+                    return Err(TaurusError::Internal(format!(
+                        "log flush failed at {}",
+                        st.failed_at
+                    )));
+                }
+                Ok(())
+            }
         }
-        let end = p.end;
-        self.durable_lsn.advance(end);
-        self.stats.log_flushes.inc();
-        // Step 4: distribute records into per-slice buffers.
+    }
+
+    /// Records the completion state of the span starting at `first` (span
+    /// ranges are disjoint, so `first` identifies it).
+    fn mark_span(st: &mut SalState, first: Lsn, state: SpanState) {
+        if let Some(span) = st.flush_spans.iter_mut().find(|s| s.first == first) {
+            span.state = state;
+        }
+    }
+
+    /// Pops the contiguous prefix of `Durable` spans off the global window,
+    /// advancing the durable LSN and distributing each span's records into
+    /// per-slice buffers — the LSN-vector commit rule: a span becomes
+    /// visible only once every earlier span (on any stream) is durable. A
+    /// `Failed` span at the front latches `failed_at` and stops the walk
+    /// permanently; an `InFlight` span just stops it for now.
+    fn advance_durable_prefix_locked(&self, st: &mut SalState) {
+        loop {
+            match st.flush_spans.front_mut() {
+                None => return,
+                Some(span) => match &mut span.state {
+                    SpanState::InFlight => return,
+                    SpanState::Failed => {
+                        if !st.failed_at.is_valid() {
+                            st.failed_at = span.end;
+                        }
+                        return;
+                    }
+                    SpanState::Durable(groups) => {
+                        let groups = std::mem::take(groups);
+                        let (stream, end) = (span.stream, span.end);
+                        st.flush_spans.pop_front();
+                        taurus_common::invariant!(
+                            "lsn-vector-covers-durable",
+                            self.durable_vec.get(stream) >= end,
+                            "stream {stream} vector {} behind committing span end {end}",
+                            self.durable_vec.get(stream)
+                        );
+                        self.durable_lsn.advance(end);
+                        self.stats.log_flushes.inc();
+                        self.distribute_span_locked(st, end, groups);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Distributes one committed span's records into per-slice buffers and
+    /// tracks the span for CV-LSN advancement. Runs under `state`, on
+    /// whichever thread's flush completion pulled the span off the window.
+    fn distribute_span_locked(&self, st: &mut SalState, end: Lsn, groups: Vec<LogRecordGroup>) {
         let mut touched: HashMap<SliceKey, Lsn> = HashMap::new();
-        for g in p.groups {
+        for g in groups {
             for rec in g.records {
                 let key = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
-                let slice = st.slices.get_mut(&key).ok_or_else(|| {
-                    TaurusError::Internal(format!("slice {key} vanished after ensure"))
-                })?;
+                let Some(slice) = st.slices.get_mut(&key) else {
+                    // `finish_flush` verified the slice before marking the
+                    // span durable, and slices are never removed.
+                    taurus_common::invariant!(
+                        "pending-needs-bounded",
+                        false,
+                        "slice {key} vanished after ensure"
+                    );
+                    continue;
+                };
                 if slice.buffer.is_empty() {
                     slice.buffer_opened_us = self.clock.now_us();
                 }
@@ -967,11 +1178,9 @@ impl Sal {
             .map(|(k, _)| *k)
             .collect();
         for key in keys {
-            self.flush_slice_locked(&mut st, key);
+            self.flush_slice_locked(st, key);
         }
-        self.advance_cv_locked(&mut st);
-        self.flush_cv.notify_all();
-        Ok(())
+        self.advance_cv_locked(st);
     }
 
     /// Recomputes the write-throttle from the Page Stores' consolidation
@@ -999,6 +1208,24 @@ impl Sal {
     pub fn tick(&self) {
         self.update_throttle();
         let now = self.clock.now_us();
+        // Idle group commit: a log buffer that has been sitting open past
+        // the idle deadline flushes now instead of waiting for the next
+        // commit to push it out (adaptive sizing shrinks back under light
+        // load).
+        let idle_flush = {
+            let mut st = self.state.lock();
+            if !st.log_buffer.is_empty()
+                && now.saturating_sub(st.log_buffer_opened_us) >= self.cfg.log_group_commit_idle_us
+            {
+                self.prepare_flush_locked(&mut st)
+            } else {
+                None
+            }
+        };
+        if let Some(p) = idle_flush {
+            // Errors latch into `failed_at`; `flush()` callers observe them.
+            let _ = self.run_flush(p);
+        }
         {
             let mut st = self.state.lock();
             let keys: Vec<SliceKey> = st
@@ -1696,7 +1923,11 @@ impl Sal {
     pub fn truncate_log(&self) -> Result<usize> {
         let dbp = self.database_persistent_lsn();
         self.anchor.advance(dbp);
-        self.stream.truncate_below(dbp)
+        let mut deleted = 0;
+        for stream in &self.streams {
+            deleted += stream.truncate_below(dbp)?;
+        }
+        Ok(deleted)
     }
 
     /// Polls `GetPersistentLSN` from every replica of every slice, as the
@@ -1812,7 +2043,7 @@ impl Sal {
             // Read everything the replica might be missing from the Log
             // Stores (records are still there: truncation is gated on the
             // database persistent LSN, which this replica holds down).
-            let groups = self.stream.read_groups_from(persistent.next())?;
+            let groups = self.read_log_from(persistent.next())?;
             let mut records: Vec<LogRecord> = Vec::new();
             for g in groups {
                 for rec in g.records {
@@ -1965,15 +2196,28 @@ impl Sal {
 
     /// Reads log-record groups from the Log Stores starting at `from` — the
     /// read-replica tail path (§6 step 3) and the recovery redo source.
+    /// Groups are merged across all streams in LSN order.
     pub fn read_log_from(&self, from: Lsn) -> Result<Vec<LogRecordGroup>> {
-        self.stream.read_groups_from(from)
+        let mut groups = Vec::new();
+        for stream in &self.streams {
+            groups.extend(stream.read_groups_from(from)?);
+        }
+        groups.sort_by_key(|g| g.first_lsn());
+        Ok(groups)
     }
 
-    /// Log Store append-path metrics of this SAL's log stream (latency,
-    /// in-flight window, seal-switches). Benches print this next to
-    /// [`SalStats`].
+    /// Log Store append-path metrics of this SAL's log streams (latency,
+    /// in-flight window, seal-switches; one shared instance across all
+    /// streams). Benches print this next to [`SalStats`].
     pub fn log_stats(&self) -> &LogStoreStats {
-        self.stream.stats()
+        &self.log_store_stats
+    }
+
+    /// Per-stream durable watermarks (the LSN vector); entry `k` may run
+    /// ahead of [`Sal::durable_lsn`] while an earlier span on another
+    /// stream is still in flight.
+    pub fn durable_vector(&self) -> Vec<Lsn> {
+        self.durable_vec.snapshot()
     }
 
     /// The saved recovery anchor (database persistent LSN at last save).
@@ -2006,17 +2250,80 @@ impl Sal {
         anchor: Arc<LsnWatermark>,
     ) -> Result<(Arc<Sal>, Lsn)> {
         cfg.validate()?;
-        let stream = LogStream::open(
-            logs.clone(),
-            db,
-            me,
-            cfg.plog_size_limit,
-            cfg.log_append_window,
-        )?;
-        let sal = Self::build(cfg, db, me, logs, pages, stream, anchor);
+        let n = cfg.log_streams;
+        let stats = Arc::new(LogStoreStats::default());
+        let mut streams = Vec::with_capacity(n);
+        for i in 0..n {
+            // A stream with no registered metadata never wrote (the DB ran
+            // with fewer streams before the crash, or the stream stayed
+            // idle and was truncated away): create it fresh.
+            let stream = if logs.meta_plog_stream(db, i as u32).is_some() {
+                LogStream::open_stream(
+                    logs.clone(),
+                    db,
+                    me,
+                    cfg.plog_size_limit,
+                    cfg.log_append_window,
+                    i as u32,
+                    n > 1,
+                    Arc::clone(&stats),
+                )?
+            } else {
+                LogStream::create_stream(
+                    logs.clone(),
+                    db,
+                    me,
+                    cfg.plog_size_limit,
+                    cfg.log_append_window,
+                    i as u32,
+                    n > 1,
+                    Arc::clone(&stats),
+                )?
+            };
+            streams.push(stream);
+        }
+        let sal = Self::build(cfg, db, me, logs, pages, streams, stats, anchor);
 
         let start = sal.anchor.get();
-        let groups = sal.stream.read_groups_from(start.next())?;
+        // Merge the durable flush spans of every stream in LSN order, then
+        // chain-walk the batch-frame links: each framed span records the
+        // end of the span prepared before it (on any stream). The first
+        // broken link is a log hole — the crash landed a later span on one
+        // stream while an earlier span on another never made it. Nothing at
+        // or past the hole was ever acknowledged (the durable LSN only
+        // advances over the contiguous prefix), so the orphan frames are
+        // physically discarded before replay.
+        let mut frames = Vec::new();
+        for stream in &sal.streams {
+            frames.extend(stream.read_frames_from(start.next())?);
+        }
+        frames.sort_by_key(|f| f.first);
+        let mut groups = Vec::new();
+        let mut chain_end: Option<Lsn> = None;
+        let mut hole = false;
+        for f in frames {
+            let chained = match (f.prev_end, chain_end) {
+                // Legacy unframed group: single-stream log, no holes.
+                (None, _) => true,
+                // First span at/after the anchor: its predecessor ended at
+                // or below the anchor (below when the anchor sits inside
+                // this straddling span).
+                (Some(p), None) => p <= start,
+                (Some(p), Some(e)) => p == e,
+            };
+            if !chained {
+                hole = true;
+                break;
+            }
+            chain_end = Some(f.end);
+            groups.extend(f.groups);
+        }
+        if hole {
+            let cut = chain_end.unwrap_or(start);
+            for stream in &sal.streams {
+                stream.discard_after(cut)?;
+            }
+        }
         let mut max_lsn = start;
         // Partition the log by slice, tracking the last LSN per slice.
         let mut by_slice: HashMap<SliceKey, Vec<LogRecord>> = HashMap::new();
@@ -2042,6 +2349,11 @@ impl Sal {
         }
         sal.ensure_slices(&keys)?;
         sal.durable_lsn.advance(max_lsn);
+        // Everything up to the recovered tail is durable on every stream's
+        // prefix; seed the LSN vector so it agrees with the durable LSN.
+        for i in 0..sal.streams.len() {
+            sal.durable_vec.advance(i, max_lsn);
+        }
         // The flush pipeline's monotonicity baseline starts where the
         // recovered log ends.
         sal.state.lock().last_prepared_end = max_lsn;

@@ -25,7 +25,8 @@ use parking_lot::Mutex;
 
 use taurus_common::apply::apply_record;
 use taurus_common::lsn::LsnWatermark;
-use taurus_common::record::RecordBody;
+use taurus_common::metrics::LogStoreStats;
+use taurus_common::record::{LogRecordGroup, RecordBody};
 use taurus_common::scan::{evaluate_leaf_page, ScanAccumulator, ScanRequest};
 use taurus_common::{
     DbId, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, TaurusConfig, TaurusError, TxnId,
@@ -44,11 +45,14 @@ pub struct ReplicaEngine {
     pub me: NodeId,
     db: DbId,
     cfg: TaurusConfig,
-    stream: LogStream,
+    /// One view per master log stream; the tail merges across them.
+    streams: Vec<LogStream>,
     pages: PageStoreCluster,
     pool: EnginePool,
     visible_lsn: LsnWatermark,
-    cursor: Mutex<TailCursor>,
+    /// One incremental tail cursor per stream, all advanced under one lock
+    /// (the poller is single-threaded per replica).
+    cursors: Mutex<Vec<TailCursor>>,
     /// Commit records seen (logical consistency bookkeeping).
     committed: Mutex<HashSet<TxnId>>,
     /// Active TV-LSN pins: lsn → pin count.
@@ -79,18 +83,33 @@ impl ReplicaEngine {
         pages: PageStoreCluster,
         bulletin: Arc<Bulletin>,
     ) -> Result<Arc<ReplicaEngine>> {
-        let stream = LogStream::open(logs, db, me, cfg.plog_size_limit, cfg.log_append_window)?;
+        let n = cfg.log_streams;
+        let stats = Arc::new(LogStoreStats::default());
+        let streams = (0..n)
+            .map(|i| {
+                LogStream::open_stream(
+                    logs.clone(),
+                    db,
+                    me,
+                    cfg.plog_size_limit,
+                    cfg.log_append_window,
+                    i as u32,
+                    n > 1,
+                    Arc::clone(&stats),
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
         let pool = EnginePool::with_shards(1024, cfg.engine_pool_shards);
         Ok(Arc::new(ReplicaEngine {
             id,
             me,
             db,
             cfg,
-            stream,
+            streams,
             pages,
             pool,
             visible_lsn: LsnWatermark::new(Lsn::ZERO),
-            cursor: Mutex::new(TailCursor::default()),
+            cursors: Mutex::new((0..n).map(|_| TailCursor::default()).collect()),
             committed: Mutex::new(HashSet::new()),
             tv_pins: Mutex::new(BTreeMap::new()),
             bulletin,
@@ -119,15 +138,20 @@ impl ReplicaEngine {
         }
         self.last_bulletin_seq
             .store(self.bulletin.seq.load(Ordering::Relaxed), Ordering::Relaxed);
-        // Discover new PLogs, then tail incrementally.
-        self.stream.refresh()?;
-        let mut cursor = self.cursor.lock();
-        // The horizon caps the read: groups past it stay unconsumed in the
-        // Log Stores (the cursor stops at their boundary), so a later poll
+        // Discover new PLogs, then tail every stream incrementally.
+        for stream in &self.streams {
+            stream.refresh()?;
+        }
+        let mut cursors = self.cursors.lock();
+        // The horizon caps the read: spans past it stay unconsumed in the
+        // Log Stores (each cursor stops at their boundary), so a later poll
         // picks them up once the horizon advances. Reading them here and
-        // dropping them would lose them forever — the cursor never re-reads.
-        // taurus-lint: allow(lock-across-fabric-call) -- read_tail mutates the cursor incrementally, so the poller lock must span the round trip; Log Store handlers take no replica locks, so no cycle
-        let groups = match self.stream.read_tail(&mut cursor, horizon) {
+        // dropping them would lose them forever — cursors never re-read.
+        // Merging at `horizon ≤ durable_lsn` is safe: the durable LSN only
+        // covers the contiguous cross-stream span prefix, so every group at
+        // or below the horizon is present on some stream.
+        // taurus-lint: allow(lock-across-fabric-call) -- read_tail mutates each cursor incrementally, so the poller lock must span the round trips; Log Store handlers take no replica locks, so no cycle
+        let groups = match self.read_tails(&mut cursors, horizon) {
             Ok(groups) => groups,
             Err(TaurusError::ReplicaBehindTruncation {
                 truncated_through, ..
@@ -138,13 +162,16 @@ impl ReplicaEngine {
                 // (pages re-read from the Page Stores at the right version
                 // on demand), jump the visible LSN over the truncated range
                 // (truncation only happens below the database persistent
-                // LSN, so every page is readable there), and restart the
-                // cursor at the surviving log.
+                // LSN, so every page is readable there), and restart every
+                // cursor at the surviving log (the visible-LSN skip below
+                // dedups groups a pre-reset cursor already delivered).
                 self.pool.clear();
-                *cursor = TailCursor::default();
+                for cursor in cursors.iter_mut() {
+                    *cursor = TailCursor::default();
+                }
                 self.visible_lsn.advance(truncated_through);
-                // taurus-lint: allow(lock-across-fabric-call) -- resync retry under the same poller-cursor lock; see the allow above
-                self.stream.read_tail(&mut cursor, horizon)?
+                // taurus-lint: allow(lock-across-fabric-call) -- same proof as above: fresh cursors re-tail under the poller lock
+                self.read_tails(&mut cursors, horizon)?
             }
             Err(e) => return Err(e),
         };
@@ -188,6 +215,19 @@ impl ReplicaEngine {
             applied += 1;
         }
         Ok(applied)
+    }
+
+    /// Reads every stream's tail up to `horizon` and merges the groups in
+    /// LSN order (round-robin stream assignment interleaves spans, so no
+    /// single stream is in order on its own).
+    fn read_tails(&self, cursors: &mut [TailCursor], horizon: Lsn) -> Result<Vec<LogRecordGroup>> {
+        let mut groups = Vec::new();
+        for (stream, cursor) in self.streams.iter().zip(cursors.iter_mut()) {
+            // taurus-lint: allow(lock-across-fabric-call) -- read_tail mutates the cursor incrementally, so the poller lock must span the round trip; Log Store handlers take no replica locks, so no cycle
+            groups.extend(stream.read_tail(cursor, horizon)?);
+        }
+        groups.sort_by_key(|g| g.first_lsn());
+        Ok(groups)
     }
 
     /// Number of committed transactions this replica knows about.

@@ -69,9 +69,12 @@ pub struct LogStoreCluster {
     pub fabric: Fabric,
     servers: Arc<RwLock<HashMap<NodeId, Arc<LogStoreServer>>>>,
     directory: Arc<RwLock<HashMap<PLogId, PLogMeta>>>,
-    /// Control-plane registry: which metadata PLog describes each database's
-    /// log stream (paper: metadata PLog discovery is a control-plane lookup).
-    meta_registry: Arc<RwLock<HashMap<DbId, PLogId>>>,
+    /// Control-plane registry: which metadata PLog describes each of a
+    /// database's log streams (paper: metadata PLog discovery is a
+    /// control-plane lookup), keyed by `(db, stream index)`. Stream 0 is the
+    /// classic single-stream log; multi-stream parallel logging registers
+    /// one entry per stream.
+    meta_registry: Arc<RwLock<HashMap<(DbId, u32), PLogId>>>,
     cache_bytes: usize,
     replicas: usize,
 }
@@ -406,14 +409,60 @@ impl LogStoreCluster {
         Ok(repaired)
     }
 
-    /// Registers the metadata PLog for a database.
+    /// Registers the metadata PLog for a database's stream 0 (single-stream
+    /// wrapper around [`LogStoreCluster::set_meta_plog_stream`]).
     pub fn set_meta_plog(&self, db: DbId, id: PLogId) {
-        self.meta_registry.write().insert(db, id);
+        self.set_meta_plog_stream(db, 0, id);
     }
 
-    /// Looks up the metadata PLog of a database.
+    /// Looks up the metadata PLog of a database's stream 0.
     pub fn meta_plog(&self, db: DbId) -> Option<PLogId> {
-        self.meta_registry.read().get(&db).copied()
+        self.meta_plog_stream(db, 0)
+    }
+
+    /// Registers the metadata PLog for one log stream of a database.
+    pub fn set_meta_plog_stream(&self, db: DbId, stream: u32, id: PLogId) {
+        self.meta_registry.write().insert((db, stream), id);
+    }
+
+    /// Looks up the metadata PLog of one log stream of a database.
+    pub fn meta_plog_stream(&self, db: DbId, stream: u32) -> Option<PLogId> {
+        self.meta_registry.read().get(&(db, stream)).copied()
+    }
+
+    /// Recovery-only: retracts a PLog's acknowledged length to `len` (with
+    /// `seq` appends committed), physically truncating every reachable
+    /// replica. Used to discard *orphaned* flush frames after a crash — spans
+    /// that a stream made durable while an earlier span on a sibling stream
+    /// did not, leaving a log hole. Those bytes were 3/3-acked at the PLog
+    /// level but their transactions were never acknowledged (`durable_lsn`
+    /// never covered them), so dropping them is the only consistent choice.
+    ///
+    /// The directory is the source of truth for visibility (`read_from` caps
+    /// at `committed_len`), so an unreachable replica that keeps the orphan
+    /// bytes can never serve them.
+    pub fn truncate_plog_to(&self, id: PLogId, from: NodeId, len: u64, seq: u64) -> Result<()> {
+        {
+            let mut dir = self.directory.write();
+            let meta = dir.get_mut(&id).ok_or(TaurusError::PLogNotFound(id))?;
+            if len > meta.committed_len {
+                return Err(TaurusError::Internal(
+                    "truncate_plog_to beyond committed length".into(),
+                ));
+            }
+            meta.committed_len = len;
+            meta.committed_seq = seq;
+            meta.next_seq = seq;
+            meta.acked.clear();
+        }
+        for n in self.replicas_of(id) {
+            if let Ok(server) = self.server(n) {
+                let _ = self
+                    .fabric
+                    .call(from, n, || server.truncate_to(id, len, seq));
+            }
+        }
+        Ok(())
     }
 
     /// Total PLogs tracked in the directory.

@@ -24,11 +24,13 @@
 //!   PLogs are read-only); a long-term failure re-replicates the lost PLog
 //!   replicas from the survivors onto healthy nodes (paper §5.1).
 
+pub mod batch;
 pub mod cache;
 pub mod cluster;
 pub mod server;
 pub mod stream;
 
+pub use batch::{encode_batch, BatchFrame};
 pub use cluster::LogStoreCluster;
 pub use server::LogStoreServer;
 pub use stream::{AppendReservation, LogStream, PLogEntry, TailCursor};

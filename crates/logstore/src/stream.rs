@@ -42,6 +42,7 @@
 //! byte order on every PLog equals LSN order.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
@@ -49,10 +50,15 @@ use parking_lot::{Condvar, Mutex};
 use taurus_common::metrics::LogStoreStats;
 use taurus_common::{DbId, LogRecordGroup, Lsn, NodeId, PLogId, Result, TaurusError};
 
+use crate::batch::{self, BatchFrame};
 use crate::cluster::LogStoreCluster;
 
 /// Seq-number namespace bit marking metadata PLogs.
 const META_SEQ_BIT: u64 = 1 << 63;
+/// The stream index of a member stream is packed into the PLog seq-number
+/// namespace here, below the meta bit, so every stream of a database mints
+/// ids from a disjoint range (stream 0 keeps the legacy single-stream ids).
+const STREAM_SEQ_SHIFT: u32 = 48;
 const SNAPSHOT_MAGIC: u32 = 0x4d45_5441; // "META"
 
 /// Give up after this many seal-and-switch cycles within one append: each
@@ -167,9 +173,18 @@ pub struct LogStream {
     plog_size_limit: usize,
     /// Max reservations outstanding at once (the append pipeline depth).
     append_window: usize,
+    /// Which of the database's parallel log streams this is (0 for the
+    /// classic single-stream log).
+    stream_id: u32,
+    /// Part of a multi-stream group: flush spans are distributed round-robin
+    /// across sibling streams, so successive appends to one PLog carry
+    /// monotone but *not* contiguous LSN ranges.
+    member: bool,
     state: Mutex<StreamState>,
     cond: Condvar,
-    stats: LogStoreStats,
+    /// Shared across every stream of one writer so aggregate append metrics
+    /// (and the bench harness's `.clear()`/`.snapshot()`) see all streams.
+    stats: Arc<LogStoreStats>,
 }
 
 struct RollPlan {
@@ -179,9 +194,8 @@ struct RollPlan {
 }
 
 impl LogStream {
-    /// Creates a brand-new log stream: a metadata PLog, a first data PLog,
-    /// and an initial metadata snapshot. Registers the metadata PLog in the
-    /// cluster's per-database registry so `open` can find it after a crash.
+    /// Creates a brand-new single-stream log (stream 0). Wrapper around
+    /// [`LogStream::create_stream`] for the classic one-stream layout.
     pub fn create(
         cluster: LogStoreCluster,
         db: DbId,
@@ -189,35 +203,67 @@ impl LogStream {
         plog_size_limit: usize,
         append_window: usize,
     ) -> Result<LogStream> {
-        let meta_plog = PLogId::new(db, META_SEQ_BIT, 0);
+        Self::create_stream(
+            cluster,
+            db,
+            me,
+            plog_size_limit,
+            append_window,
+            0,
+            false,
+            Arc::new(LogStoreStats::default()),
+        )
+    }
+
+    /// Creates one member stream of a database's (possibly multi-stream)
+    /// log: a metadata PLog, a first data PLog, and an initial metadata
+    /// snapshot. Registers the metadata PLog in the cluster's per-(db,
+    /// stream) registry so `open_stream` can find it after a crash.
+    ///
+    /// `member` marks the stream as part of a multi-stream group, relaxing
+    /// the per-PLog LSN-contiguity invariant to monotonicity (sibling
+    /// streams carry the interleaved spans).
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_stream(
+        cluster: LogStoreCluster,
+        db: DbId,
+        me: NodeId,
+        plog_size_limit: usize,
+        append_window: usize,
+        stream_id: u32,
+        member: bool,
+        stats: Arc<LogStoreStats>,
+    ) -> Result<LogStream> {
+        let seq_base = (stream_id as u64) << STREAM_SEQ_SHIFT;
+        let meta_plog = PLogId::new(db, META_SEQ_BIT | seq_base, 0);
         cluster.create_plog(meta_plog, me)?;
-        cluster.set_meta_plog(db, meta_plog);
+        cluster.set_meta_plog_stream(db, stream_id, meta_plog);
         let stream = LogStream {
             cluster,
             db,
             me,
             plog_size_limit,
             append_window,
+            stream_id,
+            member,
             state: Mutex::new(StreamState::new(
                 Vec::new(),
                 1,
                 0,
                 meta_plog,
-                META_SEQ_BIT + 1,
+                (META_SEQ_BIT | seq_base) + 1,
                 false,
             )),
             cond: Condvar::new(),
-            stats: LogStoreStats::default(),
+            stats,
         };
         let plan = stream.plan_roll(&mut stream.state.lock());
         stream.perform_roll(plan)?;
         Ok(stream)
     }
 
-    /// Reopens an existing stream after a front-end restart by reading the
-    /// newest snapshot from the metadata PLog, then reconciling each entry
-    /// against the cluster's authoritative committed length (the snapshot's
-    /// per-PLog bookkeeping lags appends made after it was written).
+    /// Reopens stream 0 after a front-end restart. Wrapper around
+    /// [`LogStream::open_stream`] for the classic one-stream layout.
     pub fn open(
         cluster: LogStoreCluster,
         db: DbId,
@@ -225,8 +271,39 @@ impl LogStream {
         plog_size_limit: usize,
         append_window: usize,
     ) -> Result<LogStream> {
-        let meta_plog = cluster.meta_plog(db).ok_or_else(|| {
-            TaurusError::Internal(format!("no metadata plog registered for {db}"))
+        Self::open_stream(
+            cluster,
+            db,
+            me,
+            plog_size_limit,
+            append_window,
+            0,
+            false,
+            Arc::new(LogStoreStats::default()),
+        )
+    }
+
+    /// Reopens an existing member stream after a front-end restart by
+    /// reading the newest snapshot from its metadata PLog, then reconciling
+    /// each entry against the cluster's authoritative committed length (the
+    /// snapshot's per-PLog bookkeeping lags appends made after it was
+    /// written).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_stream(
+        cluster: LogStoreCluster,
+        db: DbId,
+        me: NodeId,
+        plog_size_limit: usize,
+        append_window: usize,
+        stream_id: u32,
+        member: bool,
+        stats: Arc<LogStoreStats>,
+    ) -> Result<LogStream> {
+        let seq_base = (stream_id as u64) << STREAM_SEQ_SHIFT;
+        let meta_plog = cluster.meta_plog_stream(db, stream_id).ok_or_else(|| {
+            TaurusError::Internal(format!(
+                "no metadata plog registered for {db} stream {stream_id}"
+            ))
         })?;
         let raw = cluster.read_from(meta_plog, me, 0)?;
         let (mut entries, next_seq, incarnation) = decode_last_snapshot(raw)?;
@@ -236,7 +313,7 @@ impl LogStream {
                 // Appends landed after the snapshot: recover the LSN range
                 // from the data itself.
                 let raw = cluster.read_from(e.id, me, 0)?;
-                let groups = LogRecordGroup::decode_all(raw)?;
+                let groups = batch::decode_groups(raw)?;
                 if let Some(first) = groups.first() {
                     if !e.first_lsn.is_valid() {
                         e.first_lsn = first.first_lsn();
@@ -262,7 +339,7 @@ impl LogStream {
             next_seq,
             incarnation + 1,
             meta_plog,
-            META_SEQ_BIT + 1 + incarnation + 1,
+            (META_SEQ_BIT | seq_base) + 1 + incarnation + 1,
             meta_dead,
         );
         state.tail_reserved_bytes = tail_reserved;
@@ -272,9 +349,11 @@ impl LogStream {
             me,
             plog_size_limit,
             append_window,
+            stream_id,
+            member,
             state: Mutex::new(state),
             cond: Condvar::new(),
-            stats: LogStoreStats::default(),
+            stats,
         })
     }
 
@@ -380,11 +459,19 @@ impl LogStream {
                         entry.id,
                         entry.bytes
                     );
-                    // Slice-log contiguity: successive appends to one PLog
-                    // carry strictly increasing, *gap-free* LSN ranges.
+                    // Log contiguity: successive appends to one PLog carry
+                    // strictly increasing LSN ranges — *gap-free* for a
+                    // standalone stream; a member of a multi-stream group
+                    // only guarantees monotonicity, because the interleaved
+                    // spans live on sibling streams.
+                    let continues = if self.member {
+                        res.first_lsn > entry.last_lsn
+                    } else {
+                        res.first_lsn == entry.last_lsn.next()
+                    };
                     taurus_common::invariant!(
                         "plog-lsn-contiguous",
-                        !entry.last_lsn.is_valid() || res.first_lsn == entry.last_lsn.next(),
+                        !entry.last_lsn.is_valid() || continues,
                         "append [{}..{}] does not continue tail {} of {}",
                         res.first_lsn,
                         res.last_lsn,
@@ -538,7 +625,8 @@ impl LogStream {
         if let Some((id, final_len)) = retire {
             st.retiring.insert(id, final_len);
         }
-        let new_id = PLogId::new(self.db, st.next_seq, st.incarnation);
+        let seq_base = (self.stream_id as u64) << STREAM_SEQ_SHIFT;
+        let new_id = PLogId::new(self.db, seq_base | st.next_seq, st.incarnation);
         st.next_seq += 1;
         st.incarnation += 1;
         RollPlan { new_id, seal_now }
@@ -633,7 +721,8 @@ impl LogStream {
             st.meta_bytes = 0;
             st.meta_dead = false;
         }
-        self.cluster.set_meta_plog(self.db, new);
+        self.cluster
+            .set_meta_plog_stream(self.db, self.stream_id, new);
         self.cluster.delete_plog(old, self.me);
         Ok(())
     }
@@ -642,8 +731,21 @@ impl LogStream {
     /// order. Used by read replicas to tail the log and by recovery to
     /// resend records to Page Stores.
     pub fn read_groups_from(&self, from_lsn: Lsn) -> Result<Vec<LogRecordGroup>> {
+        Ok(self
+            .read_frames_from(from_lsn)?
+            .into_iter()
+            .flat_map(|f| f.groups)
+            .filter(|g| g.end_lsn() >= from_lsn)
+            .collect())
+    }
+
+    /// Reads every flush frame whose end LSN is `>= from_lsn`, in log order,
+    /// preserving the frame headers (`prev_end` chain links). Multi-stream
+    /// recovery merges the frames of all sibling streams and chain-checks
+    /// them to find log holes left by a crash mid-flush.
+    pub fn read_frames_from(&self, from_lsn: Lsn) -> Result<Vec<BatchFrame>> {
         let entries: Vec<PLogEntry> = self.state.lock().entries.clone();
-        let mut groups = Vec::new();
+        let mut frames = Vec::new();
         for e in entries {
             // Skip PLogs that end strictly before the requested LSN. An
             // unsealed tail or an entry with unknown range is always read.
@@ -654,13 +756,131 @@ impl LogStream {
                 continue;
             }
             let raw = self.cluster.read_from(e.id, self.me, 0)?;
-            for g in LogRecordGroup::decode_all(raw)? {
-                if g.end_lsn() >= from_lsn {
-                    groups.push(g);
+            for f in batch::decode_frames(raw)? {
+                if f.end >= from_lsn {
+                    frames.push(f);
                 }
             }
         }
-        Ok(groups)
+        Ok(frames)
+    }
+
+    /// Recovery-only: physically discards every flush frame whose LSN range
+    /// lies entirely above `cut` (the end of the contiguous durable span
+    /// prefix across all member streams). Such frames were appended by
+    /// flushes whose predecessor on a sibling stream never became durable —
+    /// their transactions were never acknowledged, and replaying them would
+    /// apply redo with a hole in it. The affected PLogs are truncated at the
+    /// frame boundary and sealed, so subsequent appends (which re-mint the
+    /// same LSNs) land on fresh PLogs and no reader ever sees both copies.
+    ///
+    /// Returns the number of frames discarded. Must not race appends; the
+    /// SAL calls it from recovery before the stream takes any writes.
+    pub fn discard_after(&self, cut: Lsn) -> Result<usize> {
+        let mut st = self.state.lock();
+        while st.meta_busy {
+            self.cond.wait(&mut st);
+        }
+        let affected: Vec<PLogEntry> = st
+            .entries
+            .iter()
+            .filter(|e| e.last_lsn > cut)
+            .cloned()
+            .collect();
+        if affected.is_empty() {
+            return Ok(0);
+        }
+        st.meta_busy = true;
+        drop(st);
+        let mut discarded = 0usize;
+        let mut result: Result<()> = Ok(());
+        for e in &affected {
+            match self.discard_tail_of(e, cut) {
+                Ok((kept_bytes, kept_frames, kept_last, dropped)) => {
+                    discarded += dropped;
+                    let mut st = self.state.lock();
+                    if let Some(entry) = st.entries.iter_mut().find(|x| x.id == e.id) {
+                        entry.bytes = kept_bytes;
+                        entry.last_lsn = kept_last;
+                        if kept_frames == 0 {
+                            entry.first_lsn = Lsn::ZERO;
+                        }
+                        entry.sealed = true;
+                    }
+                }
+                Err(err) => {
+                    result = Err(err);
+                    break;
+                }
+            }
+        }
+        // Persist the corrected PLog list so a later reopen does not
+        // resurrect the orphan bookkeeping from a stale snapshot.
+        if result.is_ok() {
+            let snapshot = {
+                let st = self.state.lock();
+                encode_snapshot(&st.entries, st.next_seq, st.incarnation)
+            };
+            result = self.write_snapshot(snapshot);
+        }
+        let mut st = self.state.lock();
+        st.meta_busy = false;
+        // Every affected PLog is now sealed; the next reservation rolls a
+        // fresh one, so stale tail byte accounting cannot be reused.
+        st.tail_reserved_bytes = st.entries.last().map(|e| e.bytes).unwrap_or(0);
+        self.cond.notify_all();
+        drop(st);
+        result.map(|()| discarded)
+    }
+
+    /// Truncates one PLog at the first frame past `cut`; returns the kept
+    /// byte length, kept frame count, last kept LSN, and dropped frame count.
+    fn discard_tail_of(&self, e: &PLogEntry, cut: Lsn) -> Result<(u64, usize, Lsn, usize)> {
+        let raw = self.cluster.read_from(e.id, self.me, 0)?;
+        let mut buf = raw.clone();
+        let mut kept_bytes = 0u64;
+        let mut kept_frames = 0usize;
+        let mut kept_last = Lsn::ZERO;
+        let mut dropped = 0usize;
+        while buf.has_remaining() {
+            let before = buf.remaining();
+            let frame = batch::decode_unit(&mut buf)?;
+            if frame.first > cut {
+                dropped += 1;
+                continue;
+            }
+            // Frames in one member PLog carry increasing LSN ranges, so the
+            // orphans form a suffix; a kept frame after a dropped one would
+            // make the byte-prefix truncation below unsound.
+            taurus_common::invariant!(
+                "log-cut-on-frame-boundary",
+                dropped == 0,
+                "kept frame [{}..{}] follows a dropped frame in {}",
+                frame.first,
+                frame.end,
+                e.id
+            );
+            // A frame straddling the cut would mean the durable prefix ended
+            // mid-span, which the span commit rule makes impossible.
+            taurus_common::invariant!(
+                "log-cut-on-frame-boundary",
+                frame.end <= cut,
+                "recovery cut {} splits frame [{}..{}] of {}",
+                cut,
+                frame.first,
+                frame.end,
+                e.id
+            );
+            kept_bytes += (before - buf.remaining()) as u64;
+            kept_frames += 1;
+            kept_last = kept_last.max(frame.end);
+        }
+        if dropped > 0 {
+            self.cluster
+                .truncate_plog_to(e.id, self.me, kept_bytes, kept_frames as u64)?;
+        }
+        self.cluster.seal(e.id, self.me);
+        Ok((kept_bytes, kept_frames, kept_last, dropped))
     }
 
     /// Deletes every sealed data PLog whose records all fall below
@@ -725,8 +945,13 @@ impl LogStream {
     pub fn refresh(&self) -> Result<()> {
         let meta_plog = self
             .cluster
-            .meta_plog(self.db)
-            .ok_or_else(|| TaurusError::Internal(format!("no metadata plog for {}", self.db)))?;
+            .meta_plog_stream(self.db, self.stream_id)
+            .ok_or_else(|| {
+                TaurusError::Internal(format!(
+                    "no metadata plog for {} stream {}",
+                    self.db, self.stream_id
+                ))
+            })?;
         let raw = self.cluster.read_from(meta_plog, self.me, 0)?;
         let (entries, next_seq, incarnation) = decode_last_snapshot(raw)?;
         let mut st = self.state.lock();
@@ -796,19 +1021,28 @@ impl LogStream {
             let mut deferred = false;
             while buf.has_remaining() {
                 let before = buf.remaining();
-                let group = LogRecordGroup::decode(&mut buf)?;
-                if group.end_lsn() > limit {
+                // One unit = one batch frame (a whole flush span) or one
+                // bare legacy group. A frame whose end is past the limit is
+                // deferred *whole*: the consumer's horizon never lands
+                // mid-span on the stream that carried the span (durable_lsn
+                // advances span-by-span), and deferring at the frame
+                // boundary keeps the cursor's byte offset frame-aligned.
+                let frame = batch::decode_unit(&mut buf)?;
+                if frame.end > limit {
                     deferred = true;
                     break;
                 }
                 cursor.offset += (before - buf.remaining()) as u64;
-                if group.end_lsn() <= cursor.consumed {
-                    // Already delivered: a group re-appended to a fresh PLog
-                    // after a seal-and-switch, or a restart after truncation.
-                    continue;
+                for group in frame.groups {
+                    if group.end_lsn() <= cursor.consumed {
+                        // Already delivered: a group re-appended to a fresh
+                        // PLog after a seal-and-switch, or a restart after
+                        // truncation.
+                        continue;
+                    }
+                    cursor.consumed = group.end_lsn();
+                    groups.push(group);
                 }
-                cursor.consumed = group.end_lsn();
-                groups.push(group);
             }
             if deferred {
                 break;

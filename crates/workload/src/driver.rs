@@ -40,6 +40,7 @@ pub struct DriverReport {
     /// Individual operations (reads+writes) per second.
     pub ops_per_sec: f64,
     pub mean_latency_us: f64,
+    pub p50_latency_us: u64,
     pub p95_latency_us: u64,
     pub p99_latency_us: u64,
 }
@@ -48,13 +49,14 @@ impl DriverReport {
     /// One aligned text row for harness output.
     pub fn row(&self) -> String {
         format!(
-            "{:<24} conns={:<4} txns={:<8} tps={:<10.0} ops/s={:<10.0} lat(mean/p95/p99 µs)={:.0}/{}/{} aborts={}",
+            "{:<24} conns={:<4} txns={:<8} tps={:<10.0} ops/s={:<10.0} lat(mean/p50/p95/p99 µs)={:.0}/{}/{}/{} aborts={}",
             self.workload,
             self.connections,
             self.transactions,
             self.tps,
             self.ops_per_sec,
             self.mean_latency_us,
+            self.p50_latency_us,
             self.p95_latency_us,
             self.p99_latency_us,
             self.aborts
@@ -135,6 +137,7 @@ pub fn run_workload_with_clock(
         tps: committed as f64 / wall,
         ops_per_sec: ops.load(Ordering::Relaxed) as f64 / wall,
         mean_latency_us: summary.map(|s| s.mean_us).unwrap_or(0.0),
+        p50_latency_us: summary.map(|s| s.p50_us).unwrap_or(0),
         p95_latency_us: summary.map(|s| s.p95_us).unwrap_or(0),
         p99_latency_us: summary.map(|s| s.p99_us).unwrap_or(0),
     }
