@@ -57,6 +57,7 @@ fn run_pair(
     }
     let log = sal.log_stats().snapshot();
     println!("  taurus log store: {log}");
+    println!("  taurus page store: {}", taurus.db.pages.store_stats());
     drop(guard);
 
     // Aurora-style 6/4 quorum on identical hardware profiles.
@@ -123,6 +124,79 @@ fn append_latency_smoke() {
     println!("  mean append ack {mean:.0}us < {bound:.0}us: parallel fan-out OK");
 }
 
+/// Runs a Taurus-only workload with an explicit config (no baseline) and
+/// returns the driver report.
+fn run_taurus_only(
+    cfg: taurus_common::TaurusConfig,
+    workload: &dyn Workload,
+    conns: usize,
+) -> DriverReport {
+    let (db, guard) = launch_taurus_with(cfg).expect("launch taurus");
+    let taurus = TaurusExecutor::new(db);
+    load_initial(&taurus, workload).expect("load taurus");
+    let report = run_workload(&taurus, workload, conns, txns_per_conn(), 7);
+    println!("  taurus page store: {}", taurus.db.pages.store_stats());
+    drop(guard);
+    report
+}
+
+/// CI smoke (`TAURUS_FIG7_STORBND_ASSERT=1`), two assertions on the
+/// storage-bound read-only benchmark:
+///
+/// 1. The Taurus/Aurora TPS ratio is computed against the baseline measured
+///    **in this run on this host** — never against the committed trail,
+///    whose absolute Aurora TPS drifts with host speed (the fig7 "reads
+///    <1x while Taurus is unchanged" anomaly).
+/// 2. The layered read path's p99 must not be worse than the legacy replay
+///    path, measured back-to-back on the same host. Both bounds are
+///    env-tunable for noisy runners (`TAURUS_FIG7_STORBND_RATIO`,
+///    `TAURUS_FIG7_STORBND_P99_FACTOR`).
+fn storage_bound_read_smoke(layered: &DriverReport, aurora: &DriverReport, conns: usize) {
+    header("Storage-bound read smoke: same-run ratio + layered read p99");
+    let ratio = layered.tps / aurora.tps.max(1e-9);
+    let bound: f64 = std::env::var("TAURUS_FIG7_STORBND_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.75);
+    assert!(
+        ratio >= bound,
+        "SysBench read-only (storage-bound): same-run taurus/aurora ratio {ratio:.3} \
+         < bound {bound:.2}"
+    );
+    println!("  same-run storage-bound read ratio {ratio:.3} >= {bound:.2}: OK");
+
+    // Re-run Taurus with the legacy replay consolidation on the same host:
+    // the only difference is the Page Store organization, so the comparison
+    // isolates what layering buys at the tail.
+    let (rows, pool) = ScaleRegime::StorageBound.geometry();
+    let w = SysbenchWorkload::new(SysbenchMode::ReadOnly, rows, 200);
+    let legacy_cfg = {
+        let mut cfg = bench_config(pool);
+        cfg.engine_buffer_pool_pages = pool;
+        cfg.layered_consolidation = false;
+        cfg
+    };
+    let legacy = run_taurus_only(legacy_cfg, &w, conns);
+    let factor: f64 = std::env::var("TAURUS_FIG7_STORBND_P99_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        // Short smoke runs (TAURUS_BENCH_TXNS=25) see ~±10% p99 noise; the
+        // factor bounds the regression while the committed EXPERIMENTS.md
+        // entry records the measured improvement on full-length runs.
+        .unwrap_or(1.15);
+    println!(
+        "  read p99: layered {}us vs legacy replay {}us (bound {factor:.2}x)",
+        layered.p99_latency_us, legacy.p99_latency_us
+    );
+    assert!(
+        (layered.p99_latency_us as f64) <= legacy.p99_latency_us as f64 * factor,
+        "storage-bound read p99 regressed: layered {}us > legacy {}us x {factor:.2}",
+        layered.p99_latency_us,
+        legacy.p99_latency_us
+    );
+    println!("  layered storage-bound read p99 within bound: OK");
+}
+
 fn main() {
     let conns = 8;
     println!("Fig. 7 — Taurus vs Aurora-style quorum storage (throughput)");
@@ -133,6 +207,7 @@ fn main() {
     let mut total = 0;
     let mut json = JsonReport::new();
     let mut write_cached_ratio = None;
+    let mut storbnd_read: Option<(DriverReport, DriverReport)> = None;
 
     for (label, mode, regime) in [
         (
@@ -177,6 +252,16 @@ fn main() {
             fields.push(("aurora_commit_p99_us", a.p99_latency_us.into()));
             if regime == ScaleRegime::Cached {
                 write_cached_ratio = Some(ratio);
+            }
+        } else {
+            // Read-only rows carry read latency percentiles: the layered
+            // consolidation work targets the storage-bound read tail.
+            fields.push(("taurus_read_p50_us", t.p50_latency_us.into()));
+            fields.push(("taurus_read_p99_us", t.p99_latency_us.into()));
+            fields.push(("aurora_read_p50_us", a.p50_latency_us.into()));
+            fields.push(("aurora_read_p99_us", a.p99_latency_us.into()));
+            if regime == ScaleRegime::StorageBound {
+                storbnd_read = Some((t.clone(), a.clone()));
             }
         }
         json.row(fields);
@@ -225,5 +310,9 @@ fn main() {
              — the parallel group-commit path has regressed"
         );
         println!("write-only cached ratio {ratio:.3} >= {bound:.2}: OK");
+    }
+    if std::env::var("TAURUS_FIG7_STORBND_ASSERT").as_deref() == Ok("1") {
+        let (t, a) = storbnd_read.expect("storage-bound read-only benchmark ran");
+        storage_bound_read_smoke(&t, &a, conns);
     }
 }

@@ -184,6 +184,17 @@ pub struct TaurusConfig {
     /// forced it. Bounds the latency of stragglers under adaptive
     /// group-commit sizing; 0 flushes any non-empty buffer on every tick.
     pub log_group_commit_idle_us: u64,
+    /// Whether Page Stores run the layered (log-structured) consolidation
+    /// policy: fragments accumulate into immutable L0 delta layers that a
+    /// compactor merges into L1 image layers, with version GC as a
+    /// by-product of the merge (DESIGN.md §13). `false` falls back to the
+    /// paper's log-cache-centric policy (the differential baseline).
+    pub layered_consolidation: bool,
+    /// Staged payload bytes at which a Page Store seals its open L0 delta
+    /// layer to one immutable device blob.
+    pub layer_l0_target_bytes: usize,
+    /// Number of sealed L0 layers that triggers an L0→L1 compaction.
+    pub compaction_threshold: usize,
 }
 
 impl Default for TaurusConfig {
@@ -219,6 +230,9 @@ impl Default for TaurusConfig {
             btree_readahead_window: 16,
             log_streams: 4,
             log_group_commit_idle_us: 1_000,
+            layered_consolidation: true,
+            layer_l0_target_bytes: 256 << 10,
+            compaction_threshold: 4,
         }
     }
 }
@@ -260,6 +274,10 @@ impl TaurusConfig {
             // multi-stream span ordering, merge-on-read, and recovery.
             log_streams: 2,
             log_group_commit_idle_us: 0,
+            // Tiny layer knobs so functional tests exercise L0 seals and
+            // L0→L1 compactions, not just staging.
+            layer_l0_target_bytes: 4 << 10,
+            compaction_threshold: 2,
             ..TaurusConfig::default()
         }
     }
@@ -312,6 +330,11 @@ impl TaurusConfig {
         if self.log_streams == 0 || self.log_streams > 64 {
             return Err(crate::TaurusError::Internal(
                 "log_streams must be in 1..=64".into(),
+            ));
+        }
+        if self.layer_l0_target_bytes == 0 || self.compaction_threshold == 0 {
+            return Err(crate::TaurusError::Internal(
+                "layer_l0_target_bytes and compaction_threshold must be > 0".into(),
             ));
         }
         Ok(())
@@ -386,6 +409,18 @@ mod tests {
 
         let c = TaurusConfig {
             log_streams: 65,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            layer_l0_target_bytes: 0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            compaction_threshold: 0,
             ..TaurusConfig::default()
         };
         assert!(c.validate().is_err());

@@ -241,6 +241,11 @@ pub struct SalStats {
     /// `flush()` calls that waited for a stream slot so the commit group
     /// could grow (adaptive group commit under load).
     pub group_commit_waits: Counter,
+    /// Log Directory pointers the recycle broadcasts purged across Page
+    /// Stores (the handshake reports back what it freed).
+    pub recycle_ptrs_purged: Counter,
+    /// Fragment + layer bytes the recycle broadcasts logically reclaimed.
+    pub recycle_bytes_reclaimed: Counter,
 }
 
 impl SalStats {
@@ -261,6 +266,8 @@ impl SalStats {
             suspect_resurrections: self.suspect_resurrections.get(),
             dropped_flush_errors: self.dropped_flush_errors.get(),
             group_commit_waits: self.group_commit_waits.get(),
+            recycle_ptrs_purged: self.recycle_ptrs_purged.get(),
+            recycle_bytes_reclaimed: self.recycle_bytes_reclaimed.get(),
         }
     }
 }
@@ -282,6 +289,8 @@ pub struct SalStatsSnapshot {
     pub suspect_resurrections: u64,
     pub dropped_flush_errors: u64,
     pub group_commit_waits: u64,
+    pub recycle_ptrs_purged: u64,
+    pub recycle_bytes_reclaimed: u64,
 }
 
 impl std::fmt::Display for SalStatsSnapshot {
@@ -292,7 +301,8 @@ impl std::fmt::Display for SalStatsSnapshot {
              resends={} gossip_triggers={} write_retries={} write_timeouts={} \
              fragments_parked={} queue_full_drops={} suspect_demotions={} \
              suspect_resurrections={} dropped_flush_errors={} \
-             group_commit_waits={}",
+             group_commit_waits={} recycle_ptrs_purged={} \
+             recycle_bytes_reclaimed={}",
             self.log_flushes,
             self.slice_flushes,
             self.page_reads,
@@ -307,6 +317,8 @@ impl std::fmt::Display for SalStatsSnapshot {
             self.suspect_resurrections,
             self.dropped_flush_errors,
             self.group_commit_waits,
+            self.recycle_ptrs_purged,
+            self.recycle_bytes_reclaimed,
         )
     }
 }
@@ -2104,7 +2116,16 @@ impl Sal {
             self.durable_lsn.get()
         );
         for key in keys {
-            self.pages.set_recycle_lsn(key, self.me, capped);
+            // The broadcast now reports what it freed (directory pointers,
+            // fragment bookkeeping, layer blobs) — account it so recycling
+            // is observable instead of fire-and-forget.
+            let report = self.pages.set_recycle_lsn(key, self.me, capped);
+            self.stats
+                .recycle_ptrs_purged
+                .add(report.purged_ptrs as u64);
+            self.stats
+                .recycle_bytes_reclaimed
+                .add(report.bytes_reclaimed);
         }
     }
 

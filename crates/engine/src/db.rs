@@ -71,7 +71,14 @@ impl TaurusDb {
                 log_cache_bytes: cfg.pagestore_log_cache_bytes,
                 pool_pages: cfg.pagestore_buffer_pool_pages,
                 pool_policy: EvictionPolicy::Lfu,
-                consolidation: ConsolidationPolicy::LogCacheCentric,
+                consolidation: if cfg.layered_consolidation {
+                    ConsolidationPolicy::Layered {
+                        l0_target_bytes: cfg.layer_l0_target_bytes,
+                        compaction_threshold: cfg.compaction_threshold,
+                    }
+                } else {
+                    ConsolidationPolicy::LogCacheCentric
+                },
             },
         );
         pages.spawn_servers(page_nodes, cfg.storage);

@@ -22,7 +22,7 @@ use crate::fragment::SliceFragment;
 use crate::pool::EvictionPolicy;
 use crate::pushdown::{ScanSliceRequest, ScanSliceResponse};
 use crate::readpages::{ReadPagesRequest, ReadPagesResponse};
-use crate::server::{ConsolidationPolicy, PageStoreServer};
+use crate::server::{ConsolidationPolicy, PageStoreServer, PageStoreStatsSnapshot, RecycleReport};
 
 /// Construction parameters for Page Store servers spawned by the cluster.
 #[derive(Clone, Copy, Debug)]
@@ -203,14 +203,30 @@ impl PageStoreCluster {
     }
 
     /// `SetRecycleLSN` broadcast to all reachable replicas of a slice.
-    pub fn set_recycle_lsn(&self, key: SliceKey, from: NodeId, lsn: Lsn) {
+    /// Returns the aggregated reclamation report so the SAL's recycle
+    /// handshake can account what the broadcast actually freed.
+    pub fn set_recycle_lsn(&self, key: SliceKey, from: NodeId, lsn: Lsn) -> RecycleReport {
+        let mut report = RecycleReport::default();
         for n in self.replicas_of(key) {
             if let Ok(server) = self.server(n) {
-                let _ = self
+                if let Ok(Ok(r)) = self
                     .fabric
-                    .call(from, n, || server.set_recycle_lsn(key, lsn));
+                    .call(from, n, || server.set_recycle_lsn(key, lsn))
+                {
+                    report.absorb(r);
+                }
             }
         }
+        report
+    }
+
+    /// Aggregated Page Store stats across every server (bench reporting).
+    pub fn store_stats(&self) -> PageStoreStatsSnapshot {
+        let mut agg = PageStoreStatsSnapshot::default();
+        for s in self.servers.read().values() {
+            agg.absorb(s.stats.snapshot());
+        }
+        agg
     }
 
     /// Missing-LSN-ranges RPC (the SAL's Fig. 4(c) probe).

@@ -14,10 +14,12 @@
 //! * append-only slice logs — a Page Store never writes in place (§7);
 //! * the **Log Directory**: a per-slice concurrent map from page id to the
 //!   locations of its log records and materialized versions (§7);
-//! * the global **log cache** with the *log-cache-centric* consolidation
-//!   policy (fragments are consolidated in arrival order; consolidation
-//!   never reads log records from disk) and the rejected
-//!   *longest-chain-first* policy for the ablation bench (§7);
+//! * the global **log cache** feeding consolidation; the shipped policy is
+//!   **layered** ([`layers`], DESIGN.md §13): fragments accumulate into
+//!   immutable L0 delta layers, an L0→L1 compaction materializes pages at a
+//!   compaction LSN, and version GC is a by-product of the merge — with the
+//!   paper's *log-cache-centric* policy kept as the differential baseline
+//!   and the rejected *longest-chain-first* policy for the ablation (§7);
 //! * the global **buffer pool** with LFU eviction (LRU available for the
 //!   ablation; the paper measured LFU ≈25% better for this second-tier
 //!   cache) acting as a write-back cache for consolidated pages (§7);
@@ -32,6 +34,7 @@
 pub mod cluster;
 pub mod directory;
 pub mod fragment;
+pub mod layers;
 pub mod logcache;
 pub mod pool;
 pub mod pushdown;
@@ -41,7 +44,10 @@ pub mod slice;
 
 pub use cluster::PageStoreCluster;
 pub use fragment::{deep_clone_count, SliceFragment};
+pub use layers::{CompactionJob, L0Layer, L1Layer, LayerStore, SealPlan};
 pub use pool::{EvictionPolicy, PagePool};
 pub use pushdown::{ScanSliceRequest, ScanSliceResponse};
 pub use readpages::{PageReadOutcome, ReadPagesRequest, ReadPagesResponse};
-pub use server::{ConsolidationPolicy, PageStoreServer};
+pub use server::{
+    ConsolidationPolicy, PageStoreServer, PageStoreStats, PageStoreStatsSnapshot, RecycleReport,
+};

@@ -7,7 +7,10 @@
 //! the request's snapshot LSN** through the same Log Directory +
 //! consolidation path `ReadPage` uses, then evaluated with the shared
 //! operator evaluator from `taurus-common` — so pushdown answers are
-//! byte-identical to fetch-and-filter at the same LSN.
+//! byte-identical to fetch-and-filter at the same LSN. Under the layered
+//! consolidation policy (DESIGN.md §13) record fetches route through layer
+//! files (staged memory, sealed-run index, or compacted L0 blobs); the
+//! snapshot semantics and answers are unchanged.
 //!
 //! A call carries row and byte budgets checked at page granularity: when a
 //! page's evaluation crosses either budget the server stops and returns a

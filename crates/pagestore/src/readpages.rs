@@ -5,7 +5,10 @@
 //! slice at a single snapshot LSN. Execution never bypasses versioning —
 //! every page goes through the same Log Directory + consolidation path
 //! `ReadPage` uses, so a batch is byte-identical to N sequential single-page
-//! reads at the same `as_of`.
+//! reads at the same `as_of`. Under the layered consolidation policy
+//! (DESIGN.md §13) materialization transparently sources records from the
+//! open L0's staged memory, a sealed L0's run index, or a compacted L0 blob
+//! — the visibility gates and results below are unchanged.
 //!
 //! Visibility gates mirror `ScanSlice`: a rebuilding or behind replica
 //! refuses the *whole* call (so the SAL routes to the next replica), while

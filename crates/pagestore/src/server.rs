@@ -5,18 +5,23 @@
 //! nothing is ever overwritten (paper §7: "disk writes are append-only as
 //! append-only writes are 2-5 times faster than random writes").
 //!
-//! Consolidation follows the paper's **log-cache-centric** policy by
-//! default: fragments are consolidated in arrival order and only in-memory
-//! records are used to produce new page versions, so consolidation never
-//! stalls on disk reads of log records. The rejected **longest-chain-first**
-//! policy is implemented for the ablation benchmark; it prioritizes hot
-//! pages and leaves cold fragments to be evicted unconsolidated, which is
-//! precisely the pathology the paper describes.
+//! Three consolidation strategies are implemented. The shipped default is
+//! **layered**: fragments accumulate into immutable L0 delta layers, a
+//! compactor merges them into L1 image layers at a compaction LSN, and
+//! version GC falls out of the merge (see [`crate::layers`] and DESIGN.md
+//! §13) — replay depth per cold read is bounded to one image plus the delta
+//! suffix above the compaction LSN. The paper's **log-cache-centric**
+//! policy (fragments consolidated in arrival order, one pool write-back per
+//! touched page) is kept as the differential baseline, and the rejected
+//! **longest-chain-first** policy exists for the ablation benchmark; it
+//! prioritizes hot pages and leaves cold fragments to be evicted
+//! unconsolidated, which is precisely the pathology the paper describes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use parking_lot::{Mutex, RwLock};
 
 use taurus_common::apply::apply_record;
@@ -26,19 +31,159 @@ use taurus_fabric::StorageDevice;
 
 use crate::directory::{DiskLoc, LogDirectory, RecordPtr, VersionPtr};
 use crate::fragment::SliceFragment;
+use crate::layers::{decode_l0, LayerStore};
 use crate::logcache::LogCache;
 use crate::pool::{EvictionPolicy, PagePool, PooledPage};
 use crate::slice::{FragMeta, IngestOutcome, SliceReplica};
 
-/// Which pages consolidation picks next (paper §7).
+/// Which pages consolidation picks next (paper §7 + DESIGN.md §13).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConsolidationPolicy {
     /// Consolidate fragments in the order they arrived in the log cache;
-    /// never read log records from disk. The shipped policy.
+    /// never read log records from disk; one pool write-back per page.
+    /// The pre-layered shipped policy, kept as the differential baseline.
     LogCacheCentric,
     /// Consolidate the page with the longest chain of pending records first.
     /// The paper's initial, rejected policy — kept for the ablation.
     LongestChainFirst,
+    /// Log-structured consolidation through immutable layer files: stage
+    /// fragments into L0 delta layers, seal at `l0_target_bytes`, merge
+    /// `compaction_threshold` sealed L0s into an L1 image layer, GC as a
+    /// by-product of the merge. The shipped default.
+    Layered {
+        /// Staged payload bytes at which the open L0 is sealed to a blob.
+        l0_target_bytes: usize,
+        /// Sealed L0 count that triggers an L0→L1 compaction.
+        compaction_threshold: usize,
+    },
+}
+
+impl ConsolidationPolicy {
+    /// The layered policy with its default knobs.
+    pub fn layered_default() -> Self {
+        ConsolidationPolicy::Layered {
+            l0_target_bytes: 256 << 10,
+            compaction_threshold: 4,
+        }
+    }
+}
+
+/// What one `SetRecycleLSN` (or one compaction's GC-as-merge pass) freed.
+/// Returned to the SAL so the recycle handshake reports real reclamation
+/// instead of being fire-and-forget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecycleReport {
+    /// Log Directory pointers (versions + records) purged.
+    pub purged_ptrs: usize,
+    /// Fragment bookkeeping entries dropped.
+    pub frags_dropped: usize,
+    /// Fragment payload + layer blob bytes logically reclaimed.
+    pub bytes_reclaimed: u64,
+}
+
+impl RecycleReport {
+    pub fn absorb(&mut self, other: RecycleReport) {
+        self.purged_ptrs += other.purged_ptrs;
+        self.frags_dropped += other.frags_dropped;
+        self.bytes_reclaimed += other.bytes_reclaimed;
+    }
+}
+
+/// Per-server Page Store counters (benches print these; the reclaimed-bytes
+/// counters are the storage-frugality ledger).
+#[derive(Debug, Default)]
+pub struct PageStoreStats {
+    /// L0 delta layers sealed to the device.
+    pub l0_sealed: Counter,
+    /// L0→L1 compactions completed.
+    pub l1_compactions: Counter,
+    /// Page images materialized by compactions.
+    pub pages_compacted: Counter,
+    /// Fragment payload bytes logically reclaimed by fragment GC.
+    pub frag_bytes_reclaimed: Counter,
+    /// L0 layer blob bytes logically reclaimed by GC-as-merge.
+    pub layer_bytes_reclaimed: Counter,
+    /// Log Directory pointers purged (versions + records).
+    pub versions_purged: Counter,
+    /// Bytes appended for fragments that lost an ingest race and were
+    /// disregarded as duplicates — orphaned on the append-only device.
+    pub orphaned_frag_bytes: Counter,
+    /// Record fetches served from the open L0's staged memory.
+    pub staged_record_hits: Counter,
+    /// Record fetches served from a sealed L0's in-memory run index.
+    pub l0_run_hits: Counter,
+    /// Compacted-L0 blob reads on the record-fetch path (historical snapshot
+    /// reads only; one read serves every record of the blob).
+    pub l0_blob_reads: Counter,
+}
+
+impl PageStoreStats {
+    pub fn snapshot(&self) -> PageStoreStatsSnapshot {
+        PageStoreStatsSnapshot {
+            l0_sealed: self.l0_sealed.get(),
+            l1_compactions: self.l1_compactions.get(),
+            pages_compacted: self.pages_compacted.get(),
+            frag_bytes_reclaimed: self.frag_bytes_reclaimed.get(),
+            layer_bytes_reclaimed: self.layer_bytes_reclaimed.get(),
+            versions_purged: self.versions_purged.get(),
+            orphaned_frag_bytes: self.orphaned_frag_bytes.get(),
+            staged_record_hits: self.staged_record_hits.get(),
+            l0_run_hits: self.l0_run_hits.get(),
+            l0_blob_reads: self.l0_blob_reads.get(),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`PageStoreStats`]; summable across servers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PageStoreStatsSnapshot {
+    pub l0_sealed: u64,
+    pub l1_compactions: u64,
+    pub pages_compacted: u64,
+    pub frag_bytes_reclaimed: u64,
+    pub layer_bytes_reclaimed: u64,
+    pub versions_purged: u64,
+    pub orphaned_frag_bytes: u64,
+    pub staged_record_hits: u64,
+    pub l0_run_hits: u64,
+    pub l0_blob_reads: u64,
+}
+
+impl PageStoreStatsSnapshot {
+    pub fn absorb(&mut self, other: PageStoreStatsSnapshot) {
+        self.l0_sealed += other.l0_sealed;
+        self.l1_compactions += other.l1_compactions;
+        self.pages_compacted += other.pages_compacted;
+        self.frag_bytes_reclaimed += other.frag_bytes_reclaimed;
+        self.layer_bytes_reclaimed += other.layer_bytes_reclaimed;
+        self.versions_purged += other.versions_purged;
+        self.orphaned_frag_bytes += other.orphaned_frag_bytes;
+        self.staged_record_hits += other.staged_record_hits;
+        self.l0_run_hits += other.l0_run_hits;
+        self.l0_blob_reads += other.l0_blob_reads;
+    }
+}
+
+impl std::fmt::Display for PageStoreStatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "l0_sealed={} l1_compactions={} pages_compacted={} \
+             frag_bytes_reclaimed={} layer_bytes_reclaimed={} \
+             versions_purged={} orphaned_frag_bytes={} \
+             staged_record_hits={} l0_run_hits={} l0_blob_reads={}",
+            self.l0_sealed,
+            self.l1_compactions,
+            self.pages_compacted,
+            self.frag_bytes_reclaimed,
+            self.layer_bytes_reclaimed,
+            self.versions_purged,
+            self.orphaned_frag_bytes,
+            self.staged_record_hits,
+            self.l0_run_hits,
+            self.l0_blob_reads,
+        )
+    }
 }
 
 /// Everything exported by a donor replica for a rebuild (paper §5.2).
@@ -61,6 +206,11 @@ pub struct PageStoreServer {
     pub disk_record_fetches: Counter,
     /// Page versions produced by consolidation.
     pub pages_consolidated: Counter,
+    /// Layer / GC / reclamation counters.
+    pub stats: PageStoreStats,
+    /// Test failpoint: abort the next compaction between the L1 blob append
+    /// and directory registration (crash-mid-compaction drills). One-shot.
+    compaction_abort: AtomicBool,
 }
 
 impl std::fmt::Debug for PageStoreServer {
@@ -88,7 +238,21 @@ impl PageStoreServer {
             policy,
             disk_record_fetches: Counter::new(),
             pages_consolidated: Counter::new(),
+            stats: PageStoreStats::default(),
+            compaction_abort: AtomicBool::new(false),
         })
+    }
+
+    /// Arms the crash-mid-compaction failpoint: the next compaction aborts
+    /// after appending its L1 blob but before registering any image, as if
+    /// the server died at the worst moment. One-shot.
+    pub fn arm_compaction_abort(&self) {
+        self.compaction_abort.store(true, Ordering::SeqCst);
+    }
+
+    /// The consolidation policy this server runs.
+    pub fn policy(&self) -> ConsolidationPolicy {
+        self.policy
     }
 
     // ------------------------------------------------------------------
@@ -146,6 +310,11 @@ impl PageStoreServer {
         Ok(self.replica(key)?.lock().directory.clone())
     }
 
+    /// The slice's layer store, usable without the replica mutex.
+    pub(crate) fn layers(&self, key: SliceKey) -> Result<Arc<LayerStore>> {
+        Ok(self.replica(key)?.lock().layers.clone())
+    }
+
     /// Short-lock lookup of a stored fragment's device location.
     fn frag_meta(&self, key: SliceKey, frag_id: u64) -> Result<FragMeta> {
         self.replica(key)?
@@ -190,20 +359,30 @@ impl PageStoreServer {
             last_lsn: frag.last_lsn(),
             consolidated: false,
         });
-        if let IngestOutcome::Accepted(frag_id) = outcome {
-            for (i, rec) in frag.records.iter().enumerate() {
-                r.directory.add_record(
-                    rec.page,
-                    RecordPtr {
-                        lsn: rec.lsn,
-                        frag_id,
-                        idx_in_frag: i as u32,
-                    },
-                );
+        match outcome {
+            IngestOutcome::Accepted(frag_id) => {
+                for (i, rec) in frag.records.iter().enumerate() {
+                    r.directory.add_record(
+                        rec.page,
+                        RecordPtr {
+                            lsn: rec.lsn,
+                            frag_id,
+                            idx_in_frag: i as u32,
+                        },
+                    );
+                }
+                let records = Arc::new(frag.records.clone());
+                self.log_cache
+                    .admit((frag.slice, frag_id), records, frag.payload_bytes());
             }
-            let records = Arc::new(frag.records.clone());
-            self.log_cache
-                .admit((frag.slice, frag_id), records, frag.payload_bytes());
+            IngestOutcome::Duplicate => {
+                // The fragment was appended outside the lock (lock
+                // discipline: no device I/O under the replica mutex) and
+                // then lost the ingest race to an equivalent delivery. The
+                // appended bytes are unreachable on the append-only device;
+                // account them so the leak is visible instead of silent.
+                self.stats.orphaned_frag_bytes.add(encoded.len() as u64);
+            }
         }
         // The persistent LSN is a watermark: ingesting a fragment never
         // moves it backwards (out-of-order arrivals may park it, but it
@@ -225,19 +404,39 @@ impl PageStoreServer {
     }
 
     /// `SetRecycleLSN`: the oldest version the front end may still request.
-    /// Older versions and their records are purged from the Log Directory.
-    pub fn set_recycle_lsn(&self, key: SliceKey, lsn: Lsn) -> Result<usize> {
+    /// Older versions and their records are purged from the Log Directory;
+    /// what was freed is reported back to the SAL (the recycle handshake is
+    /// no longer fire-and-forget).
+    pub fn set_recycle_lsn(&self, key: SliceKey, lsn: Lsn) -> Result<RecycleReport> {
         let replica = self.replica(key)?;
-        let dir = {
-            let mut r = replica.lock();
-            r.set_recycle_lsn(lsn);
-            r.directory.clone()
+        replica.lock().advance_recycle_lsn(lsn);
+        self.collect_garbage(key)
+    }
+
+    /// One GC pass for a slice at its current recycle LSN: purge the Log
+    /// Directory (keeping each page's reconstruction base), then drop
+    /// fragment bookkeeping and dead layer blobs. Runs after every
+    /// `SetRecycleLSN` and as the by-product of every compaction merge.
+    fn collect_garbage(&self, key: SliceKey) -> Result<RecycleReport> {
+        let replica = self.replica(key)?;
+        let (recycle, dir, layers) = {
+            let r = replica.lock();
+            (r.recycle_lsn(), r.directory.clone(), r.layers.clone())
         };
-        let purged = dir.purge_below(lsn);
-        // GC fragment bookkeeping only after the directory purge, so the
-        // reference scan sees the surviving record pointers.
-        replica.lock().gc_frags();
-        Ok(purged)
+        let purged = dir.purge_below(recycle);
+        // Scan references only after the directory purge, so fragment and
+        // layer GC see the surviving record pointers.
+        let referenced = dir.referenced_frag_ids();
+        let (frags_dropped, frag_bytes) = replica.lock().gc_frags(&referenced);
+        let layer_bytes = layers.gc(recycle, &referenced);
+        self.stats.versions_purged.add(purged as u64);
+        self.stats.frag_bytes_reclaimed.add(frag_bytes);
+        self.stats.layer_bytes_reclaimed.add(layer_bytes);
+        Ok(RecycleReport {
+            purged_ptrs: purged,
+            frags_dropped,
+            bytes_reclaimed: frag_bytes + layer_bytes,
+        })
     }
 
     /// `ReadPage`: returns the version of `page` as of `as_of` (the newest
@@ -310,6 +509,26 @@ impl PageStoreServer {
         // Replay the tail of the chain.
         let needed = entry.records_between(base_lsn, as_of);
         if !needed.is_empty() {
+            // Bounded replay under the layered policy: a compaction at LSN C
+            // leaves every page with records <= C covered by an image, so a
+            // read at or above C replays only the delta suffix above C —
+            // never more than one image plus that suffix.
+            if matches!(self.policy, ConsolidationPolicy::Layered { .. }) {
+                if let Ok(layers) = self.layers(key) {
+                    let compact = layers.compact_lsn();
+                    if as_of >= compact {
+                        taurus_common::invariant!(
+                            "layer-bounded-replay",
+                            needed.iter().all(|p| p.lsn > compact),
+                            "{}: page {} read at {} replays below compact_lsn {}",
+                            key,
+                            page,
+                            as_of,
+                            compact
+                        );
+                    }
+                }
+            }
             let records = self.fetch_records(key, &needed)?;
             for rec in &records {
                 apply_record(&mut buf, rec)?;
@@ -319,22 +538,82 @@ impl PageStoreServer {
         Ok((buf, lsn))
     }
 
-    /// Fetches the records behind a set of pointers, from the log cache when
-    /// resident, from the device otherwise.
+    /// Fetches the records behind a set of pointers: from the log cache when
+    /// resident, then (layered policy) from the open L0's staged memory or a
+    /// sealed L0 blob — one device read serves every record the blob holds —
+    /// and only then from the original per-fragment blobs on disk.
     fn fetch_records(&self, key: SliceKey, ptrs: &[RecordPtr]) -> Result<Vec<LogRecord>> {
         let mut by_frag: HashMap<u64, Vec<RecordPtr>> = HashMap::new();
         for p in ptrs {
             by_frag.entry(p.frag_id).or_default().push(*p);
         }
+        let layers = match self.policy {
+            ConsolidationPolicy::Layered { .. } => self.layers(key).ok(),
+            _ => None,
+        };
+        // Per-call cache of decoded L0 runs, keyed by layer id: pointers
+        // into the same blob share one read and one decode.
+        let mut l0_runs: HashMap<u64, HashMap<Lsn, LogRecord>> = HashMap::new();
         let mut out: Vec<LogRecord> = Vec::with_capacity(ptrs.len());
         for (seq, members) in by_frag {
-            let records: Arc<Vec<LogRecord>> = match self.log_cache.get((key, seq)) {
-                Some(recs) => recs,
-                None => {
-                    self.disk_record_fetches.add(members.len() as u64);
-                    Arc::new(self.read_fragment_from_disk(key, seq)?.records)
+            if let Some(recs) = self.log_cache.get((key, seq)) {
+                for m in members {
+                    let rec = recs
+                        .get(m.idx_in_frag as usize)
+                        .ok_or(TaurusError::Codec("record index out of fragment"))?;
+                    out.push(rec.clone());
                 }
-            };
+                continue;
+            }
+            if let Some(ls) = layers.as_deref() {
+                // Staged in the open L0: the fragment's record vec verbatim.
+                if let Some(recs) = ls.staged_records(seq) {
+                    self.stats.staged_record_hits.add(members.len() as u64);
+                    for m in members {
+                        let rec = recs
+                            .get(m.idx_in_frag as usize)
+                            .ok_or(TaurusError::Codec("record index out of fragment"))?;
+                        out.push(rec.clone());
+                    }
+                    continue;
+                }
+                // Sealed or compacted into an L0: records are re-sorted by
+                // (page, lsn) there, so match by LSN (unique per slice).
+                if let Some(l0) = ls.l0_for_frag(seq) {
+                    // Sealed (not yet compacted) layers keep an in-memory
+                    // LSN-keyed run index: no device I/O on the hot path.
+                    if let Some(run) = ls.sealed_run(l0.id) {
+                        self.stats.l0_run_hits.add(members.len() as u64);
+                        for m in members {
+                            let rec = run
+                                .get(&m.lsn)
+                                .ok_or(TaurusError::Codec("record missing from L0 run"))?;
+                            out.push(rec.clone());
+                        }
+                        continue;
+                    }
+                    // Compacted: historical snapshot read from the immutable
+                    // blob, decoded once per call per layer.
+                    let run = match l0_runs.entry(l0.id) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            let raw = self.device.read(l0.loc.offset, l0.loc.len as usize)?;
+                            self.stats.l0_blob_reads.inc();
+                            let run = decode_l0(&mut Bytes::from(raw))?;
+                            v.insert(run.into_iter().map(|r| (r.lsn, r)).collect())
+                        }
+                    };
+                    for m in members {
+                        let rec = run
+                            .get(&m.lsn)
+                            .ok_or(TaurusError::Codec("record missing from L0 layer"))?;
+                        out.push(rec.clone());
+                    }
+                    continue;
+                }
+            }
+            self.disk_record_fetches.add(members.len() as u64);
+            let records = Arc::new(self.read_fragment_from_disk(key, seq)?.records);
             for m in members {
                 let rec = records
                     .get(m.idx_in_frag as usize)
@@ -361,6 +640,10 @@ impl PageStoreServer {
         match self.policy {
             ConsolidationPolicy::LogCacheCentric => self.consolidate_cache_centric(),
             ConsolidationPolicy::LongestChainFirst => self.consolidate_longest_chain(),
+            ConsolidationPolicy::Layered {
+                l0_target_bytes,
+                compaction_threshold,
+            } => self.consolidate_layered(l0_target_bytes, compaction_threshold),
         }
     }
 
@@ -407,6 +690,155 @@ impl PageStoreServer {
         let bytes: usize = records.iter().map(|r| r.encoded_len()).sum();
         self.log_cache.complete((key, seq), bytes);
         true
+    }
+
+    /// The shipped policy: stage fragments into the slice's open L0 in
+    /// arrival order (same stall-on-hole rule as the cache-centric policy),
+    /// seal the L0 to one immutable blob at `l0_target_bytes`, and merge
+    /// `compaction_threshold` sealed L0s into an L1 image layer. Unlike the
+    /// cache-centric policy this performs no per-page pool write-back on the
+    /// ingest path — pages materialize in bulk at the compaction LSN.
+    fn consolidate_layered(&self, l0_target_bytes: usize, compaction_threshold: usize) -> bool {
+        self.pump_backlog();
+        let Some(((key, seq), records)) = self.log_cache.next_for_consolidation() else {
+            return false;
+        };
+        let bytes: usize = records.iter().map(|r| r.encoded_len()).sum();
+        let Ok(replica) = self.replica(key) else {
+            // Slice dropped while queued.
+            self.log_cache.complete((key, seq), bytes);
+            return true;
+        };
+        let (persistent, meta, layers) = {
+            let r = replica.lock();
+            (
+                r.persistent_lsn(),
+                r.frags.get(&seq).copied(),
+                r.layers.clone(),
+            )
+        };
+        let (first, last) = meta
+            .map(|m| (m.first_lsn, m.last_lsn))
+            .unwrap_or((Lsn::ZERO, Lsn::ZERO));
+        if last > persistent {
+            // A hole precedes this fragment: consolidation stalls until
+            // gossip or the SAL repairs it (paper §5.2).
+            return false;
+        }
+        let staged = layers.stage(seq, first, last, records, bytes);
+        replica.lock().mark_consolidated(seq);
+        self.log_cache.complete((key, seq), bytes);
+        if staged >= l0_target_bytes {
+            // A failed seal leaves everything staged; the next step retries.
+            let _ = self.seal_l0(key);
+        }
+        if layers.sealed_count() >= compaction_threshold {
+            // A failed/aborted compaction leaves the plan intact (commit
+            // never ran); the next step re-plans and re-runs idempotently.
+            let _ = self.compact(key);
+        }
+        true
+    }
+
+    /// Seals the slice's open L0: encodes the staged fragments as one sorted
+    /// run and appends it as a single immutable blob — one device I/O for
+    /// every fragment staged since the last seal.
+    fn seal_l0(&self, key: SliceKey) -> Result<()> {
+        let layers = self.layers(key)?;
+        let Some(plan) = layers.seal_plan() else {
+            return Ok(());
+        };
+        let offset = self.device.append(&plan.blob)?;
+        layers.commit_seal(
+            &plan,
+            DiskLoc {
+                offset,
+                len: plan.blob.len() as u32,
+            },
+        );
+        self.stats.l0_sealed.inc();
+        Ok(())
+    }
+
+    /// Merges every sealed L0 into an L1 image layer: materializes each
+    /// touched page at the compaction LSN, appends all images back-to-back
+    /// as one immutable blob, registers each image as an ordinary directory
+    /// version inside the blob (`add_version` replaces on equal LSN, so a
+    /// re-run after a crash is idempotent), refreshes the pool with the
+    /// clean images, and finishes with a GC pass — version purge is a
+    /// by-product of the merge. Never holds the replica mutex or the layer
+    /// mutex across device I/O.
+    fn compact(&self, key: SliceKey) -> Result<()> {
+        let layers = self.layers(key)?;
+        let Some(job) = layers.compaction_job() else {
+            return Ok(());
+        };
+        let mut images: Vec<(PageId, PageBuf, Lsn)> = Vec::with_capacity(job.pages.len());
+        for page in &job.pages {
+            let (buf, lsn) = self.materialize(key, *page, job.compact_lsn)?;
+            if lsn.is_valid() {
+                images.push((*page, buf, lsn));
+            }
+        }
+        if images.is_empty() {
+            layers.commit_compaction(&job, 0, 0);
+            return Ok(());
+        }
+        let mut blob = BytesMut::with_capacity(images.len() * taurus_common::PAGE_SIZE);
+        for (_, buf, _) in &images {
+            blob.extend_from_slice(buf.as_bytes());
+        }
+        let l1_offset = self.device.append(&blob)?;
+        if self.compaction_abort.swap(false, Ordering::SeqCst) {
+            // Failpoint: the L1 blob reached the device but no image was
+            // registered — the crash window. The partial blob stays
+            // unreachable on the append-only device; nothing was committed,
+            // so the next compaction re-plans the identical job.
+            return Err(TaurusError::Codec("compaction aborted by failpoint"));
+        }
+        let dir = self.dir(key)?;
+        for (i, (page, buf, lsn)) in images.iter().enumerate() {
+            dir.add_version(
+                *page,
+                VersionPtr {
+                    lsn: *lsn,
+                    loc: DiskLoc {
+                        offset: l1_offset + (i * taurus_common::PAGE_SIZE) as u64,
+                        len: taurus_common::PAGE_SIZE as u32,
+                    },
+                },
+            );
+            // Install the image clean: the L1 blob already persists it, so
+            // unlike the legacy write-back path no dirty page (and no later
+            // flush append) is created for consolidated state.
+            let stale = self
+                .pool
+                .get(key, *page)
+                .map(|p| p.lsn < *lsn)
+                .unwrap_or(true);
+            if stale {
+                let evicted = self.pool.put(
+                    key,
+                    *page,
+                    PooledPage {
+                        page: buf.clone(),
+                        lsn: *lsn,
+                        dirty: false,
+                    },
+                );
+                for ((ekey, epage), pooled) in evicted {
+                    self.flush_page(ekey, epage, &pooled)?;
+                }
+            }
+            self.pages_consolidated.inc();
+        }
+        self.stats.pages_compacted.add(images.len() as u64);
+        layers.commit_compaction(&job, l1_offset, images.len() as u32);
+        self.stats.l1_compactions.inc();
+        // GC-as-merge: superseded versions, record pointers, fragment
+        // bookkeeping, and dead L0 blobs are reclaimed here.
+        self.collect_garbage(key)?;
+        Ok(())
     }
 
     /// The rejected policy: find the page with the longest pending chain
@@ -922,6 +1354,144 @@ mod tests {
         }
         s.consolidate_all();
         assert_eq!(s.disk_record_fetches.get(), 0);
+    }
+
+    /// Layered server with knobs tiny enough that a handful of fragments
+    /// produce seals and compactions.
+    fn layered_server() -> Arc<PageStoreServer> {
+        let clock = ManualClock::shared();
+        PageStoreServer::new(
+            StorageDevice::in_memory(clock, StorageProfile::instant()),
+            1 << 20,
+            64,
+            EvictionPolicy::Lfu,
+            ConsolidationPolicy::Layered {
+                l0_target_bytes: 1, // every staged fragment seals an L0
+                compaction_threshold: 2,
+            },
+        )
+    }
+
+    /// Writes `n` chained two-record fragments cycling over `pages` pages.
+    fn churn(s: &PageStoreServer, n: u64, pages: u64, start_lsn: u64) -> u64 {
+        let mut lsn = start_lsn;
+        for i in 0..n {
+            let page = i % pages + 1;
+            let recs = if lsn <= 2 * pages {
+                vec![format_rec(lsn, page), insert_rec(lsn + 1, page, "k", "v")]
+            } else {
+                vec![
+                    insert_rec(lsn, page, "k2", "v2"),
+                    insert_rec(lsn + 1, page, "k3", "v3"),
+                ]
+            };
+            let prev = lsn - 1;
+            lsn += recs.len() as u64;
+            s.write_logs(&frag(prev, recs)).unwrap();
+        }
+        lsn - 1
+    }
+
+    #[test]
+    fn layered_consolidation_seals_compacts_and_reads_back_identically() {
+        let layered = layered_server();
+        let baseline = server();
+        for s in [&layered, &baseline] {
+            s.create_slice(key());
+            churn(s, 12, 3, 1);
+            s.consolidate_all();
+        }
+        assert!(layered.stats.l0_sealed.get() >= 2);
+        assert!(layered.stats.l1_compactions.get() >= 1);
+        let as_of = layered.get_persistent_lsn(key()).unwrap();
+        assert_eq!(as_of, baseline.get_persistent_lsn(key()).unwrap());
+        // Byte-identical to the replay baseline at the head and at every
+        // historical LSN the baseline can serve.
+        for lsn in 1..=as_of.0 {
+            let a = layered.read_page(key(), PageId(lsn % 3 + 1), Lsn(lsn));
+            let b = baseline.read_page(key(), PageId(lsn % 3 + 1), Lsn(lsn));
+            match (a, b) {
+                (Ok((pa, la)), Ok((pb, lb))) => {
+                    assert_eq!(la, lb, "version lsn diverged at {lsn}");
+                    assert_eq!(pa.as_bytes(), pb.as_bytes(), "bytes diverged at {lsn}");
+                }
+                (a, b) => panic!("outcome diverged at {lsn}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn layered_record_fetch_routes_through_l0_blobs() {
+        let layered = layered_server();
+        layered.create_slice(key());
+        let last = churn(&layered, 8, 2, 1);
+        layered.consolidate_all();
+        // Evict the pool so a historical read must re-materialize from a
+        // base + records; the records now live in sealed L0 blobs.
+        layered.pool.evict_slice(key());
+        let (page, lsn) = layered.read_page(key(), PageId(1), Lsn(last)).unwrap();
+        assert!(lsn.is_valid());
+        assert!(page.nslots() > 0);
+        // Never from the legacy per-fragment path.
+        assert_eq!(layered.disk_record_fetches.get(), 0);
+    }
+
+    #[test]
+    fn aborted_compaction_is_invisible_and_recompaction_is_idempotent() {
+        // Threshold high enough that consolidation only seals; the test
+        // drives compaction by hand around the failpoint.
+        let clock = ManualClock::shared();
+        let layered = PageStoreServer::new(
+            StorageDevice::in_memory(clock, StorageProfile::instant()),
+            1 << 20,
+            64,
+            EvictionPolicy::Lfu,
+            ConsolidationPolicy::Layered {
+                l0_target_bytes: 1,
+                compaction_threshold: usize::MAX,
+            },
+        );
+        layered.create_slice(key());
+        churn(&layered, 4, 2, 1);
+        layered.consolidate_all();
+        let layers = layered.layers(key()).unwrap();
+        assert!(layers.sealed_count() >= 2);
+        // Crash between the L1 blob append and image registration: nothing
+        // committed, sealed L0s remain, compact LSN unmoved.
+        layered.arm_compaction_abort();
+        assert!(layered.compact(key()).is_err());
+        assert_eq!(layered.stats.l1_compactions.get(), 0);
+        assert!(layers.sealed_count() >= 2);
+        assert_eq!(layers.compact_lsn(), Lsn::ZERO);
+        // Re-run: the identical job completes and reads are unaffected.
+        layered.compact(key()).unwrap();
+        assert_eq!(layered.stats.l1_compactions.get(), 1);
+        assert!(layers.compact_lsn() > Lsn::ZERO);
+        let as_of = layered.get_persistent_lsn(key()).unwrap();
+        let (page, _) = layered.read_page(key(), PageId(1), as_of).unwrap();
+        assert!(page.nslots() > 0);
+    }
+
+    #[test]
+    fn recycle_reports_reclaimed_fragment_and_layer_bytes_under_churn() {
+        let layered = layered_server();
+        layered.create_slice(key());
+        let last = churn(&layered, 24, 2, 1);
+        layered.consolidate_all();
+        // Long-lived slice under churn: recycling the whole history must
+        // actually reclaim fragment payloads and dead L0 blobs, not just
+        // directory pointers.
+        let report = layered.set_recycle_lsn(key(), Lsn(last)).unwrap();
+        assert!(report.purged_ptrs > 0, "no directory pointers purged");
+        assert!(report.frags_dropped > 0, "no fragment bookkeeping dropped");
+        assert!(report.bytes_reclaimed > 0, "no bytes reclaimed");
+        assert_eq!(
+            layered.stats.frag_bytes_reclaimed.get() + layered.stats.layer_bytes_reclaimed.get(),
+            report.bytes_reclaimed
+        );
+        // The head still reads (reconstruction-base rule).
+        let (page, _) = layered.read_page(key(), PageId(1), Lsn(last)).unwrap();
+        assert!(page.nslots() > 0);
     }
 
     #[test]

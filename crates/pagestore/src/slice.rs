@@ -9,12 +9,13 @@
 //! *pending*: the gaps before them are holes that gossip or the SAL must
 //! repair (§5.2).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use taurus_common::{Lsn, SliceKey};
 
 use crate::directory::{DiskLoc, LogDirectory};
+use crate::layers::LayerStore;
 
 /// Bookkeeping for one received fragment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +51,10 @@ pub struct SliceReplica {
     /// consolidation can use it without holding the replica mutex — the
     /// directory has its own internal sharded locking.
     pub directory: Arc<LogDirectory>,
+    /// Layer bookkeeping for log-structured consolidation. Shared (`Arc`)
+    /// like the directory so the compactor and the record-fetch path use it
+    /// without holding the replica mutex.
+    pub layers: Arc<LayerStore>,
     /// A rebuilding replica accepts writes but cannot serve reads until the
     /// latest pages have been copied from a healthy peer (§5.2).
     pub rebuilding: bool,
@@ -64,6 +69,7 @@ impl SliceReplica {
             persistent_lsn: Lsn::ZERO,
             recycle_lsn: Lsn::ZERO,
             directory: Arc::new(LogDirectory::new()),
+            layers: Arc::new(LayerStore::new()),
             rebuilding: false,
         }
     }
@@ -82,6 +88,7 @@ impl SliceReplica {
             persistent_lsn,
             recycle_lsn,
             directory: Arc::new(LogDirectory::new()),
+            layers: Arc::new(LayerStore::new()),
             rebuilding: true,
         }
     }
@@ -137,7 +144,7 @@ impl SliceReplica {
         self.recycle_lsn
     }
 
-    pub fn set_recycle_lsn(&mut self, lsn: Lsn) {
+    pub fn advance_recycle_lsn(&mut self, lsn: Lsn) {
         self.recycle_lsn = self.recycle_lsn.max(lsn);
     }
 
@@ -197,15 +204,25 @@ impl SliceReplica {
     }
 
     /// Drops fragment bookkeeping that is entirely below the recycle LSN,
-    /// already consolidated, and no longer referenced by any Log Directory
-    /// record pointer (bounded memory). Returns how many were dropped.
-    pub fn gc_frags(&mut self) -> usize {
+    /// already consolidated, and not in `referenced` (the Log Directory's
+    /// surviving record pointers — the caller scans them once, after its
+    /// directory purge, so this stays byte-accurate). Returns how many
+    /// fragments were dropped and how many stored payload bytes their device
+    /// blobs occupied — the reclaimed-bytes ledger for
+    /// `PageStoreStats::frag_bytes_reclaimed`.
+    pub fn gc_frags(&mut self, referenced: &HashSet<u64>) -> (usize, u64) {
         let recycle = self.recycle_lsn;
-        let referenced = self.directory.referenced_frag_ids();
-        let before = self.frags.len();
-        self.frags
-            .retain(|id, m| referenced.contains(id) || !(m.consolidated && m.last_lsn < recycle));
-        before - self.frags.len()
+        let mut dropped = 0usize;
+        let mut bytes = 0u64;
+        self.frags.retain(|id, m| {
+            let keep = referenced.contains(id) || !(m.consolidated && m.last_lsn < recycle);
+            if !keep {
+                dropped += 1;
+                bytes += m.loc.len as u64;
+            }
+            keep
+        });
+        (dropped, bytes)
     }
 
     /// The highest LSN this replica knows about (may exceed persistent LSN
@@ -318,13 +335,19 @@ mod tests {
             _ => unreachable!(),
         };
         r.ingest(meta(5, 6, 9));
-        r.set_recycle_lsn(Lsn(10));
-        r.set_recycle_lsn(Lsn(7)); // lower: ignored
+        r.advance_recycle_lsn(Lsn(10));
+        r.advance_recycle_lsn(Lsn(7)); // lower: ignored
         assert_eq!(r.recycle_lsn(), Lsn(10));
+        let unreferenced = HashSet::new();
         // Unconsolidated fragments are never GCed.
-        assert_eq!(r.gc_frags(), 0);
+        assert_eq!(r.gc_frags(&unreferenced), (0, 0));
         r.mark_consolidated(id0);
-        assert_eq!(r.gc_frags(), 1);
+        // A referenced fragment survives even once consolidated + recycled.
+        let referenced: HashSet<u64> = [id0].into_iter().collect();
+        assert_eq!(r.gc_frags(&referenced), (0, 0));
+        // Unreferenced: dropped, and its stored payload bytes are reported.
+        r.frags.get_mut(&id0).unwrap().loc.len = 64;
+        assert_eq!(r.gc_frags(&unreferenced), (1, 64));
         assert_eq!(r.frags.len(), 1);
     }
 
