@@ -58,6 +58,12 @@ fn run_pair(
     let log = sal.log_stats().snapshot();
     println!("  taurus log store: {log}");
     println!("  taurus page store: {}", taurus.db.pages.store_stats());
+    for (key, h) in sal.slice_heat().into_iter().take(4) {
+        println!(
+            "  taurus slice heat {key}: reads={}({}B) writes={}({}B)",
+            h.read_ops, h.read_bytes, h.write_ops, h.write_bytes
+        );
+    }
     drop(guard);
 
     // Aurora-style 6/4 quorum on identical hardware profiles.

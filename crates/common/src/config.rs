@@ -195,6 +195,26 @@ pub struct TaurusConfig {
     pub layer_l0_target_bytes: usize,
     /// Number of sealed L0 layers that triggers an L0→L1 compaction.
     pub compaction_threshold: usize,
+    /// Whether the background housekeeping thread runs the load-aware
+    /// rebalancer (DESIGN.md §14). Off by default: elastic actions consume
+    /// fabric bandwidth and change placement, so deployments (and the
+    /// determinism harness) opt in explicitly.
+    pub rebalance_enabled: bool,
+    /// Minimum heat-delta (ops since the previous rebalancer round, summed
+    /// over all slices) before the rebalancer acts at all — below this the
+    /// signal is noise and every action would be churn.
+    pub rebalance_min_ops: u64,
+    /// A slice is "dominant hot" when its share of the round's heat delta
+    /// reaches this ratio; dominant hot slices are split at their page-range
+    /// midpoint (in (0, 1]).
+    pub rebalance_hot_slice_ratio: f64,
+    /// Minimum page-range width a slice must have to be split (children of
+    /// repeated splits stop shrinking here).
+    pub rebalance_min_slice_pages: u64,
+    /// Node imbalance trigger: when the hottest Page Store carries at least
+    /// this multiple of the mean node load, the rebalancer moves one replica
+    /// of its hottest slice to the coldest node (> 1.0).
+    pub rebalance_spread_ratio: f64,
 }
 
 impl Default for TaurusConfig {
@@ -233,6 +253,11 @@ impl Default for TaurusConfig {
             layered_consolidation: true,
             layer_l0_target_bytes: 256 << 10,
             compaction_threshold: 4,
+            rebalance_enabled: false,
+            rebalance_min_ops: 256,
+            rebalance_hot_slice_ratio: 0.5,
+            rebalance_min_slice_pages: 16,
+            rebalance_spread_ratio: 2.0,
         }
     }
 }
@@ -337,6 +362,23 @@ impl TaurusConfig {
                 "layer_l0_target_bytes and compaction_threshold must be > 0".into(),
             ));
         }
+        if !(self.rebalance_hot_slice_ratio > 0.0 && self.rebalance_hot_slice_ratio <= 1.0) {
+            return Err(crate::TaurusError::Internal(
+                "rebalance_hot_slice_ratio must be in (0, 1]".into(),
+            ));
+        }
+        if self.rebalance_spread_ratio <= 1.0 {
+            return Err(crate::TaurusError::Internal(
+                "rebalance_spread_ratio must be > 1.0".into(),
+            ));
+        }
+        // A split produces two children each at least one page wide, so the
+        // minimum splittable width is 2.
+        if self.rebalance_min_slice_pages < 2 {
+            return Err(crate::TaurusError::Internal(
+                "rebalance_min_slice_pages must be >= 2".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -421,6 +463,30 @@ mod tests {
 
         let c = TaurusConfig {
             compaction_threshold: 0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            rebalance_hot_slice_ratio: 0.0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            rebalance_hot_slice_ratio: 1.5,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            rebalance_spread_ratio: 1.0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            rebalance_min_slice_pages: 1,
             ..TaurusConfig::default()
         };
         assert!(c.validate().is_err());

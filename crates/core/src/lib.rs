@@ -32,8 +32,12 @@
 //!   same replica routing and repair escalation as the read path, and a
 //!   fetch-and-filter fallback when no replica can serve the snapshot.
 
+pub mod elastic;
+pub mod rebalance;
 pub mod recovery;
 pub mod sal;
 
+pub use elastic::{merge_slices, move_slice_replica, split_slice, CutoverReport};
+pub use rebalance::{RebalanceReport, Rebalancer};
 pub use recovery::RecoveryService;
 pub use sal::{NdpStats, NdpStatsSnapshot, Sal, SalStats, SalStatsSnapshot, TableScan};

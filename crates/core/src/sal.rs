@@ -9,7 +9,7 @@
 //! *suspect* (deprioritized for reads) until it proves itself alive again.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
@@ -28,7 +28,8 @@ use taurus_common::{
 };
 use taurus_logstore::{encode_batch, LogStoreCluster, LogStream};
 use taurus_pagestore::{
-    PageReadOutcome, PageStoreCluster, ReadPagesRequest, ScanSliceRequest, SliceFragment,
+    IngestFilter, PageReadOutcome, PageStoreCluster, ReadPagesRequest, ScanSliceRequest,
+    SliceFragment, SliceHeatSnapshot,
 };
 
 /// Per-slice state the SAL maintains (paper §3.5, §4).
@@ -37,6 +38,12 @@ pub(crate) struct SliceState {
     /// Current Page Store replica placement (refreshed from the cluster
     /// manager on changes).
     pub replicas: Vec<NodeId>,
+    /// Placement epoch this SAL has for the slice; carried on epoch-checked
+    /// RPCs and refreshed on `PlacementEpochMismatch` (DESIGN.md §14).
+    pub epoch: u64,
+    /// Elastic cut-over fence: `Some(F)` once the slice is retired — it owns
+    /// only LSNs `<= F` and stops gating `min_acked_lsn` once sealed.
+    pub fence: Option<Lsn>,
     /// Records accumulated for the next fragment.
     buffer: Vec<LogRecord>,
     buffer_bytes: usize,
@@ -58,9 +65,11 @@ pub(crate) struct SliceState {
 }
 
 impl SliceState {
-    fn new(replicas: Vec<NodeId>) -> Self {
+    pub(crate) fn new(replicas: Vec<NodeId>) -> Self {
         SliceState {
             replicas,
+            epoch: 0,
+            fence: None,
             buffer: Vec::new(),
             buffer_bytes: 0,
             flush_lsn: Lsn::ZERO,
@@ -246,6 +255,13 @@ pub struct SalStats {
     pub recycle_ptrs_purged: Counter,
     /// Fragment + layer bytes the recycle broadcasts logically reclaimed.
     pub recycle_bytes_reclaimed: Counter,
+    /// Slice-level heat aggregates (DESIGN.md §14): log records shipped to
+    /// slices and page reads served, in ops and bytes. Per-slice breakdowns
+    /// live on the Page Stores (`Sal::slice_heat`).
+    pub slice_write_ops: Counter,
+    pub slice_write_bytes: Counter,
+    pub slice_read_ops: Counter,
+    pub slice_read_bytes: Counter,
 }
 
 impl SalStats {
@@ -268,6 +284,10 @@ impl SalStats {
             group_commit_waits: self.group_commit_waits.get(),
             recycle_ptrs_purged: self.recycle_ptrs_purged.get(),
             recycle_bytes_reclaimed: self.recycle_bytes_reclaimed.get(),
+            slice_write_ops: self.slice_write_ops.get(),
+            slice_write_bytes: self.slice_write_bytes.get(),
+            slice_read_ops: self.slice_read_ops.get(),
+            slice_read_bytes: self.slice_read_bytes.get(),
         }
     }
 }
@@ -291,6 +311,10 @@ pub struct SalStatsSnapshot {
     pub group_commit_waits: u64,
     pub recycle_ptrs_purged: u64,
     pub recycle_bytes_reclaimed: u64,
+    pub slice_write_ops: u64,
+    pub slice_write_bytes: u64,
+    pub slice_read_ops: u64,
+    pub slice_read_bytes: u64,
 }
 
 impl std::fmt::Display for SalStatsSnapshot {
@@ -302,7 +326,8 @@ impl std::fmt::Display for SalStatsSnapshot {
              fragments_parked={} queue_full_drops={} suspect_demotions={} \
              suspect_resurrections={} dropped_flush_errors={} \
              group_commit_waits={} recycle_ptrs_purged={} \
-             recycle_bytes_reclaimed={}",
+             recycle_bytes_reclaimed={} slice_write_ops={} \
+             slice_write_bytes={} slice_read_ops={} slice_read_bytes={}",
             self.log_flushes,
             self.slice_flushes,
             self.page_reads,
@@ -319,6 +344,10 @@ impl std::fmt::Display for SalStatsSnapshot {
             self.group_commit_waits,
             self.recycle_ptrs_purged,
             self.recycle_bytes_reclaimed,
+            self.slice_write_ops,
+            self.slice_write_bytes,
+            self.slice_read_ops,
+            self.slice_read_bytes,
         )
     }
 }
@@ -558,7 +587,7 @@ pub struct Sal {
     streams: Vec<LogStream>,
     /// Append-path metrics shared by every stream (one logical log).
     log_store_stats: Arc<LogStoreStats>,
-    state: Mutex<SalState>,
+    pub(crate) state: Mutex<SalState>,
     /// Per-stream log-tail turnstiles, ordered by the stream-local ticket:
     /// each stream's tail slot is reserved in LSN order, the replicated 3/3
     /// appends then run unordered across all streams (this is where
@@ -590,7 +619,11 @@ pub struct Sal {
     parked: Mutex<HashSet<SliceKey>>,
     /// Replica nodes that exhausted a retry budget and have not proven
     /// themselves alive since. Deprioritized by read routing.
-    suspects: Mutex<HashSet<NodeId>>,
+    pub(crate) suspects: Mutex<HashSet<NodeId>>,
+    /// Failpoint for the slice-rebalance differential suite: when armed, the
+    /// next elastic cut-over aborts between placement commit and delta
+    /// replay, simulating a coordinator crash mid-cut-over.
+    cutover_abort: AtomicBool,
     /// Self-handle for lazily spawned worker threads.
     myself: Weak<Sal>,
     /// Microseconds of delay injected per log flush while Page Store
@@ -681,6 +714,7 @@ impl Sal {
             parked: Mutex::new(HashSet::new()),
             suspects: Mutex::new(HashSet::new()),
             myself: myself.clone(),
+            cutover_abort: AtomicBool::new(false),
             throttle_us: AtomicU64::new(0),
             stats: SalStats::default(),
             ndp_stats: NdpStats::default(),
@@ -736,11 +770,33 @@ impl Sal {
         let limit = self.cfg.sal_write_retry_limit;
         let mut attempt: u32 = 0;
         loop {
+            // Epoch-checked send (DESIGN.md §14): read the epoch at attempt
+            // time so a refresh between retries is picked up.
+            let epoch = {
+                let st = self.state.lock();
+                st.slices.get(&job.key).map(|s| s.epoch).unwrap_or(0)
+            };
             let start = self.clock.now_us();
-            match self.pages.write_logs_to(node, self.me, &job.frag) {
+            match self
+                .pages
+                .write_logs_checked(node, self.me, &job.frag, epoch)
+            {
                 Ok(persistent) => {
                     self.on_write_ack(job.key, node, last, persistent);
                     self.note_replica_alive(node);
+                    return;
+                }
+                Err(TaurusError::PlacementEpochMismatch { .. })
+                | Err(TaurusError::SliceFenced { .. }) => {
+                    // The slice moved (or was sealed) under this send — a
+                    // placement race, not a replica-health problem: no
+                    // suspect demotion, no backoff. Learn the new placement
+                    // and hand the fragment to the repair path, which
+                    // re-ships the records through the current owners.
+                    self.stats.fragments_parked.inc();
+                    self.refresh_placement();
+                    self.parked.lock().insert(job.key);
+                    self.repair_parked();
                     return;
                 }
                 Err(_) => {
@@ -1055,7 +1111,9 @@ impl Sal {
             let mut v = Vec::new();
             for g in &p.groups {
                 for rec in &g.records {
-                    let key = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
+                    let key = self
+                        .pages
+                        .route_write(self.db, rec.page, self.cfg.pages_per_slice);
                     if !v.contains(&key) {
                         v.push(key);
                     }
@@ -1146,7 +1204,11 @@ impl Sal {
         let mut touched: HashMap<SliceKey, Lsn> = HashMap::new();
         for g in groups {
             for rec in g.records {
-                let key = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
+                // Placement is a leaf lock below `state` (PR 6 lock order),
+                // so routing under the state lock is safe.
+                let key = self
+                    .pages
+                    .route_write(self.db, rec.page, self.cfg.pages_per_slice);
                 let Some(slice) = st.slices.get_mut(&key) else {
                     // `finish_flush` verified the slice before marking the
                     // span durable, and slices are never removed.
@@ -1286,7 +1348,7 @@ impl Sal {
     /// idempotent), and the results fold back in with `or_insert` so a
     /// racing creator wins exactly once. Slices are never removed from the
     /// map, so an entry observed here stays valid for later lookups.
-    fn ensure_slices(&self, keys: &[SliceKey]) -> Result<()> {
+    pub(crate) fn ensure_slices(&self, keys: &[SliceKey]) -> Result<()> {
         let missing: Vec<SliceKey> = {
             let st = self.state.lock();
             keys.iter()
@@ -1303,9 +1365,25 @@ impl Sal {
         }
         let mut st = self.state.lock();
         for (key, replicas) in created {
-            st.slices
+            let view = self.pages.placement_view(key);
+            let slice = st
+                .slices
                 .entry(key)
                 .or_insert_with(|| SliceState::new(replicas));
+            if let Some(view) = view {
+                slice.epoch = slice.epoch.max(view.epoch);
+                if slice.fence.is_none() {
+                    if let Some(f) = view.fence_lsn {
+                        // Discovered a slice that is *already* retired (this
+                        // SAL was not the cut-over coordinator — recovery,
+                        // or a late first read). It will never take writes;
+                        // seal it at its fence so it cannot gate progress.
+                        slice.fence = Some(f);
+                        slice.flush_lsn = slice.flush_lsn.max(f);
+                        slice.acked_lsn = slice.acked_lsn.max(f);
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -1317,7 +1395,7 @@ impl Sal {
     /// (shedding): its slice is parked for repair-from-log and the replica
     /// is demoted to suspect, so one slow node cannot grow an unbounded
     /// backlog or stall the foreground write path.
-    fn flush_slice_locked(&self, st: &mut SalState, key: SliceKey) {
+    pub(crate) fn flush_slice_locked(&self, st: &mut SalState, key: SliceKey) {
         let Some(slice) = st.slices.get_mut(&key) else {
             return;
         };
@@ -1330,6 +1408,10 @@ impl Sal {
         let frag = Arc::new(SliceFragment::new(key, slice.flush_lsn, records));
         slice.flush_lsn = frag.last_lsn();
         self.stats.slice_flushes.inc();
+        self.stats.slice_write_ops.add(frag.records.len() as u64);
+        self.stats
+            .slice_write_bytes
+            .add(frag.payload_bytes() as u64);
         let replicas = slice.replicas.clone();
         let mut shed: Vec<NodeId> = Vec::new();
         for &node in &replicas {
@@ -1393,10 +1475,13 @@ impl Sal {
     fn advance_cv_locked(&self, st: &mut SalState) {
         while let Some(front) = st.pending.front() {
             let satisfied = front.needs.iter().all(|(key, lsn)| {
+                // A missing slice was GC'd as a retired cut-over parent,
+                // which requires its fence — and so every LSN it ever
+                // owned — below the recycle LSN: the need is satisfied.
                 st.slices
                     .get(key)
                     .map(|s| s.acked_lsn >= *lsn)
-                    .unwrap_or(false)
+                    .unwrap_or(true)
             });
             if !satisfied {
                 break;
@@ -1433,8 +1518,34 @@ impl Sal {
     /// slice has no records in `(flush_lsn, as_of]`, so the version at
     /// `as_of` *is* the version at `flush_lsn`.
     pub fn read_page(&self, page: PageId, as_of: Option<Lsn>) -> Result<PageBuf> {
-        let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
         self.stats.page_reads.inc();
+        let key = self
+            .pages
+            .route_read(self.db, page, self.cfg.pages_per_slice, as_of);
+        let out = match self.read_page_at(key, page, as_of) {
+            Err(TaurusError::SliceFenced { .. })
+            | Err(TaurusError::PlacementEpochMismatch { .. }) => {
+                // Raced an elastic cut-over: the slice we routed to was
+                // sealed (or our epoch went stale) between routing and the
+                // RPC. Learn the new placement and route once more.
+                self.stats.read_retries.inc();
+                self.refresh_placement();
+                let key = self
+                    .pages
+                    .route_read(self.db, page, self.cfg.pages_per_slice, as_of);
+                self.read_page_at(key, page, as_of)
+            }
+            other => other,
+        };
+        if out.is_ok() {
+            self.stats.slice_read_ops.inc();
+            self.stats.slice_read_bytes.add(PAGE_SIZE as u64);
+        }
+        out
+    }
+
+    /// [`Sal::read_page`] with the slice already routed.
+    fn read_page_at(&self, key: SliceKey, page: PageId, as_of: Option<Lsn>) -> Result<PageBuf> {
         self.ensure_slices(&[key])?;
         let (replicas, as_of) = {
             let mut st = self.state.lock();
@@ -1575,7 +1686,9 @@ impl Sal {
         let mut order: Vec<SliceKey> = Vec::new();
         let mut by_slice: HashMap<SliceKey, Vec<PageId>> = HashMap::new();
         for &page in ids {
-            let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
+            let key = self
+                .pages
+                .route_read(self.db, page, self.cfg.pages_per_slice, as_of);
             let group = by_slice.entry(key).or_insert_with(|| {
                 order.push(key);
                 Vec::new()
@@ -1747,6 +1860,14 @@ impl Sal {
                 let Some(slice) = st.slices.get(&key) else {
                     continue;
                 };
+                // Retired cut-over parents are skipped: their successors
+                // cover the key range at every scannable snapshot, and
+                // scanning both would double-count the ingest overlap.
+                // (Historical scans below a successor's base LSN are out of
+                // scope — point reads route by fence via `route_read`.)
+                if slice.fence.is_some() {
+                    continue;
+                }
                 let eff = as_of.min(slice.flush_lsn);
                 plan.push((key, self.replicas_by_latency(slice), eff));
             }
@@ -1994,7 +2115,22 @@ impl Sal {
     pub fn refresh_placement(&self) {
         let mut st = self.state.lock();
         for (key, slice) in st.slices.iter_mut() {
-            let current = self.pages.replicas_of(*key);
+            let Some(view) = self.pages.placement_view(*key) else {
+                // GC'd retired slice; `set_recycle_lsn` prunes its state.
+                continue;
+            };
+            // Sync the elastic metadata first: epoch only ever advances, a
+            // fence only ever appears (and both placement transitions go
+            // together, so a refresh cannot see one without the other).
+            slice.epoch = slice.epoch.max(view.epoch);
+            if slice.fence.is_none() {
+                if let Some(f) = view.fence_lsn {
+                    slice.fence = Some(f);
+                    slice.flush_lsn = slice.flush_lsn.max(f);
+                    slice.acked_lsn = slice.acked_lsn.max(f);
+                }
+            }
+            let current = view.nodes;
             if !current.is_empty() && current != slice.replicas {
                 // A replacement replica inherits the expectation recorded for
                 // the slot it fills: if the rebuilt replica reports a LOWER
@@ -2044,6 +2180,12 @@ impl Sal {
                 None => return Ok(0),
             }
         };
+        // What this slice *owns* on the (page, LSN) plane: for static
+        // placement the filter degenerates to the arithmetic key check; for
+        // elastic slices it additionally excludes records below the seed
+        // snapshot (already in the imported pages) and above the cut-over
+        // fence (owned by the successor).
+        let filter = self.pages.ingest_filter(key, self.cfg.pages_per_slice);
         let mut resent = 0usize;
         for node in replicas {
             let Ok(persistent) = self.pages.persistent_lsn_of(node, self.me, key) else {
@@ -2059,8 +2201,13 @@ impl Sal {
             let mut records: Vec<LogRecord> = Vec::new();
             for g in groups {
                 for rec in g.records {
-                    let rkey = SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice));
-                    if rkey == key && rec.lsn > persistent && rec.lsn <= flush_lsn {
+                    let owned = match &filter {
+                        Some(f) => f.admits(rec.page, rec.lsn),
+                        None => {
+                            SliceKey::new(self.db, rec.page.slice(self.cfg.pages_per_slice)) == key
+                        }
+                    };
+                    if owned && rec.lsn > persistent && rec.lsn <= flush_lsn {
                         records.push(rec);
                     }
                 }
@@ -2127,6 +2274,15 @@ impl Sal {
                 .recycle_bytes_reclaimed
                 .add(report.bytes_reclaimed);
         }
+        // Retired cut-over parents whose fence fell below the recycle LSN
+        // can no longer serve any live snapshot: drop their replicas and
+        // forget their SliceStates (a dead retired slice must not pin the
+        // database persistent LSN forever).
+        if self.pages.gc_retired(capped, self.me) > 0 {
+            let mut st = self.state.lock();
+            st.slices
+                .retain(|k, _| self.pages.placement_view(*k).is_some());
+        }
     }
 
     // ==================================================================
@@ -2183,7 +2339,9 @@ impl Sal {
     /// evicted from the engine buffer pool: true once the log records have
     /// reached at least one Page Store replica (§4.2 eviction rule).
     pub fn can_evict(&self, page: PageId, lsn: Lsn) -> bool {
-        let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
+        let key = self
+            .pages
+            .route_write(self.db, page, self.cfg.pages_per_slice);
         let st = self.state.lock();
         st.slices
             .get(&key)
@@ -2194,7 +2352,9 @@ impl Sal {
     /// Per-slice acked LSN (the replica-read bound the master publishes to
     /// read replicas, §6).
     pub fn slice_acked_lsn(&self, page: PageId) -> Lsn {
-        let key = SliceKey::new(self.db, page.slice(self.cfg.pages_per_slice));
+        let key = self
+            .pages
+            .route_write(self.db, page, self.cfg.pages_per_slice);
         self.state
             .lock()
             .slices
@@ -2210,6 +2370,10 @@ impl Sal {
         let st = self.state.lock();
         st.slices
             .values()
+            // A sealed cut-over parent stops acking forever; once its acked
+            // LSN reached the fence it owes nothing further and must not
+            // cap the replica-visible LSN for the rest of time.
+            .filter(|s| s.fence.is_none_or(|f| s.acked_lsn < f))
             .map(|s| s.acked_lsn)
             .min()
             .unwrap_or_else(|| self.durable_lsn.get())
@@ -2251,6 +2415,39 @@ impl Sal {
         let mut v: Vec<SliceKey> = self.state.lock().slices.keys().copied().collect();
         v.sort();
         v
+    }
+
+    // ==================================================================
+    // Elastic slice management (DESIGN.md §14)
+    // ==================================================================
+
+    /// Per-slice heat (read/write ops and bytes) summed across Page Store
+    /// replicas, hottest first. The rebalancer's input signal.
+    pub fn slice_heat(&self) -> Vec<(SliceKey, SliceHeatSnapshot)> {
+        self.pages.heat_by_slice()
+    }
+
+    /// Heat aggregated per Page Store node (every replica counts), sorted
+    /// by node — the spread the rebalancer narrows and benches print.
+    pub fn node_heat(&self) -> Vec<(NodeId, SliceHeatSnapshot)> {
+        self.pages.heat_by_node()
+    }
+
+    /// The current placement epoch (advances on every split/merge/move).
+    pub fn placement_epoch(&self) -> u64 {
+        self.pages.placement_epoch()
+    }
+
+    /// Arms the cut-over crash failpoint: the next elastic operation aborts
+    /// after the placement commit but before the fence + delta replay,
+    /// simulating a coordinator crash at the worst moment. Test-only.
+    pub fn arm_cutover_abort(&self) {
+        self.cutover_abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Consumes the armed failpoint (one-shot).
+    pub(crate) fn take_cutover_abort(&self) -> bool {
+        self.cutover_abort.swap(false, Ordering::SeqCst)
     }
 
     // ==================================================================
@@ -2346,23 +2543,55 @@ impl Sal {
             }
         }
         let mut max_lsn = start;
-        // Partition the log by slice, tracking the last LSN per slice.
+        // Partition the log by slice, tracking the last LSN per slice. With
+        // elastic placement a record can be owed to *two* slices — a retired
+        // cut-over parent (lsn at or below its fence) and its successor (lsn
+        // above the seed base): the double-stored ingest interval. Replay to
+        // every slice whose ownership filter admits the record; the static
+        // arithmetic path is kept verbatim when the db has no dynamic
+        // entries.
+        let dynamic = sal.pages.has_dynamic(sal.db);
+        let filters: Vec<(SliceKey, IngestFilter)> = if dynamic {
+            sal.pages
+                .all_slices()
+                .into_iter()
+                .filter(|k| k.db == sal.db)
+                .filter_map(|k| {
+                    sal.pages
+                        .ingest_filter(k, sal.cfg.pages_per_slice)
+                        .map(|f| (k, f))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut by_slice: HashMap<SliceKey, Vec<LogRecord>> = HashMap::new();
         for g in groups {
             for rec in g.records {
                 max_lsn = max_lsn.max(rec.lsn);
-                let key = SliceKey::new(sal.db, rec.page.slice(sal.cfg.pages_per_slice));
-                by_slice.entry(key).or_default().push(rec);
+                if dynamic {
+                    for (k, f) in &filters {
+                        if f.admits(rec.page, rec.lsn) {
+                            by_slice.entry(*k).or_default().push(rec.clone());
+                        }
+                    }
+                } else {
+                    let key = SliceKey::new(sal.db, rec.page.slice(sal.cfg.pages_per_slice));
+                    by_slice.entry(key).or_default().push(rec);
+                }
             }
         }
         // Also pick up slices that exist in the cluster but had no records
-        // in the replayed window.
-        let mut keys: Vec<SliceKey> = sal
-            .pages
-            .slices()
-            .into_iter()
-            .filter(|k| k.db == sal.db)
-            .collect();
+        // in the replayed window (retired parents included when elastic:
+        // they still serve reads below their fence).
+        let mut keys: Vec<SliceKey> = if dynamic {
+            sal.pages.all_slices()
+        } else {
+            sal.pages.slices()
+        }
+        .into_iter()
+        .filter(|k| k.db == sal.db)
+        .collect();
         for k in by_slice.keys() {
             if !keys.contains(k) {
                 keys.push(*k);

@@ -14,7 +14,7 @@ use parking_lot::{Mutex, RwLock};
 use taurus_common::clock::{ClockRef, SystemClock};
 use taurus_common::lsn::LsnWatermark;
 use taurus_common::{DbId, Lsn, Result, TaurusConfig};
-use taurus_core::{RecoveryService, Sal};
+use taurus_core::{RebalanceReport, Rebalancer, RecoveryService, Sal};
 use taurus_fabric::{Fabric, NodeKind};
 use taurus_logstore::LogStoreCluster;
 use taurus_pagestore::cluster::PageStoreOptions;
@@ -34,6 +34,9 @@ pub struct TaurusDb {
     master: RwLock<Arc<MasterEngine>>,
     replicas: RwLock<Vec<Arc<ReplicaEngine>>>,
     recovery: Mutex<RecoveryService>,
+    /// Load-aware placement optimizer (DESIGN.md §14); rebuilt alongside the
+    /// recovery service whenever the master's SAL is replaced.
+    rebalancer: Mutex<Rebalancer>,
     next_replica_id: AtomicUsize,
 }
 
@@ -108,6 +111,7 @@ impl TaurusDb {
             Arc::clone(&anchor),
         )?;
         let master = MasterEngine::bootstrap(Arc::clone(&sal))?;
+        let rebalancer = Rebalancer::new(Arc::clone(&sal));
         let recovery = RecoveryService::new(sal);
         Ok(Arc::new(TaurusDb {
             cfg,
@@ -119,6 +123,7 @@ impl TaurusDb {
             master: RwLock::new(master),
             replicas: RwLock::new(Vec::new()),
             recovery: Mutex::new(recovery),
+            rebalancer: Mutex::new(rebalancer),
             next_replica_id: AtomicUsize::new(0),
         }))
     }
@@ -194,6 +199,7 @@ impl TaurusDb {
             Arc::clone(&self.anchor),
         )?;
         let new_master = MasterEngine::resume(Arc::clone(&sal), max_lsn);
+        *self.rebalancer.lock() = Rebalancer::new(Arc::clone(&sal));
         *self.recovery.lock() = RecoveryService::new(sal);
         let old = std::mem::replace(&mut *self.master.write(), Arc::clone(&new_master));
         drop(old);
@@ -222,6 +228,7 @@ impl TaurusDb {
             Arc::clone(&self.anchor),
         )?;
         let new_master = MasterEngine::resume(Arc::clone(&sal), max_lsn);
+        *self.rebalancer.lock() = Rebalancer::new(Arc::clone(&sal));
         *self.recovery.lock() = RecoveryService::new(sal);
         *self.master.write() = Arc::clone(&new_master);
         self.rewire_replicas(&new_master)?;
@@ -247,9 +254,20 @@ impl TaurusDb {
         Ok(())
     }
 
+    /// One rebalancer round: inspect slice/node heat deltas and run at most
+    /// one split/move/merge. Publishes the master bulletin afterwards so
+    /// replicas see any visibility change promptly.
+    pub fn run_rebalance_round(&self) -> Result<RebalanceReport> {
+        // taurus-lint: allow(lock-across-fabric-call) -- the rebalancer mutex serializes whole placement operations including their RPCs; nothing else acquires it, so no cycle
+        let report = self.rebalancer.lock().run_once();
+        self.master().publish();
+        report
+    }
+
     /// Starts a background housekeeping thread (maintenance + periodic
-    /// recovery rounds) plus Page Store consolidation threads. Returns a
-    /// guard that stops everything on drop.
+    /// recovery rounds, plus rebalance rounds when
+    /// `cfg.rebalance_enabled`) plus Page Store consolidation threads.
+    /// Returns a guard that stops everything on drop.
     pub fn start_background(self: &Arc<Self>, beat_us: u64) -> BackgroundGuard {
         let consolidation = self.pages.start_background_consolidation();
         let stop = Arc::new(AtomicBool::new(false));
@@ -262,6 +280,9 @@ impl TaurusDb {
                 beats += 1;
                 if beats.is_multiple_of(64) {
                     let _ = db.run_recovery_round();
+                }
+                if db.cfg.rebalance_enabled && beats.is_multiple_of(128) {
+                    let _ = db.run_rebalance_round();
                 }
                 std::thread::sleep(std::time::Duration::from_micros(beat_us));
             }

@@ -16,7 +16,7 @@ use parking_lot::{Mutex, RwLock};
 use taurus_common::lsn::{LsnAllocator, LsnWatermark};
 use taurus_common::record::{LogRecordGroup, RecordBody};
 use taurus_common::scan::{ScanAccumulator, ScanRequest};
-use taurus_common::{Lsn, PageBuf, PageId, Result, TaurusError, TxnId};
+use taurus_common::{Lsn, PageBuf, PageId, Result, SliceKey, TaurusError, TxnId};
 use taurus_core::{Sal, TableScan};
 
 use crate::btree::{BTree, MutCtx, PageFetch};
@@ -139,9 +139,15 @@ impl MasterEngine {
     /// memoized for the duration of the operation instead of taking the SAL
     /// state lock per frame.
     fn evict_guard(&self) -> impl Fn(PageId, taurus_common::Lsn) -> bool + '_ {
-        let cache = std::cell::RefCell::new(HashMap::<u64, taurus_common::Lsn>::new());
+        let cache = std::cell::RefCell::new(HashMap::<SliceKey, taurus_common::Lsn>::new());
         move |p: PageId, l: taurus_common::Lsn| {
-            let slice = p.0 / self.sal.cfg.pages_per_slice;
+            // Memoize by the *owning* slice (placement-routed): after a
+            // split, pages of one arithmetic slice span several slices with
+            // different acked LSNs.
+            let slice = self
+                .sal
+                .pages
+                .route_write(self.sal.db, p, self.sal.cfg.pages_per_slice);
             let mut cache = cache.borrow_mut();
             let acked = *cache
                 .entry(slice)

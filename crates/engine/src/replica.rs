@@ -346,7 +346,12 @@ impl ReplicaFetcher<'_> {
         let mut order: Vec<SliceKey> = Vec::new();
         let mut by_slice: HashMap<SliceKey, Vec<PageId>> = HashMap::new();
         for &id in ids {
-            let key = SliceKey::new(r.db, id.slice(r.cfg.pages_per_slice));
+            // Route by placement *and* snapshot: after an elastic cut-over
+            // the version at `tv` may live on a retired slice (tv at or
+            // below its fence) rather than the active successor.
+            let key = r
+                .pages
+                .route_read(r.db, id, r.cfg.pages_per_slice, Some(self.tv));
             let entry = by_slice.entry(key).or_default();
             if !order.contains(&key) {
                 order.push(key);
@@ -409,7 +414,9 @@ impl PageFetch for ReplicaFetcher<'_> {
                 return Ok(Arc::clone(&frame.buf));
             }
         }
-        let key = SliceKey::new(r.db, id.slice(r.cfg.pages_per_slice));
+        let key = r
+            .pages
+            .route_read(r.db, id, r.cfg.pages_per_slice, Some(tv));
         let mut last_err = TaurusError::AllReplicasFailed(key);
         for node in r.pages.replicas_of(key) {
             match r.pages.read_page_from(node, r.me, key, id, tv) {

@@ -82,6 +82,17 @@ impl PageStoreServer {
                     persistent: Lsn::ZERO,
                 });
             }
+            // Elastic cut-over fence: snapshots above it belong to the
+            // successor placement (DESIGN.md §14).
+            if let Some(fence) = r.fence_lsn {
+                if call.as_of > fence {
+                    return Err(TaurusError::SliceFenced {
+                        slice: call.key,
+                        fence,
+                        requested: call.as_of,
+                    });
+                }
+            }
             let persistent = r.persistent_lsn();
             if persistent < call.as_of {
                 return Err(TaurusError::PageStoreBehind {
@@ -125,6 +136,9 @@ impl PageStoreServer {
         resp.rows_scanned = acc.rows_scanned;
         resp.rows_matched = acc.rows_matched;
         resp.bytes_returned = acc.bytes_out;
+        if resp.pages_scanned > 0 {
+            self.note_read_heat(call.key, resp.pages_scanned, resp.bytes_returned);
+        }
         Ok(resp)
     }
 

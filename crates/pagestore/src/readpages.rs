@@ -86,6 +86,17 @@ impl PageStoreServer {
                     persistent: Lsn::ZERO,
                 });
             }
+            // Elastic cut-over fence: snapshots above it belong to the
+            // successor placement (DESIGN.md §14).
+            if let Some(fence) = r.fence_lsn {
+                if call.as_of > fence {
+                    return Err(TaurusError::SliceFenced {
+                        slice: call.key,
+                        fence,
+                        requested: call.as_of,
+                    });
+                }
+            }
             let persistent = r.persistent_lsn();
             if persistent < call.as_of {
                 return Err(TaurusError::PageStoreBehind {
@@ -142,6 +153,14 @@ impl PageStoreServer {
                 Err(e) => PageReadOutcome::Failed(e.to_string()),
             };
             resp.pages.push((page, outcome));
+        }
+        let served = resp
+            .pages
+            .iter()
+            .filter(|(_, o)| matches!(o, PageReadOutcome::Ok(..)))
+            .count() as u64;
+        if served > 0 {
+            self.note_read_heat(call.key, served, resp.bytes_returned);
         }
         Ok(resp)
     }

@@ -115,6 +115,15 @@ pub struct PageStoreStats {
     /// Compacted-L0 blob reads on the record-fetch path (historical snapshot
     /// reads only; one read serves every record of the blob).
     pub l0_blob_reads: Counter,
+    /// Page-read operations served, summed over slices (per-slice split in
+    /// [`PageStoreServer::heat_snapshot`] — the rebalancer's input signal).
+    pub slice_read_ops: Counter,
+    /// Bytes returned by page reads, summed over slices.
+    pub slice_read_bytes: Counter,
+    /// Log records ingested, summed over slices.
+    pub slice_write_ops: Counter,
+    /// Fragment payload bytes ingested, summed over slices.
+    pub slice_write_bytes: Counter,
 }
 
 impl PageStoreStats {
@@ -130,6 +139,10 @@ impl PageStoreStats {
             staged_record_hits: self.staged_record_hits.get(),
             l0_run_hits: self.l0_run_hits.get(),
             l0_blob_reads: self.l0_blob_reads.get(),
+            slice_read_ops: self.slice_read_ops.get(),
+            slice_read_bytes: self.slice_read_bytes.get(),
+            slice_write_ops: self.slice_write_ops.get(),
+            slice_write_bytes: self.slice_write_bytes.get(),
         }
     }
 }
@@ -147,6 +160,10 @@ pub struct PageStoreStatsSnapshot {
     pub staged_record_hits: u64,
     pub l0_run_hits: u64,
     pub l0_blob_reads: u64,
+    pub slice_read_ops: u64,
+    pub slice_read_bytes: u64,
+    pub slice_write_ops: u64,
+    pub slice_write_bytes: u64,
 }
 
 impl PageStoreStatsSnapshot {
@@ -161,6 +178,10 @@ impl PageStoreStatsSnapshot {
         self.staged_record_hits += other.staged_record_hits;
         self.l0_run_hits += other.l0_run_hits;
         self.l0_blob_reads += other.l0_blob_reads;
+        self.slice_read_ops += other.slice_read_ops;
+        self.slice_read_bytes += other.slice_read_bytes;
+        self.slice_write_ops += other.slice_write_ops;
+        self.slice_write_bytes += other.slice_write_bytes;
     }
 }
 
@@ -171,7 +192,9 @@ impl std::fmt::Display for PageStoreStatsSnapshot {
             "l0_sealed={} l1_compactions={} pages_compacted={} \
              frag_bytes_reclaimed={} layer_bytes_reclaimed={} \
              versions_purged={} orphaned_frag_bytes={} \
-             staged_record_hits={} l0_run_hits={} l0_blob_reads={}",
+             staged_record_hits={} l0_run_hits={} l0_blob_reads={} \
+             slice_read_ops={} slice_read_bytes={} \
+             slice_write_ops={} slice_write_bytes={}",
             self.l0_sealed,
             self.l1_compactions,
             self.pages_compacted,
@@ -182,6 +205,10 @@ impl std::fmt::Display for PageStoreStatsSnapshot {
             self.staged_record_hits,
             self.l0_run_hits,
             self.l0_blob_reads,
+            self.slice_read_ops,
+            self.slice_read_bytes,
+            self.slice_write_ops,
+            self.slice_write_bytes,
         )
     }
 }
@@ -211,6 +238,43 @@ pub struct PageStoreServer {
     /// Test failpoint: abort the next compaction between the L1 blob append
     /// and directory registration (crash-mid-compaction drills). One-shot.
     compaction_abort: AtomicBool,
+    /// Per-slice heat counters (DESIGN.md §14): read/write op and byte
+    /// tallies feeding the rebalancer and the per-node spread reports.
+    /// Leaf lock — never held across device I/O, fabric calls, or any
+    /// other lock.
+    heat: RwLock<HashMap<SliceKey, Arc<SliceHeat>>>,
+}
+
+/// Per-slice read/write tallies on one server.
+#[derive(Debug, Default)]
+pub struct SliceHeat {
+    pub read_ops: Counter,
+    pub read_bytes: Counter,
+    pub write_ops: Counter,
+    pub write_bytes: Counter,
+}
+
+/// Plain-value snapshot of [`SliceHeat`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SliceHeatSnapshot {
+    pub read_ops: u64,
+    pub read_bytes: u64,
+    pub write_ops: u64,
+    pub write_bytes: u64,
+}
+
+impl SliceHeatSnapshot {
+    /// Combined op count — the scalar "heat" the rebalancer ranks by.
+    pub fn ops(&self) -> u64 {
+        self.read_ops + self.write_ops
+    }
+
+    pub fn absorb(&mut self, other: SliceHeatSnapshot) {
+        self.read_ops += other.read_ops;
+        self.read_bytes += other.read_bytes;
+        self.write_ops += other.write_ops;
+        self.write_bytes += other.write_bytes;
+    }
 }
 
 impl std::fmt::Debug for PageStoreServer {
@@ -240,7 +304,60 @@ impl PageStoreServer {
             pages_consolidated: Counter::new(),
             stats: PageStoreStats::default(),
             compaction_abort: AtomicBool::new(false),
+            heat: RwLock::new(HashMap::new()),
         })
+    }
+
+    fn heat_of(&self, key: SliceKey) -> Arc<SliceHeat> {
+        if let Some(h) = self.heat.read().get(&key) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.heat.write().entry(key).or_default())
+    }
+
+    pub(crate) fn note_write_heat(&self, key: SliceKey, ops: u64, bytes: usize) {
+        self.stats.slice_write_ops.add(ops);
+        self.stats.slice_write_bytes.add(bytes as u64);
+        let h = self.heat_of(key);
+        h.write_ops.add(ops);
+        h.write_bytes.add(bytes as u64);
+    }
+
+    pub(crate) fn note_read_heat(&self, key: SliceKey, ops: u64, bytes: u64) {
+        self.stats.slice_read_ops.add(ops);
+        self.stats.slice_read_bytes.add(bytes);
+        let h = self.heat_of(key);
+        h.read_ops.add(ops);
+        h.read_bytes.add(bytes);
+    }
+
+    /// Per-slice heat snapshot, sorted by slice key.
+    pub fn heat_snapshot(&self) -> Vec<(SliceKey, SliceHeatSnapshot)> {
+        let mut v: Vec<(SliceKey, SliceHeatSnapshot)> = self
+            .heat
+            .read()
+            .iter()
+            .map(|(k, h)| {
+                (
+                    *k,
+                    SliceHeatSnapshot {
+                        read_ops: h.read_ops.get(),
+                        read_bytes: h.read_bytes.get(),
+                        write_ops: h.write_ops.get(),
+                        write_bytes: h.write_bytes.get(),
+                    },
+                )
+            })
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Applies an elastic cut-over fence to a hosted slice replica
+    /// (idempotent). Returns whether the replica learned anything new —
+    /// `false` means it already had this fence and epoch.
+    pub fn fence_slice(&self, key: SliceKey, fence: Lsn, epoch: u64) -> Result<bool> {
+        Ok(self.replica(key)?.lock().apply_fence(fence, epoch))
     }
 
     /// Arms the crash-mid-compaction failpoint: the next compaction aborts
@@ -338,6 +455,19 @@ impl PageStoreServer {
         {
             let r = replica.lock();
             persistent_before = r.persistent_lsn();
+            // Elastic cut-over fence (DESIGN.md §14): everything above the
+            // fence belongs to the successor placement. A stale writer that
+            // missed the placement change is rejected here — the
+            // materialized backstop behind the cluster's epoch check.
+            if let Some(fence) = r.fence_lsn {
+                if frag.last_lsn() > fence {
+                    return Err(TaurusError::SliceFenced {
+                        slice: frag.slice,
+                        fence,
+                        requested: frag.last_lsn(),
+                    });
+                }
+            }
             if frag.last_lsn() <= r.persistent_lsn()
                 || r.has_equivalent(frag.first_lsn(), frag.last_lsn())
             {
@@ -374,6 +504,7 @@ impl PageStoreServer {
                 let records = Arc::new(frag.records.clone());
                 self.log_cache
                     .admit((frag.slice, frag_id), records, frag.payload_bytes());
+                self.note_write_heat(frag.slice, frag.records.len() as u64, frag.payload_bytes());
             }
             IngestOutcome::Duplicate => {
                 // The fragment was appended outside the lock (lock
@@ -454,6 +585,17 @@ impl PageStoreServer {
                     persistent: Lsn::ZERO,
                 });
             }
+            // Versions above the fence live on the successor placement; a
+            // reader that routed here is stale and must refresh.
+            if let Some(fence) = r.fence_lsn {
+                if as_of > fence {
+                    return Err(TaurusError::SliceFenced {
+                        slice: key,
+                        fence,
+                        requested: as_of,
+                    });
+                }
+            }
             let persistent = r.persistent_lsn();
             if persistent < as_of {
                 return Err(TaurusError::PageStoreBehind {
@@ -475,7 +617,9 @@ impl PageStoreServer {
                 });
             }
         }
-        self.materialize(key, page, as_of)
+        let out = self.materialize(key, page, as_of)?;
+        self.note_read_heat(key, 1, taurus_common::page::PAGE_SIZE as u64);
+        Ok(out)
     }
 
     /// Produces the page version at `as_of` from the best base plus records.

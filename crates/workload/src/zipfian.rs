@@ -1,0 +1,160 @@
+//! Zipfian-skewed OLTP workload with a mid-run skew dial.
+//!
+//! Generates SysBench-shaped transactions whose row choice follows a
+//! Zipf(θ) distribution over a contiguous key range. Rank 0 maps to row 0,
+//! rank 1 to row 1, …: since `sb{row:012}` keys load in row order, the hot
+//! ranks land on *adjacent* B-tree leaves — i.e. on a handful of slices —
+//! which is exactly the hotspot shape the elastic rebalancer (DESIGN.md
+//! §14) is built to dissolve.
+//!
+//! θ is adjustable while the workload runs ([`ZipfianWorkload::set_theta`]):
+//! the `rebalance` bench starts uniform, then ramps the skew and watches
+//! per-node throughput spread with and without the rebalancer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::zipf::Zipf;
+use crate::{Op, TxnSpec, Workload};
+
+/// Zipf-skewed read/write workload over `rows` rows. A write fraction of
+/// 0.0 is read-only; 1.0 is write-only.
+#[derive(Debug)]
+pub struct ZipfianWorkload {
+    pub rows: u64,
+    pub value_size: usize,
+    /// Point operations per transaction.
+    pub ops_per_txn: usize,
+    /// Fraction of operations that are writes.
+    pub write_fraction: f64,
+    /// Current skew, stored as `f64` bits so it can be dialed mid-run from
+    /// the driving thread while connection threads keep sampling.
+    theta_bits: AtomicU64,
+}
+
+impl ZipfianWorkload {
+    pub fn new(rows: u64, value_size: usize, theta: f64) -> Self {
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        ZipfianWorkload {
+            rows,
+            value_size,
+            ops_per_txn: 8,
+            write_fraction: 0.5,
+            theta_bits: AtomicU64::new(theta.to_bits()),
+        }
+    }
+
+    /// The current skew.
+    pub fn theta(&self) -> f64 {
+        f64::from_bits(self.theta_bits.load(Ordering::Relaxed))
+    }
+
+    /// Dials the skew mid-run; new transactions sample the new θ.
+    pub fn set_theta(&self, theta: f64) {
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
+        self.theta_bits.store(theta.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn key(&self, row: u64) -> Vec<u8> {
+        format!("sb{:012}", row).into_bytes()
+    }
+
+    fn value(&self, rng: &mut StdRng) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_size];
+        rng.fill(&mut v[..]);
+        for b in &mut v {
+            *b = b'a' + (*b % 26);
+        }
+        v
+    }
+}
+
+impl Workload for ZipfianWorkload {
+    fn initial_data(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0xface);
+        (0..self.rows)
+            .map(|r| {
+                let mut v = vec![0u8; self.value_size];
+                rng.fill(&mut v[..]);
+                for b in &mut v {
+                    *b = b'a' + (*b % 26);
+                }
+                (self.key(r), v)
+            })
+            .collect()
+    }
+
+    fn next_txn(&self, rng: &mut StdRng) -> TxnSpec {
+        // Rebuilt per transaction: cheap for bench-sized domains, and it
+        // means a `set_theta` takes effect on the very next transaction.
+        let zipf = Zipf::new(self.rows, self.theta());
+        let mut ops = Vec::with_capacity(self.ops_per_txn);
+        for _ in 0..self.ops_per_txn {
+            let row = zipf.sample(rng);
+            if rng.random::<f64>() < self.write_fraction {
+                ops.push(Op::Put(self.key(row), self.value(rng)));
+            } else {
+                ops.push(Op::Get(self.key(row)));
+            }
+        }
+        TxnSpec { ops }
+    }
+
+    fn name(&self) -> &str {
+        "zipfian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rows_touched(w: &ZipfianWorkload, txns: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for _ in 0..txns {
+            for op in w.next_txn(&mut rng).ops {
+                let key = match op {
+                    Op::Get(k) | Op::Delete(k) | Op::Put(k, _) | Op::Scan(k, _) => k,
+                };
+                let s = String::from_utf8(key).unwrap();
+                rows.push(s[2..].parse::<u64>().unwrap());
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn uniform_theta_spreads_traffic() {
+        let w = ZipfianWorkload::new(10_000, 16, 0.0);
+        let rows = rows_touched(&w, 500, 1);
+        let head = rows.iter().filter(|&&r| r < 100).count() as f64 / rows.len() as f64;
+        assert!(head < 0.05, "uniform head share too high: {head}");
+    }
+
+    #[test]
+    fn skew_dial_concentrates_traffic_mid_run() {
+        let w = ZipfianWorkload::new(10_000, 16, 0.0);
+        w.set_theta(0.95);
+        assert_eq!(w.theta(), 0.95);
+        let rows = rows_touched(&w, 500, 2);
+        let head = rows.iter().filter(|&&r| r < 100).count() as f64 / rows.len() as f64;
+        assert!(head > 0.2, "skewed head share too low: {head}");
+    }
+
+    #[test]
+    fn txn_shape_honors_write_fraction() {
+        let mut w = ZipfianWorkload::new(1000, 16, 0.5);
+        w.write_fraction = 1.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = w.next_txn(&mut rng);
+        assert_eq!(t.ops.len(), w.ops_per_txn);
+        assert!(t.ops.iter().all(Op::is_write));
+        w.write_fraction = 0.0;
+        let t = w.next_txn(&mut rng);
+        assert!(!t.has_writes());
+    }
+}
