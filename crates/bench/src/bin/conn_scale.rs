@@ -1,0 +1,347 @@
+//! `conn_scale` — connection-count scaling on a fixed OS-thread budget.
+//!
+//! The 10k-connection claim behind PR 10: M logical connections are
+//! multiplexed onto `driver_workers` closed-loop worker threads, and every
+//! storage fan-out rides the fabric's bounded dispatcher pool instead of
+//! spawning per-call threads. The sweep holds the OS-thread budget constant
+//! (`driver_workers + fabric_workers <= 64`) while connections grow
+//! 8 -> 1024+; a healthy result keeps per-op read p99 nearly flat while
+//! throughput scales with the connection count (each connection is a
+//! think-time-paced closed loop, so offered load is `conns / think`).
+//!
+//! A second run with `rpc_coalescing = false` measures what per-node RPC
+//! coalescing buys on the miss path: the same multi-slice read workload
+//! issues one `ReadPages` RPC per *slice* without coalescing and one
+//! grouped envelope per *node* with it.
+//!
+//! Set `TAURUS_CONNSCALE_ASSERT=1` to enforce the acceptance gates:
+//!   * read p99 at the top connection count <= `TAURUS_CONNSCALE_P99X`
+//!     (default 1.25) x the bottom count's p99 (+300us scheduler grace);
+//!   * throughput at the top count >= 8x the bottom count;
+//!   * coalescing cuts miss-path `ReadPages` RPCs per committed txn >= 2x;
+//!   * the thread budget actually held (`driver + fabric <= 64`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use taurus_baselines::TaurusExecutor;
+use taurus_bench::{bench_config, launch_taurus_with, JsonReport, JsonValue};
+use taurus_common::config::TaurusConfig;
+use taurus_workload::{
+    driver::load_initial, run_workload_opts, DriverOptions, DriverReport, Op, TxnSpec, Workload,
+};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Storage-bound, many-slice geometry: tiny slices and a wide readahead
+/// window make every scan's miss batch span several slices, which is the
+/// shape per-node coalescing exists for.
+fn conn_scale_config() -> TaurusConfig {
+    let mut cfg = bench_config(128);
+    cfg.engine_buffer_pool_pages = 128;
+    cfg.pages_per_slice = 1;
+    cfg.btree_readahead_window = 24;
+    cfg.driver_workers = 48;
+    cfg.fabric_workers = 14; // 48 + 14 = 62 <= 64 with room for main + housekeeping
+    cfg
+}
+
+/// Point-read-dominated OLTP mix with a multi-slice range scan every
+/// eighth transaction. The point gets are mostly pool hits (cheap, the
+/// 10k-connection fast path); the scans readahead across dozens of tiny
+/// slices and drive the batched miss path that coalescing collapses.
+struct MultiSliceRead {
+    rows: u64,
+    value_size: usize,
+}
+
+impl MultiSliceRead {
+    fn key(&self, row: u64) -> Vec<u8> {
+        format!("cs{row:012}").into_bytes()
+    }
+}
+
+impl Workload for MultiSliceRead {
+    fn initial_data(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..self.rows)
+            .map(|r| {
+                let mut v = vec![b'a' + (r % 26) as u8; self.value_size];
+                v[0] = b'v';
+                (self.key(r), v)
+            })
+            .collect()
+    }
+
+    fn next_txn(&self, rng: &mut StdRng) -> TxnSpec {
+        if rng.random_range(0..8u32) == 0 {
+            let start = rng.random_range(0..self.rows);
+            TxnSpec {
+                ops: vec![Op::Scan(self.key(start), 60)],
+            }
+        } else {
+            let ops = (0..8)
+                .map(|_| Op::Get(self.key(rng.random_range(0..self.rows))))
+                .collect();
+            TxnSpec { ops }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "multi-slice-read"
+    }
+}
+
+struct SweepPoint {
+    report: DriverReport,
+    batch_rpcs: u64,
+    grouped_envelopes: u64,
+    grouped_slice_batches: u64,
+    grouped_fallback_slices: u64,
+    utilization: f64,
+}
+
+/// Runs one closed-loop point against `taurus`, returning the driver report
+/// plus the *delta* of the miss-path and coalescing counters.
+fn run_point(
+    taurus: &TaurusExecutor,
+    workload: &dyn Workload,
+    conns: usize,
+    txns: u64,
+    think_us: u64,
+    workers: usize,
+) -> SweepPoint {
+    let sal = &taurus.db.master().sal;
+    let before_rpcs = sal.read_batch_stats.snapshot().batch_rpcs;
+    let before = sal.stats.snapshot();
+    let report = run_workload_opts(
+        taurus,
+        workload,
+        conns,
+        txns,
+        7,
+        taurus_bench::bench_clock(),
+        DriverOptions {
+            workers,
+            think_us,
+            stagger_start: true,
+        },
+    );
+    let after_rpcs = sal.read_batch_stats.snapshot().batch_rpcs;
+    let after = sal.stats.snapshot();
+    let dispatch = sal.dispatch_stats();
+    SweepPoint {
+        report,
+        batch_rpcs: after_rpcs - before_rpcs,
+        grouped_envelopes: after.grouped_envelopes - before.grouped_envelopes,
+        grouped_slice_batches: after.grouped_slice_batches - before.grouped_slice_batches,
+        grouped_fallback_slices: after.grouped_fallback_slices - before.grouped_fallback_slices,
+        utilization: dispatch.utilization(),
+    }
+}
+
+fn main() {
+    let rows = env_u64("TAURUS_CONNSCALE_ROWS", 16_000);
+    let txns = env_u64("TAURUS_BENCH_TXNS", 6);
+    let think_us = env_u64("TAURUS_CONNSCALE_THINK_US", 2_500_000);
+    let conn_list: Vec<usize> = std::env::var("TAURUS_CONNSCALE_CONNS")
+        .unwrap_or_else(|_| "8,64,512,1024".to_string())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    assert!(!conn_list.is_empty(), "TAURUS_CONNSCALE_CONNS parsed empty");
+
+    let cfg = conn_scale_config();
+    let workload = MultiSliceRead {
+        rows,
+        value_size: 64,
+    };
+
+    println!("conn_scale — connection scaling on a fixed OS-thread budget");
+    println!(
+        "rows={rows} txns/conn={txns} think={}ms driver_workers={} fabric_workers={} \
+         pages_per_slice={} readahead={}\n",
+        think_us / 1000,
+        cfg.driver_workers,
+        cfg.fabric_workers,
+        cfg.pages_per_slice,
+        cfg.btree_readahead_window
+    );
+
+    let (db, guard) = launch_taurus_with(cfg.clone()).expect("launch taurus");
+    let taurus = TaurusExecutor::new(db);
+    load_initial(&taurus, &workload).expect("load");
+    // Reach storage steady state before measuring: consolidate the loaded
+    // fragments into page images (otherwise every cold read replays the
+    // whole load) and take one warmup lap to populate the hot set.
+    taurus.db.pages.consolidate_and_flush_all();
+    let _ = run_point(&taurus, &workload, 16, 4, 0, cfg.driver_workers);
+
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "conns", "tps", "p50(us)", "p99(us)", "rpcs/txn", "coalesce", "util"
+    );
+    let mut report = JsonReport::new();
+    let mut points: Vec<(usize, SweepPoint)> = Vec::new();
+    for &conns in &conn_list {
+        let p = run_point(
+            &taurus,
+            &workload,
+            conns,
+            txns,
+            think_us,
+            cfg.driver_workers,
+        );
+        let per_txn = p.batch_rpcs as f64 / (p.report.transactions.max(1)) as f64;
+        let coalesce = if p.grouped_envelopes == 0 {
+            1.0
+        } else {
+            p.grouped_slice_batches as f64 / p.grouped_envelopes as f64
+        };
+        println!(
+            "{:<8} {:>10.1} {:>10} {:>10} {:>10.2} {:>11.2}x {:>9.0}%",
+            conns,
+            p.report.tps,
+            p.report.p50_latency_us,
+            p.report.p99_latency_us,
+            per_txn,
+            coalesce,
+            p.utilization * 100.0
+        );
+        report.row(vec![
+            ("connections", JsonValue::U64(conns as u64)),
+            ("driver_workers", JsonValue::U64(cfg.driver_workers as u64)),
+            ("fabric_workers", JsonValue::U64(cfg.fabric_workers as u64)),
+            ("tps", p.report.tps.into()),
+            ("p50_latency_us", JsonValue::U64(p.report.p50_latency_us)),
+            ("p99_latency_us", JsonValue::U64(p.report.p99_latency_us)),
+            ("transactions", JsonValue::U64(p.report.transactions)),
+            ("batch_rpcs", JsonValue::U64(p.batch_rpcs)),
+            ("batch_rpcs_per_txn", per_txn.into()),
+            ("grouped_envelopes", JsonValue::U64(p.grouped_envelopes)),
+            (
+                "grouped_slice_batches",
+                JsonValue::U64(p.grouped_slice_batches),
+            ),
+            (
+                "grouped_fallback_slices",
+                JsonValue::U64(p.grouped_fallback_slices),
+            ),
+            ("dispatcher_utilization", p.utilization.into()),
+            ("rpc_coalescing", JsonValue::U64(1)),
+        ]);
+        points.push((conns, p));
+    }
+    println!("\n  final SAL: {}", taurus.db.master().sal.stats.snapshot());
+    println!(
+        "  final batched reads: {}",
+        taurus.db.master().sal.read_batch_stats.snapshot()
+    );
+    println!(
+        "  final dispatcher: {}",
+        taurus.db.master().sal.dispatch_stats()
+    );
+    drop(guard);
+
+    // Coalescing-off control at a mid-size point: same workload, same
+    // geometry, per-slice fan-out instead of per-node envelopes.
+    let control_conns = *conn_list.get(1).unwrap_or(&conn_list[0]);
+    let mut off_cfg = cfg.clone();
+    off_cfg.rpc_coalescing = false;
+    let (db, guard) = launch_taurus_with(off_cfg).expect("launch control");
+    let control = TaurusExecutor::new(db);
+    load_initial(&control, &workload).expect("load control");
+    let off = run_point(
+        &control,
+        &workload,
+        control_conns,
+        txns,
+        think_us,
+        cfg.driver_workers,
+    );
+    drop(guard);
+    let off_per_txn = off.batch_rpcs as f64 / off.report.transactions.max(1) as f64;
+    let on_point = points
+        .iter()
+        .find(|(c, _)| *c == control_conns)
+        .map(|(_, p)| p)
+        .unwrap_or(&points[0].1);
+    let on_per_txn = on_point.batch_rpcs as f64 / on_point.report.transactions.max(1) as f64;
+    let reduction = if on_per_txn > 0.0 {
+        off_per_txn / on_per_txn
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "\ncoalescing off @ {control_conns} conns: {:.2} miss RPCs/txn vs {:.2} with \
+         coalescing — {reduction:.2}x reduction",
+        off_per_txn, on_per_txn
+    );
+    report.row(vec![
+        ("connections", JsonValue::U64(control_conns as u64)),
+        ("driver_workers", JsonValue::U64(cfg.driver_workers as u64)),
+        ("fabric_workers", JsonValue::U64(cfg.fabric_workers as u64)),
+        ("tps", off.report.tps.into()),
+        ("p50_latency_us", JsonValue::U64(off.report.p50_latency_us)),
+        ("p99_latency_us", JsonValue::U64(off.report.p99_latency_us)),
+        ("transactions", JsonValue::U64(off.report.transactions)),
+        ("batch_rpcs", JsonValue::U64(off.batch_rpcs)),
+        ("batch_rpcs_per_txn", off_per_txn.into()),
+        ("grouped_envelopes", JsonValue::U64(off.grouped_envelopes)),
+        ("grouped_slice_batches", JsonValue::U64(0)),
+        ("grouped_fallback_slices", JsonValue::U64(0)),
+        ("dispatcher_utilization", off.utilization.into()),
+        ("rpc_coalescing", JsonValue::U64(0)),
+    ]);
+    report.write("conn_scale").expect("write json");
+    println!("wrote bench_results/conn_scale.json");
+
+    if std::env::var("TAURUS_CONNSCALE_ASSERT").as_deref() == Ok("1") {
+        let budget = cfg.driver_workers + cfg.fabric_workers;
+        assert!(
+            budget <= 64,
+            "OS-thread budget exceeded: driver {} + fabric {} = {budget} > 64",
+            cfg.driver_workers,
+            cfg.fabric_workers
+        );
+        let (lo_conns, lo) = &points[0];
+        let (hi_conns, hi) = points.last().expect("sweep nonempty");
+        let p99x = env_f64("TAURUS_CONNSCALE_P99X", 1.25);
+        let p99_bound = lo.report.p99_latency_us as f64 * p99x + 300.0;
+        assert!(
+            (hi.report.p99_latency_us as f64) <= p99_bound,
+            "p99 regressed under load: {}us @ {hi_conns} conns > {p99x}x {}us @ {lo_conns} \
+             conns (+300us grace)",
+            hi.report.p99_latency_us,
+            lo.report.p99_latency_us
+        );
+        let tps_floor = lo.report.tps * 8.0;
+        assert!(
+            hi.report.tps >= tps_floor,
+            "throughput failed to scale: {:.1} tps @ {hi_conns} conns < 8x {:.1} tps @ \
+             {lo_conns} conns",
+            hi.report.tps,
+            lo.report.tps
+        );
+        assert!(
+            reduction >= 2.0,
+            "coalescing reduced miss RPCs/txn only {reduction:.2}x (< 2x): \
+             on={on_per_txn:.2} off={off_per_txn:.2}"
+        );
+        println!(
+            "conn_scale asserts passed: budget={budget}<=64 threads, p99 {}us@{hi_conns} vs \
+             {}us@{lo_conns}, tps {:.1} vs {:.1}, coalescing {reduction:.2}x",
+            hi.report.p99_latency_us, lo.report.p99_latency_us, hi.report.tps, lo.report.tps
+        );
+    }
+}

@@ -55,6 +55,7 @@ fn run_pair(
             println!("  taurus SAL pipe {node}: queued={queued} in_flight={in_flight}");
         }
     }
+    println!("  taurus dispatcher: {}", sal.dispatch_stats());
     let log = sal.log_stats().snapshot();
     println!("  taurus log store: {log}");
     println!("  taurus page store: {}", taurus.db.pages.store_stats());

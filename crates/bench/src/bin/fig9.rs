@@ -91,6 +91,11 @@ fn taurus_lag_at_rate(writes_per_sec: u64, duration: Duration) -> (f64, f64) {
         writes_per_sec,
         db.master().sal.log_stats().snapshot()
     );
+    println!(
+        "  [{} w/s target] dispatcher: {}",
+        writes_per_sec,
+        db.master().sal.dispatch_stats()
+    );
     for (key, h) in db.master().sal.slice_heat().into_iter().take(2) {
         println!(
             "  [{} w/s target] slice heat {key}: reads={}({}B) writes={}({}B)",

@@ -215,6 +215,24 @@ pub struct TaurusConfig {
     /// this multiple of the mean node load, the rebalancer moves one replica
     /// of its hottest slice to the coldest node (> 1.0).
     pub rebalance_spread_ratio: f64,
+    /// Worker threads in the fabric's bounded RPC dispatcher. Every fan-out
+    /// (`call_all`, `call_grouped`, the write-pipeline drainers) runs as
+    /// jobs on this pool instead of spawning scoped threads, so total RPC
+    /// concurrency is bounded regardless of connection count. Fan-outs stay
+    /// correct at any size (the submitting thread helps run its own jobs);
+    /// sizing only affects parallelism.
+    pub fabric_workers: usize,
+    /// OS threads the workload driver multiplexes logical connections onto.
+    /// Each connection is a small state machine advanced by the pool, so
+    /// thousands of simulated connections cost `driver_workers` threads,
+    /// not one thread each.
+    pub driver_workers: usize,
+    /// Whether the SAL coalesces per-slice requests targeting the same Page
+    /// Store node into one `call_grouped` envelope on the batched-read,
+    /// pushdown-scan, and write-pipeline hot paths. `false` forces the
+    /// per-slice RPC path — the differential baseline for byte-identity
+    /// tests; results are identical by construction either way.
+    pub rpc_coalescing: bool,
 }
 
 impl Default for TaurusConfig {
@@ -258,6 +276,9 @@ impl Default for TaurusConfig {
             rebalance_hot_slice_ratio: 0.5,
             rebalance_min_slice_pages: 16,
             rebalance_spread_ratio: 2.0,
+            fabric_workers: 16,
+            driver_workers: 48,
+            rpc_coalescing: true,
         }
     }
 }
@@ -303,6 +324,10 @@ impl TaurusConfig {
             // L0→L1 compactions, not just staging.
             layer_l0_target_bytes: 4 << 10,
             compaction_threshold: 2,
+            // A small pool keeps per-test thread counts low; caller-helps
+            // means correctness never depends on the size.
+            fabric_workers: 4,
+            driver_workers: 8,
             ..TaurusConfig::default()
         }
     }
@@ -377,6 +402,18 @@ impl TaurusConfig {
         if self.rebalance_min_slice_pages < 2 {
             return Err(crate::TaurusError::Internal(
                 "rebalance_min_slice_pages must be >= 2".into(),
+            ));
+        }
+        // fabric_workers may be 0 (caller-helps degrades fan-outs to inline
+        // execution), but a runaway value would spawn that many OS threads.
+        if self.fabric_workers > 256 {
+            return Err(crate::TaurusError::Internal(
+                "fabric_workers must be <= 256".into(),
+            ));
+        }
+        if self.driver_workers == 0 || self.driver_workers > 1024 {
+            return Err(crate::TaurusError::Internal(
+                "driver_workers must be in 1..=1024".into(),
             ));
         }
         Ok(())
@@ -487,6 +524,24 @@ mod tests {
 
         let c = TaurusConfig {
             rebalance_min_slice_pages: 1,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            fabric_workers: 257,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            driver_workers: 0,
+            ..TaurusConfig::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = TaurusConfig {
+            driver_workers: 1025,
             ..TaurusConfig::default()
         };
         assert!(c.validate().is_err());

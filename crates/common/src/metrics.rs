@@ -7,9 +7,40 @@ use parking_lot::Mutex;
 
 /// Records individual latency samples (microseconds) and reports summary
 /// statistics. Thread-safe; intended for bench harness use, not hot paths.
+///
+/// Two modes:
+///
+/// * [`LatencyRecorder::new`] keeps every sample (grows without bound) —
+///   fine for unit tests and short runs.
+/// * [`LatencyRecorder::bounded`] preallocates a fixed reservoir and, once
+///   full, replaces random slots (seeded reservoir sampling, Vitter's
+///   algorithm R with a deterministic splitmix64 stream). Recording never
+///   allocates after construction, so a 1024-connection sweep does not pay
+///   a heap allocation per op; `count`, `mean` and `max` stay exact while
+///   percentiles come from the reservoir (unbiased, and stable to within
+///   sampling error — see the large-N unit test).
 #[derive(Debug, Default)]
 pub struct LatencyRecorder {
-    samples: Mutex<Vec<u64>>,
+    samples: Mutex<Samples>,
+}
+
+#[derive(Debug, Default)]
+struct Samples {
+    buf: Vec<u64>,
+    /// Reservoir capacity; 0 = unbounded (keep everything).
+    cap: usize,
+    /// Total samples ever recorded (≥ `buf.len()` when bounded).
+    seen: u64,
+    /// Exact running sum and max over *all* recorded samples.
+    sum: u64,
+    max: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl LatencyRecorder {
@@ -17,12 +48,39 @@ impl LatencyRecorder {
         Self::default()
     }
 
-    pub fn record(&self, us: u64) {
-        self.samples.lock().push(us);
+    /// A recorder whose sample buffer is preallocated to `cap` slots and
+    /// never grows: recording past `cap` reservoir-samples into it.
+    pub fn bounded(cap: usize) -> Self {
+        LatencyRecorder {
+            samples: Mutex::new(Samples {
+                buf: Vec::with_capacity(cap.max(1)),
+                cap: cap.max(1),
+                ..Samples::default()
+            }),
+        }
     }
 
+    pub fn record(&self, us: u64) {
+        let mut s = self.samples.lock();
+        s.seen += 1;
+        s.sum = s.sum.wrapping_add(us);
+        s.max = s.max.max(us);
+        if s.cap == 0 || s.buf.len() < s.cap {
+            s.buf.push(us);
+        } else {
+            // Reservoir replacement: keep each of the `seen` samples with
+            // probability cap/seen. The slot draw is seeded from the sample
+            // index so runs replay deterministically.
+            let j = splitmix64(s.seen) % s.seen;
+            if (j as usize) < s.cap {
+                s.buf[j as usize] = us;
+            }
+        }
+    }
+
+    /// Total samples recorded (not the reservoir occupancy).
     pub fn len(&self) -> usize {
-        self.samples.lock().len()
+        self.samples.lock().seen as usize
     }
 
     pub fn is_empty(&self) -> bool {
@@ -36,14 +94,16 @@ impl LatencyRecorder {
     /// clone per call made `summary` O(n) allocations per report. Sorting is
     /// idempotent, so repeated calls are stable and cheap (re-sorting an
     /// already-sorted vector is a linear scan); samples recorded between
-    /// calls are merged by the next sort.
+    /// calls are merged by the next sort. `count`/`mean`/`max` are exact
+    /// even for a bounded recorder; percentiles then read the reservoir.
     pub fn summary(&self) -> Option<LatencySummary> {
         let mut guard = self.samples.lock();
-        if guard.is_empty() {
+        if guard.buf.is_empty() {
             return None;
         }
-        guard.sort_unstable();
-        let s = &*guard;
+        let (seen, sum, max) = (guard.seen, guard.sum, guard.max);
+        guard.buf.sort_unstable();
+        let s = &guard.buf;
         // Nearest-rank percentile: the smallest sample with at least p·n
         // samples at or below it. The previous `round((n-1)·p)` interpolation
         // overshot at low sample counts — with 2 samples it reported the MAX
@@ -52,24 +112,33 @@ impl LatencyRecorder {
             let rank = (p * s.len() as f64).ceil() as usize;
             s[rank.clamp(1, s.len()) - 1]
         };
-        let sum: u64 = s.iter().sum();
         Some(LatencySummary {
-            count: s.len(),
-            mean_us: sum as f64 / s.len() as f64,
+            count: seen as usize,
+            mean_us: sum as f64 / seen as f64,
             p50_us: pct(0.50),
             p95_us: pct(0.95),
             p99_us: pct(0.99),
-            max_us: s.last().copied().unwrap_or(0),
+            max_us: max,
         })
     }
 
-    /// Drains all samples, returning them (unsorted order unspecified).
+    /// Drains the recorder, returning the retained samples (the full set
+    /// for an unbounded recorder, the reservoir for a bounded one; order
+    /// unspecified). Resets all exact aggregates.
     pub fn drain(&self) -> Vec<u64> {
-        std::mem::take(&mut *self.samples.lock())
+        let mut s = self.samples.lock();
+        let cap = s.cap;
+        let out = std::mem::take(&mut s.buf);
+        *s = Samples {
+            buf: Vec::with_capacity(cap.max(usize::from(cap > 0))),
+            cap,
+            ..Samples::default()
+        };
+        out
     }
 
     pub fn clear(&self) {
-        self.samples.lock().clear();
+        self.drain();
     }
 }
 
@@ -283,6 +352,57 @@ mod tests {
             r.record(v);
         }
         assert_eq!(r.summary().unwrap().p50_us, 20);
+    }
+
+    #[test]
+    fn bounded_recorder_never_reallocates_and_percentiles_stay_stable_at_large_n() {
+        const CAP: usize = 4096;
+        const N: u64 = 1_000_000;
+        let r = LatencyRecorder::bounded(CAP);
+        let initial_cap = r.samples.lock().buf.capacity();
+        // Deterministic pseudo-uniform stream over 1..=100_000.
+        for i in 0..N {
+            r.record(splitmix64(i) % 100_000 + 1);
+        }
+        {
+            let s = r.samples.lock();
+            assert_eq!(
+                s.buf.capacity(),
+                initial_cap,
+                "bounded recorder must not grow its sample buffer"
+            );
+            assert_eq!(s.buf.len(), CAP);
+        }
+        let s = r.summary().unwrap();
+        // Exact aggregates survive the bounding.
+        assert_eq!(s.count, N as usize);
+        assert!((s.mean_us - 50_000.0).abs() < 1_000.0, "mean {}", s.mean_us);
+        // Percentiles from a 4096-slot reservoir of a uniform distribution:
+        // sampling error at p50 is ~1/sqrt(4096) ≈ 1.6%, so a 5% band is
+        // far beyond noise while still catching a broken reservoir.
+        assert!(
+            (47_500..=52_500).contains(&s.p50_us),
+            "p50 {} drifted",
+            s.p50_us
+        );
+        assert!(s.p99_us >= 96_000, "p99 {} drifted", s.p99_us);
+        // Repeated summaries are identical (reservoir unchanged between).
+        assert_eq!(r.summary().unwrap(), s);
+    }
+
+    #[test]
+    fn bounded_recorder_below_capacity_matches_unbounded_exactly() {
+        let bounded = LatencyRecorder::bounded(1000);
+        let unbounded = LatencyRecorder::new();
+        for v in (1..=100u64).rev() {
+            bounded.record(v);
+            unbounded.record(v);
+        }
+        assert_eq!(bounded.summary().unwrap(), unbounded.summary().unwrap());
+        // Drain resets the exact aggregates too.
+        assert_eq!(bounded.drain().len(), 100);
+        assert!(bounded.summary().is_none());
+        assert!(bounded.is_empty());
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! The Storage Abstraction Layer.
 //!
 //! Write-pipeline topology (see DESIGN.md §"Write-pipeline robustness"):
-//! the SAL runs one bounded queue and one sender worker **per Page Store
-//! replica node**. A slice flush enqueues one shared `Arc<SliceFragment>`
-//! on each replica's queue; workers retry failed `WriteLogs` with
-//! exponential backoff, and after the retry budget is spent they *park*
-//! the slice for repair-from-Log-Stores and demote the replica to
-//! *suspect* (deprioritized for reads) until it proves itself alive again.
+//! the SAL runs one bounded queue **per Page Store replica node**, drained
+//! by at most one detached job on the fabric's bounded dispatcher pool
+//! (DESIGN.md §15) — no dedicated OS thread per replica. A slice flush
+//! enqueues one shared `Arc<SliceFragment>` on each replica's queue;
+//! drainers retry failed `WriteLogs` with exponential backoff, and after
+//! the retry budget is spent they *park* the slice for
+//! repair-from-Log-Stores and demote the replica to *suspect*
+//! (deprioritized for reads) until it proves itself alive again. With RPC
+//! coalescing, a queued run of fragments to one node rides one grouped
+//! envelope instead of one round trip each.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
-use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -262,9 +265,36 @@ pub struct SalStats {
     pub slice_write_bytes: Counter,
     pub slice_read_ops: Counter,
     pub slice_read_bytes: Counter,
+    /// Grouped (coalesced) fabric envelopes issued by the miss, scan, and
+    /// flush paths: each merges every per-slice request bound for one Page
+    /// Store node into a single round trip.
+    pub grouped_envelopes: Counter,
+    /// Per-slice requests that rode a grouped envelope instead of paying
+    /// their own fabric round trip.
+    pub grouped_slice_batches: Counter,
+    /// Slices that left the grouped path (envelope failure or a budget
+    /// continuation) and fell back to their own per-slice calls.
+    pub grouped_fallback_slices: Counter,
+    /// Coalescing histogram: per-slice requests per grouped envelope,
+    /// buckets 1, 2, 3–4, 5–8, 9+.
+    pub coalesced_per_rpc: [Counter; 5],
 }
 
 impl SalStats {
+    /// Records one grouped envelope carrying `n` per-slice requests.
+    fn note_coalesced(&self, n: usize) {
+        let bucket = match n {
+            0..=1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            _ => 4,
+        };
+        self.coalesced_per_rpc[bucket].inc();
+        self.grouped_envelopes.inc();
+        self.grouped_slice_batches.add(n as u64);
+    }
+
     /// Point-in-time copy of every counter (benches print this).
     pub fn snapshot(&self) -> SalStatsSnapshot {
         SalStatsSnapshot {
@@ -288,6 +318,16 @@ impl SalStats {
             slice_write_bytes: self.slice_write_bytes.get(),
             slice_read_ops: self.slice_read_ops.get(),
             slice_read_bytes: self.slice_read_bytes.get(),
+            grouped_envelopes: self.grouped_envelopes.get(),
+            grouped_slice_batches: self.grouped_slice_batches.get(),
+            grouped_fallback_slices: self.grouped_fallback_slices.get(),
+            coalesced_per_rpc: [
+                self.coalesced_per_rpc[0].get(),
+                self.coalesced_per_rpc[1].get(),
+                self.coalesced_per_rpc[2].get(),
+                self.coalesced_per_rpc[3].get(),
+                self.coalesced_per_rpc[4].get(),
+            ],
         }
     }
 }
@@ -315,6 +355,10 @@ pub struct SalStatsSnapshot {
     pub slice_write_bytes: u64,
     pub slice_read_ops: u64,
     pub slice_read_bytes: u64,
+    pub grouped_envelopes: u64,
+    pub grouped_slice_batches: u64,
+    pub grouped_fallback_slices: u64,
+    pub coalesced_per_rpc: [u64; 5],
 }
 
 impl std::fmt::Display for SalStatsSnapshot {
@@ -327,7 +371,10 @@ impl std::fmt::Display for SalStatsSnapshot {
              suspect_resurrections={} dropped_flush_errors={} \
              group_commit_waits={} recycle_ptrs_purged={} \
              recycle_bytes_reclaimed={} slice_write_ops={} \
-             slice_write_bytes={} slice_read_ops={} slice_read_bytes={}",
+             slice_write_bytes={} slice_read_ops={} slice_read_bytes={} \
+             grouped_envelopes={} grouped_slice_batches={} \
+             grouped_fallback_slices={} \
+             coalesced_per_rpc[1|2|3-4|5-8|9+]={:?}",
             self.log_flushes,
             self.slice_flushes,
             self.page_reads,
@@ -348,6 +395,10 @@ impl std::fmt::Display for SalStatsSnapshot {
             self.slice_write_bytes,
             self.slice_read_ops,
             self.slice_read_bytes,
+            self.grouped_envelopes,
+            self.grouped_slice_batches,
+            self.grouped_fallback_slices,
+            self.coalesced_per_rpc,
         )
     }
 }
@@ -562,14 +613,33 @@ struct PipeJob {
     frag: Arc<SliceFragment>,
 }
 
+/// Longest run of queued fragments one grouped `WriteLogs` envelope may
+/// carry. Bounds the latency a late-queued fragment can hide behind while
+/// still collapsing bursts into few round trips.
+const GROUPED_SHIP_MAX: usize = 8;
+
 /// The send pipe to one Page Store replica node: a bounded queue drained by
-/// a dedicated worker thread. A slow or dead replica fills its own queue
-/// and loses fragments to shedding; it can no longer stall other replicas
-/// or grow an unbounded backlog (the failure mode of the old shared
-/// unbounded channel).
-struct ReplicaPipe {
-    tx: Sender<PipeJob>,
-    in_flight: Arc<Gauge>,
+/// at most one detached fabric-dispatcher job at a time (per-node FIFO). A
+/// slow or dead replica fills its own queue and loses fragments to
+/// shedding; it can no longer stall other replicas, grow an unbounded
+/// backlog, or pin an idle OS thread (the failure modes of the old shared
+/// unbounded channel and of thread-per-replica pipes).
+struct PipeState {
+    queue: VecDeque<PipeJob>,
+    /// Whether a drain job for this node is live (queued or running on the
+    /// dispatcher). At most one at a time keeps shipment per-node FIFO.
+    draining: bool,
+    in_flight: Gauge,
+}
+
+impl PipeState {
+    fn new() -> Self {
+        PipeState {
+            queue: VecDeque::new(),
+            draining: false,
+            in_flight: Gauge::new(),
+        }
+    }
 }
 
 /// The Storage Abstraction Layer: one per database front end process.
@@ -611,9 +681,9 @@ pub struct Sal {
     /// purposes"). Modeled as a durable control-plane cell that survives
     /// front-end crashes.
     anchor: Arc<LsnWatermark>,
-    /// One bounded send pipe per Page Store replica node, spawned lazily on
-    /// first fragment to that node.
-    pipes: Mutex<HashMap<NodeId, ReplicaPipe>>,
+    /// One bounded send pipe per Page Store replica node, created lazily on
+    /// first fragment to that node and drained by the fabric dispatcher.
+    pipes: Mutex<HashMap<NodeId, PipeState>>,
     /// Slices with fragments abandoned by a sender worker; drained by
     /// [`Sal::repair_parked`] (tick, recovery sweep, resurrection).
     parked: Mutex<HashSet<SliceKey>>,
@@ -726,40 +796,117 @@ impl Sal {
     // Per-replica send pipeline
     // ==================================================================
 
-    /// Enqueues a fragment on `node`'s pipe, spawning the pipe on first
+    /// Enqueues a fragment on `node`'s pipe, creating the pipe on first
     /// use. Returns `false` if the queue was full and the fragment was
-    /// shed for this replica.
+    /// shed for this replica. When no drain job is live for the node, one
+    /// is submitted to the fabric dispatcher — the detached job captures
+    /// only a `Weak` SAL handle, so a queued drain never keeps a torn-down
+    /// deployment alive.
     ///
-    /// Lock order: callers hold `state`; this takes `pipes`. Never blocks —
-    /// the foreground write path must not wait on a slow replica.
+    /// Lock order: callers hold `state`; this takes `pipes` (and the
+    /// dispatcher submission lock, a leaf). Never blocks — the foreground
+    /// write path must not wait on a slow replica.
     fn enqueue_for(&self, node: NodeId, job: PipeJob) -> bool {
         let mut pipes = self.pipes.lock();
-        let pipe = pipes.entry(node).or_insert_with(|| self.spawn_pipe(node));
-        match pipe.tx.try_send(job) {
-            Ok(()) => true,
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+        let pipe = pipes.entry(node).or_insert_with(PipeState::new);
+        if pipe.queue.len() >= self.cfg.sal_send_queue_depth {
+            return false;
+        }
+        pipe.queue.push_back(job);
+        if !pipe.draining {
+            pipe.draining = true;
+            let weak = self.myself.clone();
+            self.pages.fabric.spawn_detached(move || {
+                let Some(sal) = weak.upgrade() else { return };
+                sal.drain_pipe(node);
+            });
+        }
+        true
+    }
+
+    /// Drains one replica node's pipe on a dispatcher worker until the
+    /// queue is empty, then clears the `draining` flag and exits (the next
+    /// enqueue submits a fresh job). One drainer per node keeps shipment
+    /// per-node FIFO. The jitter RNG is derived from the fabric seed and
+    /// the node id: draws never touch the shared placement stream, so
+    /// retry storms do not perturb placement determinism.
+    ///
+    /// With `rpc_coalescing`, a queued run of fragments is shipped as one
+    /// grouped envelope (one round trip for the whole run); any slot that
+    /// fails — or the whole envelope, if the node is down — falls back to
+    /// the budgeted per-fragment retry path. Safe to re-send: Page Stores
+    /// disregard duplicate log records.
+    fn drain_pipe(&self, node: NodeId) {
+        let mut rng = self.pages.fabric.derive_rng(0x5A4C_0000 ^ node.0);
+        loop {
+            let jobs: Vec<PipeJob> = {
+                let mut pipes = self.pipes.lock();
+                let Some(pipe) = pipes.get_mut(&node) else {
+                    return;
+                };
+                if pipe.queue.is_empty() {
+                    pipe.draining = false;
+                    return;
+                }
+                let take = if self.cfg.rpc_coalescing {
+                    pipe.queue.len().min(GROUPED_SHIP_MAX)
+                } else {
+                    1
+                };
+                let jobs: Vec<PipeJob> = pipe.queue.drain(..take).collect();
+                pipe.in_flight.add(jobs.len() as u64);
+                jobs
+            };
+            let n = jobs.len();
+            if n > 1 {
+                self.ship_grouped(node, &jobs, &mut rng);
+            } else {
+                self.ship_with_retry(node, &jobs[0], &mut rng);
+            }
+            let pipes = self.pipes.lock();
+            if let Some(pipe) = pipes.get(&node) {
+                pipe.in_flight.sub(n as u64);
+            }
         }
     }
 
-    /// Spawns the bounded queue + worker thread for one replica node. The
-    /// worker owns a jitter RNG derived from the fabric seed and the node
-    /// id: draws never touch the shared placement stream, so retry storms
-    /// do not perturb placement determinism.
-    fn spawn_pipe(&self, node: NodeId) -> ReplicaPipe {
-        let (tx, rx) = bounded::<PipeJob>(self.cfg.sal_send_queue_depth);
-        let in_flight = Arc::new(Gauge::new());
-        let weak = self.myself.clone();
-        let gauge = Arc::clone(&in_flight);
-        let mut rng = self.pages.fabric.derive_rng(0x5A4C_0000 ^ node.0);
-        std::thread::spawn(move || {
-            while let Ok(job) = rx.recv() {
-                let Some(sal) = weak.upgrade() else { break };
-                gauge.add(1);
-                sal.ship_with_retry(node, &job, &mut rng);
-                gauge.sub(1);
+    /// Ships a run of fragments to one replica in a single grouped
+    /// envelope. Fully successful slots are acked; failed slots (or the
+    /// whole run when the envelope itself fails) are re-shipped in order
+    /// through the per-fragment retry path, which owns parking, suspect
+    /// demotion, and backoff.
+    fn ship_grouped(&self, node: NodeId, jobs: &[PipeJob], rng: &mut StdRng) {
+        let epochs: Vec<u64> = {
+            let st = self.state.lock();
+            jobs.iter()
+                .map(|j| st.slices.get(&j.key).map(|s| s.epoch).unwrap_or(0))
+                .collect()
+        };
+        self.stats.note_coalesced(jobs.len());
+        let frags: Vec<(Arc<SliceFragment>, u64)> = jobs
+            .iter()
+            .zip(&epochs)
+            .map(|(j, &e)| (Arc::clone(&j.frag), e))
+            .collect();
+        let mut slots = self
+            .pages
+            .write_logs_grouped(self.me, vec![(node, frags)])
+            .pop()
+            .unwrap_or_default();
+        // Demux in order; a short (impossible) response fails the tail.
+        slots.resize_with(jobs.len(), || Err(TaurusError::NodeUnavailable(node)));
+        for (job, slot) in jobs.iter().zip(slots) {
+            match slot {
+                Ok(persistent) => {
+                    self.on_write_ack(job.key, node, job.frag.last_lsn(), persistent);
+                    self.note_replica_alive(node);
+                }
+                Err(_) => {
+                    self.stats.grouped_fallback_slices.inc();
+                    self.ship_with_retry(node, job, rng);
+                }
             }
-        });
-        ReplicaPipe { tx, in_flight }
+        }
     }
 
     /// Delivers one fragment to one replica, retrying failed attempts with
@@ -866,10 +1013,17 @@ impl Sal {
         let pipes = self.pipes.lock();
         let mut v: Vec<(NodeId, u64, u64)> = pipes
             .iter()
-            .map(|(n, p)| (*n, p.tx.len() as u64, p.in_flight.get()))
+            .map(|(n, p)| (*n, p.queue.len() as u64, p.in_flight.get()))
             .collect();
         v.sort_by_key(|e| e.0);
         v
+    }
+
+    /// Snapshot of the bounded fabric dispatcher every fan-out from this
+    /// SAL rides: queue depth, busy workers, inline/pool job counts.
+    /// Exposed to benches (fig7/fig9/conn_scale) and tests.
+    pub fn dispatch_stats(&self) -> taurus_fabric::DispatchSnapshot {
+        self.pages.fabric.dispatch_snapshot()
     }
 
     /// Repairs every parked slice from the Log Stores and triggers
@@ -1663,10 +1817,12 @@ impl Sal {
     // ==================================================================
 
     /// Reads many pages at one snapshot in as few round trips as possible:
-    /// the ids are grouped by slice and one `ReadPages` RPC per slice is
-    /// fanned out on scoped threads, each using the same `(suspect, EWMA)`
-    /// replica routing as [`Sal::read_page`] and following budget
-    /// continuations. Pages a batch could not serve (per-page failures, or
+    /// the ids are grouped by slice, slices are grouped by their primary
+    /// replica's node, and (with `rpc_coalescing`) one grouped envelope per
+    /// node is fanned out on the fabric's bounded dispatcher pool. Slices
+    /// that cannot ride an envelope use one `ReadPages` RPC each — the same
+    /// `(suspect, EWMA)` replica routing as [`Sal::read_page`], following
+    /// budget continuations. Pages a batch could not serve (per-page failures, or
     /// every replica refusing the slice) are retried individually through
     /// `read_page`, which carries the Log-Store repair path — so the call
     /// returns exactly what N sequential `read_page` calls at the same
@@ -1717,21 +1873,98 @@ impl Sal {
             }
             plan
         };
-        let outcomes: Vec<Result<Vec<(PageId, PageBuf)>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
+        let mut outcomes: Vec<Result<Vec<(PageId, PageBuf)>>> = Vec::with_capacity(plan.len());
+        let mut fallback: Vec<&(SliceKey, Vec<PageId>, Vec<NodeId>, Lsn)> = Vec::new();
+        if self.cfg.rpc_coalescing && plan.len() > 1 {
+            // Coalesce: every slice whose primary (best-routed) replica
+            // lives on the same Page Store node rides ONE grouped fabric
+            // envelope — one round trip, one latency charge — instead of
+            // one `ReadPages` call per slice. A slice whose envelope fails,
+            // or whose response carries a budget continuation, falls back
+            // to the per-slice loop below (reads are idempotent, so the
+            // retry returns byte-identical pages).
+            let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+            for (i, entry) in plan.iter().enumerate() {
+                match entry.2.first() {
+                    Some(&node) => match groups.iter_mut().find(|(n, _)| *n == node) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((node, vec![i])),
+                    },
+                    None => fallback.push(entry),
+                }
+            }
+            let requests: Vec<(NodeId, Vec<ReadPagesRequest>)> = groups
                 .iter()
-                .map(|(key, pages, replicas, eff)| {
-                    scope.spawn(move || self.read_slice_batch(*key, pages, replicas, *eff))
+                .map(|(node, idxs)| {
+                    let reqs = idxs
+                        .iter()
+                        .map(|&i| {
+                            let (key, pages, _, eff) = &plan[i];
+                            ReadPagesRequest {
+                                key: *key,
+                                as_of: *eff,
+                                pages: pages.clone(),
+                                max_pages: self.cfg.read_batch_max_pages,
+                                max_bytes: self.cfg.read_batch_max_bytes,
+                            }
+                        })
+                        .collect();
+                    (*node, reqs)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    Err(_) => Err(TaurusError::Internal("read batch worker panicked".into())),
-                })
-                .collect()
-        });
+            let start = self.clock.now_us();
+            let replies = self.pages.read_pages_grouped(self.me, requests);
+            // One EWMA sample per slice, charged with the whole fan-out's
+            // elapsed time: envelopes run concurrently on the dispatcher,
+            // so this is each envelope's wall time plus any queueing — an
+            // honest congestion signal for the routing order.
+            let elapsed = self.clock.now_us().saturating_sub(start).max(1);
+            for ((node, idxs), slots) in groups.iter().zip(replies) {
+                self.stats.note_coalesced(idxs.len());
+                let mut served_pages = 0usize;
+                let mut any_ok = false;
+                for (&i, slot) in idxs.iter().zip(slots) {
+                    let entry = &plan[i];
+                    let (key, pages, _, eff) = entry;
+                    match slot {
+                        Ok(resp) if !matches!(resp.resume_from, Some(r) if r < pages.len()) => {
+                            any_ok = true;
+                            served_pages += resp.pages.len();
+                            self.note_read_latency(*key, *node, elapsed);
+                            outcomes.push(self.finish_slice_batch(pages, resp.pages, *eff));
+                        }
+                        Ok(_) => {
+                            self.stats.grouped_fallback_slices.inc();
+                            fallback.push(entry);
+                        }
+                        Err(_) => {
+                            // Same EWMA penalty as the per-slice path, so a
+                            // dead primary sinks in the routing order.
+                            self.note_read_latency(*key, *node, elapsed.saturating_mul(4));
+                            self.read_batch_stats.batch_retries.inc();
+                            self.stats.grouped_fallback_slices.inc();
+                            fallback.push(entry);
+                        }
+                    }
+                }
+                if any_ok {
+                    // A grouped envelope is one miss-path round trip.
+                    self.read_batch_stats.batch_rpcs.inc();
+                    self.read_batch_stats.note_rpc_pages(served_pages);
+                }
+            }
+        } else {
+            fallback.extend(plan.iter());
+        }
+        type SliceReadJob<'a> = Box<dyn FnOnce() -> Result<Vec<(PageId, PageBuf)>> + Send + 'a>;
+        let jobs: Vec<SliceReadJob<'_>> = fallback
+            .into_iter()
+            .map(|(key, pages, replicas, eff)| {
+                Box::new(move || self.read_slice_batch(*key, pages, replicas, *eff))
+                    as SliceReadJob<'_>
+            })
+            .collect();
+        outcomes.extend(self.pages.fabric.fan_out(jobs));
         let mut got: HashMap<PageId, PageBuf> = HashMap::new();
         for res in outcomes {
             for (page, buf) in res? {
@@ -1805,6 +2038,19 @@ impl Sal {
                 }
             }
         }
+        self.finish_slice_batch(pages, batch, as_of)
+    }
+
+    /// Turns one slice's `ReadPages` outcomes into served pages, retrying
+    /// stragglers (per-page failures, or pages no replica served) through
+    /// the single-page repair path. Shared by the per-slice continuation
+    /// loop and the grouped (coalesced) envelope path.
+    fn finish_slice_batch(
+        &self,
+        pages: &[PageId],
+        batch: Vec<(PageId, PageReadOutcome)>,
+        as_of: Lsn,
+    ) -> Result<Vec<(PageId, PageBuf)>> {
         let mut served: HashMap<PageId, PageBuf> = HashMap::with_capacity(batch.len());
         for (page, outcome) in batch {
             match outcome {
@@ -1838,10 +2084,13 @@ impl Sal {
     // ==================================================================
 
     /// Plans and executes a pushed-down table scan at snapshot `as_of`:
-    /// one `ScanSlice` worker per slice, fanned out on scoped threads,
-    /// replicas tried in the same `(suspect, EWMA)` order as `ReadPage`,
-    /// with repair-and-retry and a `ReadPage`-and-evaluate-locally fallback
-    /// per slice. Results are merged and key-sorted.
+    /// slices are grouped by primary replica node and (with
+    /// `rpc_coalescing`) one grouped `ScanSlice` envelope per node is
+    /// fanned out on the fabric's bounded dispatcher pool; remaining slices
+    /// get one worker each on the same pool. Replicas are tried in the same
+    /// `(suspect, EWMA)` order as `ReadPage`, with repair-and-retry and a
+    /// `ReadPage`-and-evaluate-locally fallback per slice. Results are
+    /// merged and key-sorted.
     ///
     /// Snapshot handling: per-slice persistent LSNs are slice-local, so a
     /// quiet slice's replicas can never reach a *global* `as_of` past the
@@ -1873,21 +2122,94 @@ impl Sal {
             }
             plan
         };
-        let outcomes: Vec<Result<SliceScanOutcome>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
+        let mut outcomes: Vec<Result<SliceScanOutcome>> = Vec::with_capacity(plan.len());
+        let mut fallback: Vec<&(SliceKey, Vec<NodeId>, Lsn)> = Vec::new();
+        if self.cfg.rpc_coalescing && plan.len() > 1 {
+            // Coalesce: one grouped `ScanSlice` envelope per primary node.
+            // A slice whose envelope fails or whose response needs a budget
+            // continuation restarts on the per-slice escalation path below
+            // (idempotent; partial results are discarded, matching the
+            // per-slice policy on mid-continuation failure).
+            let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+            for (i, entry) in plan.iter().enumerate() {
+                match entry.1.first() {
+                    Some(&node) => match groups.iter_mut().find(|(n, _)| *n == node) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((node, vec![i])),
+                    },
+                    None => fallback.push(entry),
+                }
+            }
+            let requests: Vec<(NodeId, Vec<ScanSliceRequest>)> = groups
                 .iter()
-                .map(|(key, replicas, eff)| {
-                    scope.spawn(move || self.scan_one_slice(req, *key, replicas, *eff))
+                .map(|(node, idxs)| {
+                    let calls = idxs
+                        .iter()
+                        .map(|&i| {
+                            let (key, _, eff) = &plan[i];
+                            ScanSliceRequest {
+                                key: *key,
+                                as_of: *eff,
+                                req: req.clone(),
+                                resume_after: None,
+                                max_rows: self.cfg.ndp_scan_max_rows,
+                                max_bytes: self.cfg.ndp_scan_max_bytes,
+                            }
+                        })
+                        .collect();
+                    (*node, calls)
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    Err(_) => Err(TaurusError::Internal("scan worker panicked".into())),
-                })
-                .collect()
-        });
+            let start = self.clock.now_us();
+            let replies = self.pages.scan_slices_grouped(self.me, requests);
+            let elapsed = self.clock.now_us().saturating_sub(start).max(1);
+            for ((node, idxs), slots) in groups.iter().zip(replies) {
+                self.stats.note_coalesced(idxs.len());
+                let mut any_ok = false;
+                for (&i, slot) in idxs.iter().zip(slots) {
+                    let entry = &plan[i];
+                    let key = entry.0;
+                    match slot {
+                        Ok(resp) if resp.next_page.is_none() => {
+                            any_ok = true;
+                            self.note_read_latency(key, *node, elapsed);
+                            self.ndp_stats.rows_scanned.add(resp.rows_scanned);
+                            self.ndp_stats.rows_returned.add(resp.rows.len() as u64);
+                            self.ndp_stats.bytes_returned.add(resp.bytes_returned);
+                            self.ndp_stats.pages_scanned.add(resp.pages_scanned);
+                            let mut slice_out = SliceScanOutcome::default();
+                            slice_out.agg.merge(&resp.agg);
+                            slice_out.rows.extend(resp.rows);
+                            outcomes.push(Ok(slice_out));
+                        }
+                        Ok(_) => {
+                            self.stats.grouped_fallback_slices.inc();
+                            fallback.push(entry);
+                        }
+                        Err(_) => {
+                            self.note_read_latency(key, *node, elapsed.saturating_mul(4));
+                            self.ndp_stats.slice_retries.inc();
+                            self.stats.grouped_fallback_slices.inc();
+                            fallback.push(entry);
+                        }
+                    }
+                }
+                if any_ok {
+                    // A grouped envelope is one `ScanSlice` round trip.
+                    self.ndp_stats.slice_calls.inc();
+                }
+            }
+        } else {
+            fallback.extend(plan.iter());
+        }
+        let jobs: Vec<Box<dyn FnOnce() -> Result<SliceScanOutcome> + Send + '_>> = fallback
+            .into_iter()
+            .map(|(key, replicas, eff)| {
+                Box::new(move || self.scan_one_slice(req, *key, replicas, *eff))
+                    as Box<dyn FnOnce() -> Result<SliceScanOutcome> + Send + '_>
+            })
+            .collect();
+        outcomes.extend(self.pages.fabric.fan_out(jobs));
         let mut out = TableScan::default();
         for res in outcomes {
             let slice_out = res?;

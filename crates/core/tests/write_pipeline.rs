@@ -358,3 +358,35 @@ fn dropped_pending_flush_still_flushes() {
     let page = sal.read_page(PageId(1), Some(end)).unwrap();
     assert_eq!(page.nslots(), 1);
 }
+
+/// A dead Page Store node takes its whole grouped `ReadPages` envelope
+/// down with it; every slice in that envelope must fail over to the
+/// per-slice path (which retries the healthy replicas) and the batch must
+/// still return every page intact.
+#[test]
+fn dead_node_grouped_read_fails_over_per_slice() {
+    let h = Harness::new(4, 6);
+    let sal = h.sal();
+    assert!(h.cfg.rpc_coalescing, "coalescing must be on for this test");
+    let pps = h.cfg.pages_per_slice;
+    // Two pages in two distinct slices: the multi-slice plan rides the
+    // grouped dispatcher path.
+    h.write_kv(&sal, 1, "k1", true);
+    h.write_kv(&sal, pps + 1, "k2", true);
+    h.settle(&sal);
+
+    // No reads yet: routing is placement order, so each slice's first
+    // replica is the grouped envelope's target. Kill slice 0's.
+    let key = SliceKey::new(DbId(1), PageId(1).slice(pps));
+    h.fabric.set_down(h.pages.replicas_of(key)[0]);
+
+    let got = sal.read_pages(&[PageId(1), PageId(pps + 1)], None).unwrap();
+    assert_eq!(got.len(), 2, "both pages must survive the dead node");
+    for (id, buf) in &got {
+        assert_eq!(buf.nslots(), 1, "page {id} lost its insert");
+    }
+    assert!(
+        sal.stats.grouped_fallback_slices.get() >= 1,
+        "the dead node's envelope must have fallen back per-slice"
+    );
+}

@@ -23,8 +23,10 @@
 
 pub mod detector;
 pub mod device;
+pub mod dispatch;
 pub mod net;
 
 pub use detector::{FailureDetector, FailureEvent};
 pub use device::StorageDevice;
+pub use dispatch::{DispatchSnapshot, DispatchStats};
 pub use net::{Fabric, NodeKind, NodeStatus};

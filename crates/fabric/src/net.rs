@@ -11,6 +11,12 @@ use taurus_common::clock::ClockRef;
 use taurus_common::config::NetworkProfile;
 use taurus_common::{NodeId, Result, TaurusError};
 
+use crate::dispatch::{Dispatch, DispatchSnapshot, DEFAULT_FABRIC_WORKERS};
+
+/// Input to [`Fabric::call_grouped`]: per target node, the handlers to run
+/// inside that node's single envelope.
+pub type GroupedCalls<'env, T> = Vec<(NodeId, Vec<Box<dyn FnOnce() -> T + Send + 'env>>)>;
+
 /// The role a node plays in the cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NodeKind {
@@ -52,6 +58,7 @@ struct Inner {
     rng: Mutex<StdRng>,
     next_node: Mutex<u64>,
     seed: u64,
+    dispatch: Dispatch,
 }
 
 /// The cluster fabric: every RPC, failure, and placement decision flows
@@ -75,8 +82,32 @@ impl Fabric {
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 next_node: Mutex::new(1),
                 seed,
+                dispatch: Dispatch::new(DEFAULT_FABRIC_WORKERS),
             }),
         }
+    }
+
+    /// Sets the dispatcher pool size (`TaurusConfig::fabric_workers`).
+    /// Workers spawn lazily up to the target; fan-outs stay correct at any
+    /// size (including zero) because the submitting thread helps run its
+    /// own jobs.
+    pub fn set_workers(&self, n: usize) {
+        self.inner.dispatch.set_workers(n);
+    }
+
+    /// Point-in-time dispatcher gauges (queue depth, busy workers, job
+    /// counts) for the bench stat dumps.
+    pub fn dispatch_snapshot(&self) -> DispatchSnapshot {
+        self.inner.dispatch.snapshot()
+    }
+
+    /// Queues a `'static` closure on the dispatcher with no completion
+    /// handle — the primitive behind the SAL write pipeline's per-node
+    /// drainers. The closure runs with no locks held and must not own a
+    /// `Fabric` handle (weak references only), or pool shutdown would
+    /// never be reached.
+    pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
+        self.inner.dispatch.spawn_detached(Box::new(f));
     }
 
     /// Registers a new node of the given kind and returns its id.
@@ -275,43 +306,85 @@ impl Fabric {
     /// their sum).
     ///
     /// Each call runs the full [`Fabric::call`] model independently (latency
-    /// charging, liveness checks, flaky/slow injections), on its own scoped
-    /// thread; the first call runs inline on the caller thread. A handler
-    /// panic propagates to the caller after the other calls finish.
+    /// charging, liveness checks, flaky/slow injections) as a job on the
+    /// fabric's bounded dispatcher pool; the submitting thread helps run
+    /// unclaimed jobs, so a single call (or an exhausted pool) degrades to
+    /// inline execution rather than blocking. A handler panic propagates to
+    /// the caller after the other calls finish.
     pub fn call_all<'env, T: Send + 'env>(
-        &self,
+        &'env self,
         from: NodeId,
         calls: Vec<(NodeId, Box<dyn FnOnce() -> T + Send + 'env>)>,
     ) -> Vec<Result<T>> {
-        match calls.len() {
-            0 => return Vec::new(),
-            1 => {
-                let mut calls = calls;
-                let (to, f) = calls.remove(0);
-                return vec![self.call(from, to, f)];
-            }
-            _ => {}
-        }
-        let mut calls = calls.into_iter();
-        let (first_to, first_f) = match calls.next() {
-            Some(c) => c,
-            None => return Vec::new(),
-        };
-        let rest: Vec<_> = calls.collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = rest
-                .into_iter()
-                .map(|(to, f)| scope.spawn(move || self.call(from, to, f)))
-                .collect();
-            let mut results = vec![self.call(from, first_to, first_f)];
-            for h in handles {
-                results.push(
-                    h.join()
-                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
-                );
-            }
-            results
-        })
+        let jobs: Vec<Box<dyn FnOnce() -> Result<T> + Send + 'env>> = calls
+            .into_iter()
+            .map(|(to, f)| {
+                Box::new(move || self.call(from, to, f))
+                    as Box<dyn FnOnce() -> Result<T> + Send + 'env>
+            })
+            .collect();
+        self.inner.dispatch.fan_out(jobs)
+    }
+
+    /// Runs caller-supplied jobs concurrently on the bounded dispatcher
+    /// pool and returns their results in input order. Unlike
+    /// [`Fabric::call_all`], jobs are **not** wrapped in [`Fabric::call`]:
+    /// each job issues (and pays for) its own calls — the primitive for
+    /// fan-outs whose legs make several RPCs, like the SAL's per-slice
+    /// continuation loops. The submitting thread helps run unclaimed jobs
+    /// (works at any pool size); a job panic propagates to the caller
+    /// after the batch drains.
+    pub fn fan_out<'env, T: Send + 'env>(
+        &'env self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Vec<T> {
+        self.inner.dispatch.fan_out(jobs)
+    }
+
+    /// Coalesced fan-out: issues **one RPC per group**, running every
+    /// handler of a group inside a single envelope to its target node, and
+    /// demuxes the results back per handler in input order.
+    ///
+    /// This is the per-node batching primitive behind the SAL hot paths:
+    /// per-slice requests that route to the same Page Store node merge
+    /// into one fabric round trip — one liveness check, one latency
+    /// charge, one flaky draw — instead of one per slice. Groups run
+    /// concurrently on the dispatcher like [`Fabric::call_all`] legs.
+    ///
+    /// Failure is per-envelope: if the group's call fails (target down,
+    /// flaky drop), every handler slot of that group reports
+    /// `NodeUnavailable` and the caller fails over per slice. An empty
+    /// group issues no RPC.
+    pub fn call_grouped<'env, T: Send + 'env>(
+        &'env self,
+        from: NodeId,
+        groups: GroupedCalls<'env, T>,
+    ) -> Vec<Vec<Result<T>>> {
+        let sizes: Vec<(NodeId, usize)> = groups.iter().map(|(n, fs)| (*n, fs.len())).collect();
+        let jobs: Vec<Box<dyn FnOnce() -> Result<Vec<T>> + Send + 'env>> = groups
+            .into_iter()
+            .map(|(to, fs)| {
+                Box::new(move || {
+                    if fs.is_empty() {
+                        return Ok(Vec::new());
+                    }
+                    self.call(from, to, || fs.into_iter().map(|f| f()).collect::<Vec<T>>())
+                }) as Box<dyn FnOnce() -> Result<Vec<T>> + Send + 'env>
+            })
+            .collect();
+        let outs = self.inner.dispatch.fan_out(jobs);
+        outs.into_iter()
+            .zip(sizes)
+            .map(|(res, (node, len))| match res {
+                Ok(vals) => {
+                    debug_assert_eq!(vals.len(), len);
+                    vals.into_iter().map(Ok).collect()
+                }
+                Err(_) => (0..len)
+                    .map(|_| Err(TaurusError::NodeUnavailable(node)))
+                    .collect(),
+            })
+            .collect()
     }
 
     /// Charges outbound NIC time for `bytes` leaving `node`, modelling a
@@ -588,6 +661,127 @@ mod tests {
         );
         assert_eq!(*results[0].as_ref().unwrap(), 7);
         assert_eq!(clock.now_us() - before, 200);
+    }
+
+    #[test]
+    fn call_grouped_charges_one_envelope_per_node_and_demuxes_in_order() {
+        let (f, clock) = test_fabric();
+        let a = f.add_node(NodeKind::Compute);
+        let n1 = f.add_node(NodeKind::PageStore);
+        let n2 = f.add_node(NodeKind::PageStore);
+        let before = clock.now_us();
+        let mk = |v: u64| Box::new(move || v) as Box<dyn FnOnce() -> u64 + Send>;
+        let out = f.call_grouped(
+            a,
+            vec![(n1, vec![mk(1), mk(2), mk(3)]), (n2, vec![mk(4), mk(5)])],
+        );
+        assert_eq!(out.len(), 2);
+        let g1: Vec<u64> = out[0].iter().map(|r| *r.as_ref().unwrap()).collect();
+        let g2: Vec<u64> = out[1].iter().map(|r| *r.as_ref().unwrap()).collect();
+        assert_eq!(g1, vec![1, 2, 3]);
+        assert_eq!(g2, vec![4, 5]);
+        // Five handlers but only two envelopes: exactly two 2-hop charges
+        // (ManualClock sums concurrent sleeps commutatively).
+        assert_eq!(clock.now_us() - before, 400);
+    }
+
+    #[test]
+    fn call_grouped_fails_a_dead_nodes_whole_envelope_per_slot() {
+        let (f, _) = test_fabric();
+        let a = f.add_node(NodeKind::Compute);
+        let dead = f.add_node(NodeKind::PageStore);
+        let live = f.add_node(NodeKind::PageStore);
+        f.set_down(dead);
+        let mk = |v: u64| Box::new(move || v) as Box<dyn FnOnce() -> u64 + Send>;
+        let out = f.call_grouped(a, vec![(dead, vec![mk(1), mk(2)]), (live, vec![mk(3)])]);
+        assert_eq!(out[0].len(), 2);
+        for slot in &out[0] {
+            assert!(matches!(slot, Err(TaurusError::NodeUnavailable(n)) if *n == dead));
+        }
+        assert_eq!(*out[1][0].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    fn call_grouped_handles_empty_inputs_without_charging_latency() {
+        let (f, clock) = test_fabric();
+        let a = f.add_node(NodeKind::Compute);
+        let b = f.add_node(NodeKind::PageStore);
+        let none: GroupedCalls<'_, u64> = Vec::new();
+        assert!(f.call_grouped(a, none).is_empty());
+        // A group with no handlers issues no RPC at all.
+        let before = clock.now_us();
+        let out = f.call_grouped(a, vec![(b, Vec::<Box<dyn FnOnce() -> u64 + Send>>::new())]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_empty());
+        assert_eq!(clock.now_us() - before, 0);
+    }
+
+    #[test]
+    fn slow_node_does_not_head_of_line_block_other_nodes() {
+        use taurus_common::clock::SystemClock;
+        // Real-time test: one node is injected with a 300ms delay; a batch
+        // to fast nodes submitted while the slow call is in flight must
+        // not queue behind it.
+        let f = Fabric::new(SystemClock::shared(), NetworkProfile::instant(), 7);
+        let a = f.add_node(NodeKind::Compute);
+        let slow = f.add_node(NodeKind::PageStore);
+        let fast = f.add_nodes(NodeKind::PageStore, 3);
+        f.set_call_delay(slow, 300_000);
+        std::thread::scope(|s| {
+            let fr = &f;
+            let slow_call = s.spawn(move || fr.call(a, slow, || 1u64));
+            // Give the slow call a moment to occupy its worker.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let before = std::time::Instant::now();
+            let calls: Vec<(NodeId, Box<dyn FnOnce() -> u64 + Send>)> = fast
+                .iter()
+                .map(|&to| (to, Box::new(|| 2u64) as Box<dyn FnOnce() -> u64 + Send>))
+                .collect();
+            let out = f.call_all(a, calls);
+            let elapsed = before.elapsed();
+            assert!(out.iter().all(|r| r.is_ok()));
+            assert!(
+                elapsed < std::time::Duration::from_millis(200),
+                "fast batch head-of-line blocked behind the slow node: {elapsed:?}"
+            );
+            assert_eq!(slow_call.join().unwrap().unwrap(), 1);
+        });
+    }
+
+    #[test]
+    fn saturated_pool_starves_no_batch() {
+        // One pool worker and eight concurrent batches: the caller-helps
+        // discipline must complete every batch with correct results.
+        let clock = ManualClock::shared();
+        let f = Fabric::new(clock, NetworkProfile::instant(), 3);
+        f.set_workers(1);
+        let a = f.add_node(NodeKind::Compute);
+        let targets = f.add_nodes(NodeKind::PageStore, 4);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let fr = &f;
+                let targets = targets.clone();
+                s.spawn(move || {
+                    for round in 0..20u64 {
+                        let base = t * 1000 + round;
+                        let calls: Vec<(NodeId, Box<dyn FnOnce() -> u64 + Send>)> = targets
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &to)| {
+                                let v = base + i as u64;
+                                (to, Box::new(move || v) as Box<dyn FnOnce() -> u64 + Send>)
+                            })
+                            .collect();
+                        let out = fr.call_all(a, calls);
+                        for (i, r) in out.iter().enumerate() {
+                            assert_eq!(*r.as_ref().unwrap(), base + i as u64);
+                        }
+                    }
+                });
+            }
+        });
+        let snap = f.dispatch_snapshot();
+        assert_eq!(snap.queue_depth, 0, "queue must drain: {snap}");
     }
 
     #[test]

@@ -26,6 +26,10 @@ use taurus_common::{DbId, Lsn, NodeId, PageBuf, PageId, Result, SliceKey, Taurus
 use taurus_fabric::{Fabric, NodeKind, StorageDevice};
 
 use crate::fragment::SliceFragment;
+
+/// Input to [`PageStoreCluster::write_logs_grouped`]: per target node, the
+/// `(fragment, sequence)` pairs shipped inside that node's one envelope.
+pub type FragmentGroups = Vec<(NodeId, Vec<(Arc<SliceFragment>, u64)>)>;
 use crate::placement::{IngestFilter, PlacementMap, DYNAMIC_SLICE_BASE};
 use crate::pool::EvictionPolicy;
 use crate::pushdown::{ScanSliceRequest, ScanSliceResponse};
@@ -584,6 +588,98 @@ impl PageStoreCluster {
     ) -> Result<ScanSliceResponse> {
         self.check_rpc(call.key, node, epoch, None)?;
         self.scan_slice_from(node, from, call)
+    }
+
+    /// Grouped `ReadPages`: every per-slice request bound for one node
+    /// rides a single fabric round trip (one envelope, one latency charge),
+    /// demuxed back per request in input order. A failed envelope fails all
+    /// of its slots with `NodeUnavailable`; the caller fails over per
+    /// slice. Requests are unchecked, matching the per-slice
+    /// [`PageStoreCluster::read_pages_from`] miss path.
+    pub fn read_pages_grouped(
+        &self,
+        from: NodeId,
+        groups: Vec<(NodeId, Vec<ReadPagesRequest>)>,
+    ) -> Vec<Vec<Result<ReadPagesResponse>>> {
+        type Handler<'a> = Box<dyn FnOnce() -> Result<ReadPagesResponse> + Send + 'a>;
+        let calls: Vec<(NodeId, Vec<Handler<'_>>)> = groups
+            .iter()
+            .map(|(node, reqs)| {
+                let node = *node;
+                let handlers = reqs
+                    .iter()
+                    .map(|req| Box::new(move || self.server(node)?.read_pages(req)) as Handler<'_>)
+                    .collect();
+                (node, handlers)
+            })
+            .collect();
+        self.fabric
+            .call_grouped(from, calls)
+            .into_iter()
+            .map(|slots| slots.into_iter().map(|s| s.and_then(|r| r)).collect())
+            .collect()
+    }
+
+    /// Grouped `ScanSlice`: one envelope per node carrying every slice's
+    /// scan request; see [`PageStoreCluster::read_pages_grouped`] for the
+    /// demux and failure contract.
+    pub fn scan_slices_grouped(
+        &self,
+        from: NodeId,
+        groups: Vec<(NodeId, Vec<ScanSliceRequest>)>,
+    ) -> Vec<Vec<Result<ScanSliceResponse>>> {
+        type Handler<'a> = Box<dyn FnOnce() -> Result<ScanSliceResponse> + Send + 'a>;
+        let calls: Vec<(NodeId, Vec<Handler<'_>>)> = groups
+            .iter()
+            .map(|(node, reqs)| {
+                let node = *node;
+                let handlers = reqs
+                    .iter()
+                    .map(|req| Box::new(move || self.server(node)?.scan_slice(req)) as Handler<'_>)
+                    .collect();
+                (node, handlers)
+            })
+            .collect();
+        self.fabric
+            .call_grouped(from, calls)
+            .into_iter()
+            .map(|slots| slots.into_iter().map(|s| s.and_then(|r| r)).collect())
+            .collect()
+    }
+
+    /// Grouped epoch-checked `WriteLogs`: ships a run of fragments to each
+    /// node in one envelope. Each slot carries its own placement epoch and
+    /// returns that fragment's piggybacked persistent LSN, exactly like
+    /// [`PageStoreCluster::write_logs_checked`] would. Safe to re-send on
+    /// partial failure: Page Stores disregard duplicate log records.
+    pub fn write_logs_grouped(
+        &self,
+        from: NodeId,
+        groups: FragmentGroups,
+    ) -> Vec<Vec<Result<Lsn>>> {
+        type Handler<'a> = Box<dyn FnOnce() -> Result<Lsn> + Send + 'a>;
+        let calls: Vec<(NodeId, Vec<Handler<'_>>)> = groups
+            .iter()
+            .map(|(node, frags)| {
+                let node = *node;
+                let handlers = frags
+                    .iter()
+                    .map(|(frag, epoch)| {
+                        let (frag, epoch) = (Arc::clone(frag), *epoch);
+                        Box::new(move || {
+                            self.check_rpc(frag.slice, node, epoch, Some(frag.last_lsn()))?;
+                            self.server(node)?.write_logs(&frag)
+                        }) as Handler<'_>
+                    })
+                    .collect();
+                (node, handlers)
+            })
+            .collect();
+        self.fabric
+            .call_grouped(from, calls)
+            .into_iter()
+            .map(|slots| slots.into_iter().map(|s| s.and_then(|r| r)).collect())
+            .collect()
     }
 
     /// Exports a seed snapshot from a live replica of `donor_key`: its

@@ -1155,9 +1155,12 @@ impl Workspace {
                         }
                         _ => (None, None),
                     };
-                    // Detached context: `thread::spawn(closure)` runs with an
-                    // empty held set on a new thread.
-                    if name == "spawn" && qualifier.as_deref() == Some("thread") {
+                    // Detached context: `thread::spawn(closure)` and
+                    // `fabric.spawn_detached(closure)` run with an empty held
+                    // set on another thread (a pool worker for the latter).
+                    if (name == "spawn" && qualifier.as_deref() == Some("thread"))
+                        || name == "spawn_detached"
+                    {
                         let close = match_paren(toks, i + 1, b1);
                         out.spawned.push((i + 2, close, line));
                         i = close + 1;
@@ -1231,7 +1234,7 @@ fn pick_class(classes: &[ClassId], file: FileId, decls: &[ClassDecl]) -> Recv {
 // Call resolution and fixpoint propagation
 // ====================================================================
 
-const RPC_NAMES: &[&str] = &["call", "call_all", "call_any"];
+const RPC_NAMES: &[&str] = &["call", "call_all", "call_any", "call_grouped", "fan_out"];
 
 impl Workspace {
     fn crate_files(&self, crate_name: &str) -> Vec<FileId> {
@@ -2186,5 +2189,54 @@ mod tests {
              }\n",
         )]);
         assert!(a.edges.is_empty(), "{:?}", a.edges);
+    }
+
+    #[test]
+    fn dispatcher_detached_jobs_are_detached_contexts() {
+        // A `spawn_detached` closure runs on a dispatcher pool worker with
+        // nothing held — locks taken inside it must not inherit the
+        // submitter's held set (that would fabricate a::b edges).
+        let a = analyze(&[(
+            "crates/demo/src/m.rs",
+            "struct S {\n\
+                 a: Mutex<u32>,\n\
+                 b: Mutex<u32>,\n\
+             }\n\
+             impl S {\n\
+                 fn f(&self) {\n\
+                     let _g = self.a.lock();\n\
+                     self.fabric.spawn_detached(move || {\n\
+                         let _h = self.b.lock();\n\
+                     });\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(a.edges.is_empty(), "{:?}", a.edges);
+    }
+
+    #[test]
+    fn grouped_and_fan_out_calls_count_as_rpcs() {
+        // Holding a lock across the dispatcher entry points is the same
+        // bug as holding it across `fabric.call` — the submit blocks until
+        // remote work completes.
+        for rpc in ["call_grouped(x)", "fan_out(jobs)"] {
+            let src = format!(
+                "struct Q {{\n\
+                     c: Mutex<u32>,\n\
+                 }}\n\
+                 impl Q {{\n\
+                     fn f(&self) {{ let _g = self.c.lock(); self.fabric.{rpc}; }}\n\
+                 }}\n"
+            );
+            let a = analyze(&[("crates/demo/src/q.rs", src.as_str())]);
+            assert!(
+                a.report.diagnostics.iter().any(|d| {
+                    let s = d.to_string();
+                    s.contains("fabric")
+                }),
+                "{rpc}: expected a lock-across-fabric diagnostic, got {:?}",
+                a.report.diagnostics
+            );
+        }
     }
 }

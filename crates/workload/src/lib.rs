@@ -13,7 +13,7 @@ pub mod tpcc;
 pub mod zipf;
 pub mod zipfian;
 
-pub use driver::{run_workload, DriverReport, Executor};
+pub use driver::{run_workload, run_workload_opts, DriverOptions, DriverReport, Executor};
 pub use scanheavy::ScanHeavyWorkload;
 pub use sysbench::{SysbenchMode, SysbenchWorkload};
 pub use tpcc::TpccWorkload;
